@@ -1,0 +1,331 @@
+// Package talign's root benchmarks regenerate every panel of the paper's
+// evaluation (Figs. 13–16) as testing.B benchmarks. Output cardinalities
+// (the y axis of Figs. 13b/14b) are reported via the "rows" metric.
+// cmd/experiments runs the same workloads as full parameter sweeps.
+//
+// Sizes are scaled down from the paper's 10k–200k so the full suite runs
+// in minutes; the series' relative order — who wins, where the crossovers
+// are — is the reproduction target (see EXPERIMENTS.md).
+package talign
+
+import (
+	"testing"
+
+	"talign/internal/baseline"
+	"talign/internal/core"
+	"talign/internal/dataset"
+	"talign/internal/plan"
+	"talign/internal/relation"
+)
+
+// benchIncumben caches the scaled synthetic Incumben dataset.
+var benchIncumben = map[int]*relation.Relation{}
+
+func incumbenN(b *testing.B, n int) *relation.Relation {
+	b.Helper()
+	if rel, ok := benchIncumben[n]; ok {
+		return rel
+	}
+	rel := dataset.Incumben(dataset.IncumbenConfig{Rows: n, Seed: 1})
+	benchIncumben[n] = rel
+	return rel
+}
+
+func reportRows(b *testing.B, rows int) {
+	b.Helper()
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkFig13NormalizeJoinMethods reproduces Fig. 13(a): N_{ssn} on
+// Incumben with each join method forced via planner flags, and Fig. 13(b)
+// through the reported rows metric.
+func BenchmarkFig13NormalizeJoinMethods(b *testing.B) {
+	variants := []struct {
+		name  string
+		flags plan.Flags
+		n     int
+	}{
+		{"merge/n=8000", plan.Flags{EnableMergeJoin: true, EnableSort: true}, 8000},
+		{"hash/n=8000", plan.Flags{EnableHashJoin: true}, 8000},
+		{"nestloop/n=1000", plan.Flags{EnableNestLoop: true}, 1000},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			rel := incumbenN(b, v.n)
+			a := core.New(v.flags)
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := a.Normalize(rel, rel, "ssn")
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkFig14NormalizeAttrs reproduces Fig. 14(a)/(b): runtime and
+// output size of N_{}, N_{pcn} and N_{ssn} on Incumben.
+func BenchmarkFig14NormalizeAttrs(b *testing.B) {
+	variants := []struct {
+		name  string
+		attrs []string
+		n     int
+	}{
+		{"Nempty/n=1000", nil, 1000},
+		{"Npcn/n=8000", []string{"pcn"}, 8000},
+		{"Nssn/n=8000", []string{"ssn"}, 8000},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			rel := incumbenN(b, v.n)
+			a := core.Default()
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := a.Normalize(rel, rel, v.attrs...)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkFig15aO1Ddisj reproduces Fig. 15(a): O1 on D_disj, align vs the
+// standard-SQL formulation (quadratic NOT EXISTS).
+func BenchmarkFig15aO1Ddisj(b *testing.B) {
+	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
+		b.Run(st.String()+"/n=1000", func(b *testing.B) {
+			r, s := dataset.Ddisj(1000, 1)
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := baseline.LeftOuterJoin(st, r, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkFig15bO1Deq reproduces Fig. 15(b): O1 on D_eq, where the SQL
+// formulation wins because NOT EXISTS refutes on the first probe.
+func BenchmarkFig15bO1Deq(b *testing.B) {
+	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
+		b.Run(st.String()+"/n=250", func(b *testing.B) {
+			r, s := dataset.Deq(250, 1)
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := baseline.LeftOuterJoin(st, r, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkFig15cO2Drand reproduces Fig. 15(c): O2 with the extended
+// snapshot reducibility condition Min ≤ DUR(r.T) ≤ Max on D_rand.
+func BenchmarkFig15cO2Drand(b *testing.B) {
+	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
+		b.Run(st.String()+"/n=1000", func(b *testing.B) {
+			r0, s := dataset.Drand(1000, 1)
+			r := core.MustExtend(r0, "u")
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := baseline.LeftOuterJoin(st, r, s, baseline.O2Theta())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkFig15dO3Incumben reproduces Fig. 15(d): the full outer join O3
+// on Incumben halves, where the equality condition lets both approaches
+// use fast join methods.
+func BenchmarkFig15dO3Incumben(b *testing.B) {
+	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
+		b.Run(st.String()+"/n=8000", func(b *testing.B) {
+			r, s := dataset.SplitHalves(incumbenN(b, 8000), []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := baseline.FullOuterJoin(st, r, s, baseline.O3Theta())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkFig16aO3IncumbenNorm reproduces Fig. 16(a): O3 on Incumben,
+// align vs sql+normalize (normalization-based temporal difference over the
+// intermediate join result).
+func BenchmarkFig16aO3IncumbenNorm(b *testing.B) {
+	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQLNormalize} {
+		b.Run(st.String()+"/n=8000", func(b *testing.B) {
+			r, s := dataset.SplitHalves(incumbenN(b, 8000), []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := baseline.FullOuterJoin(st, r, s, baseline.O3Theta())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkFig16bO3RandomNorm reproduces Fig. 16(b): O3 on the random
+// dataset with more distinct splitting points, where sql+normalize loses
+// more ground.
+func BenchmarkFig16bO3RandomNorm(b *testing.B) {
+	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQLNormalize} {
+		b.Run(st.String()+"/n=8000", func(b *testing.B) {
+			rel := dataset.RandomIncumbenLike(8000, 1)
+			r, s := dataset.SplitHalves(rel, []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+			b.ResetTimer()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := baseline.FullOuterJoin(st, r, s, baseline.O3Theta())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkAblationIntervalIndex measures the Sec. 8 future-work access
+// path: the sort-based overlap join for group construction replaces the
+// quadratic nested loop on O1/D_disj (θ = true admits no equi keys).
+func BenchmarkAblationIntervalIndex(b *testing.B) {
+	r, s := dataset.Ddisj(2000, 1)
+	variants := []struct {
+		name string
+		mk   func() *core.Algebra
+	}{
+		{"nestloop", core.Default},
+		{"interval-index", func() *core.Algebra {
+			f := plan.DefaultFlags()
+			f.EnableIntervalIndex = true
+			return core.New(f)
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name+"/n=2000", func(b *testing.B) {
+			a := v.mk()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := a.LeftOuterJoin(r, s, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkAblationAntiJoinRewrite measures the second Sec. 8 future-work
+// customization: the temporal antijoin via the gaps-only aligner (no
+// second alignment, no join) against the generic Table 2 reduction.
+func BenchmarkAblationAntiJoinRewrite(b *testing.B) {
+	rel := dataset.RandomIncumbenLike(8000, 3)
+	r, s := dataset.SplitHalves(rel, []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+	variants := []struct {
+		name string
+		mk   func() *core.Algebra
+	}{
+		{"generic", core.Default},
+		{"gaps-only", func() *core.Algebra {
+			f := plan.DefaultFlags()
+			f.EnableAntiJoinRewrite = true
+			return core.New(f)
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name+"/n=8000", func(b *testing.B) {
+			a := v.mk()
+			rows := 0
+			for i := 0; i < b.N; i++ {
+				out, err := a.AntiJoin(r, s, baseline.O3Theta())
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = out.Len()
+			}
+			reportRows(b, rows)
+		})
+	}
+}
+
+// BenchmarkPrimitives measures the two primitives in isolation: the
+// ablation behind the Sec. 6.2/6.3 cost model (alignment does one extra
+// comparison per tuple compared to normalization).
+func BenchmarkPrimitives(b *testing.B) {
+	rel := dataset.RandomIncumbenLike(4000, 2)
+	r, s := dataset.SplitHalves(rel, []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+	a := core.Default()
+	b.Run("align/theta=pcn", func(b *testing.B) {
+		rows := 0
+		for i := 0; i < b.N; i++ {
+			out, err := a.Align(r, s, baseline.O3Theta())
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = out.Len()
+		}
+		reportRows(b, rows)
+	})
+	b.Run("normalize/B=pcn", func(b *testing.B) {
+		rows := 0
+		for i := 0; i < b.N; i++ {
+			out, err := a.Normalize(r, r, "pcn")
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = out.Len()
+		}
+		reportRows(b, rows)
+	})
+	b.Run("absorb", func(b *testing.B) {
+		aligned, err := a.Align(r, s, baseline.O3Theta())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Absorb(aligned); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

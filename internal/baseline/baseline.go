@@ -1,0 +1,352 @@
+// Package baseline implements the three competitor strategies evaluated in
+// Sec. 7 for temporal outer joins:
+//
+//   - StrategyAlign: the paper's reduction rules (package core).
+//   - StrategySQL: the standard-SQL formulation [Snodgrass 1999]: the join
+//     part uses overlap predicates on explicit Ts/Te columns; the negative
+//     part enumerates candidate gap boundaries (the tuple's own start/end
+//     and the ends/starts of θ-matching partners) and keeps the pairs for
+//     which NOT EXISTS any overlapping θ-matching partner.
+//   - StrategySQLNormalize: the join part in standard SQL, the negative
+//     part as a temporal difference of the argument and the (projected)
+//     intermediate join result evaluated with temporal normalization
+//     (Sec. 7.5).
+//
+// All three produce identical relations (the tests enforce this); the
+// benchmarks compare their runtimes on the paper's datasets.
+package baseline
+
+import (
+	"fmt"
+
+	"talign/internal/core"
+	"talign/internal/exec"
+	"talign/internal/expr"
+	"talign/internal/plan"
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+// Strategy selects the evaluation approach.
+type Strategy uint8
+
+// The strategies of Sec. 7.
+const (
+	StrategyAlign Strategy = iota
+	StrategySQL
+	StrategySQLNormalize
+)
+
+func (s Strategy) String() string {
+	return [...]string{"align", "sql", "sql+normalize"}[s]
+}
+
+// O2Theta is the θ condition of query O2 (Sec. 7.4): Min ≤ DUR(r.T) ≤ Max,
+// with r.T propagated into an attribute named "u" (extended snapshot
+// reducibility) and the category bounds "min"/"max" on the s side.
+func O2Theta() expr.Expr {
+	return expr.Between{X: expr.Dur(expr.C("u")), Lo: expr.C("min"), Hi: expr.C("max")}
+}
+
+// O3Theta is the θ condition of query O3 (Sec. 7.4): r.pcn = s.pcn over the
+// two Incumben halves (columns "pcn" and "pcn2").
+func O3Theta() expr.Expr { return expr.Eq(expr.C("pcn"), expr.C("pcn2")) }
+
+// LeftOuterJoin evaluates r ⟕T_θ s with the chosen strategy. theta is a
+// condition over Concat(r, s) as in package core.
+func LeftOuterJoin(strategy Strategy, r, s *relation.Relation, theta expr.Expr) (*relation.Relation, error) {
+	switch strategy {
+	case StrategyAlign:
+		return core.Default().LeftOuterJoin(r, s, theta)
+	case StrategySQL:
+		return sqlOuter(r, s, theta, false)
+	case StrategySQLNormalize:
+		return sqlNormalizeOuter(r, s, theta, false)
+	}
+	return nil, fmt.Errorf("baseline: unknown strategy %d", strategy)
+}
+
+// FullOuterJoin evaluates r ⟗T_θ s with the chosen strategy.
+func FullOuterJoin(strategy Strategy, r, s *relation.Relation, theta expr.Expr) (*relation.Relation, error) {
+	switch strategy {
+	case StrategyAlign:
+		return core.Default().FullOuterJoin(r, s, theta)
+	case StrategySQL:
+		return sqlOuter(r, s, theta, true)
+	case StrategySQLNormalize:
+		return sqlNormalizeOuter(r, s, theta, true)
+	}
+	return nil, fmt.Errorf("baseline: unknown strategy %d", strategy)
+}
+
+// extTs appends the tuple's Ts and Te as ordinary int columns — the
+// standard-SQL view of a temporal table, where timestamps are data.
+func extTs(p *plan.Planner, n plan.Node) plan.Node {
+	sch := n.Schema()
+	names := make([]string, 0, sch.Len()+2)
+	exprs := make([]expr.Expr, 0, sch.Len()+2)
+	for i, at := range sch.Attrs {
+		names = append(names, at.Name)
+		exprs = append(exprs, expr.ColIdx{Idx: i, Typ: at.Type, Name: at.Name})
+	}
+	names = append(names, "__ts", "__te")
+	exprs = append(exprs, expr.TStart{}, expr.TEnd{})
+	return p.Project(n, names, exprs)
+}
+
+// shiftTheta moves θ's s-side references right by delta (both sides grew
+// by the explicit timestamp columns).
+func shiftTheta(theta expr.Expr, rl, delta int) expr.Expr {
+	if theta == nil {
+		return nil
+	}
+	return expr.Remap(theta, func(i int) int {
+		if i >= rl {
+			return i + delta
+		}
+		return i
+	})
+}
+
+func swapThetaWidths(theta expr.Expr, rl, sl int) expr.Expr {
+	if theta == nil {
+		return nil
+	}
+	return expr.Remap(theta, func(i int) int {
+		if i < rl {
+			return i + sl
+		}
+		return i - rl
+	})
+}
+
+// positivePart builds the overlap join: one result row per θ-matching,
+// overlapping pair, timestamped with the intersection
+// [greatest(r.Ts,s.Ts), least(r.Te,s.Te)).
+func positivePart(p *plan.Planner, r, s plan.Node, theta expr.Expr) plan.Node {
+	rl, sl := r.Schema().Len(), s.Schema().Len()
+	rE, sE := extTs(p, r), extTs(p, s)
+	// Join row layout: r.cols, __ts(rl), __te(rl+1), s.cols(rl+2..),
+	// __ts(rl+2+sl), __te(rl+3+sl).
+	rts, rte := rl, rl+1
+	sts, ste := rl+2+sl, rl+3+sl
+	cond := expr.And(
+		expr.Lt(ci(rts), ci(ste)),
+		expr.Lt(ci(sts), ci(rte)),
+	)
+	if t := shiftTheta(theta, rl, 2); t != nil {
+		cond = expr.And(t, cond)
+	}
+	join := p.Join(rE, sE, cond, exec.InnerJoin, false)
+	// Output: original columns, valid time = the intersection.
+	names := make([]string, 0, rl+sl)
+	exprs := make([]expr.Expr, 0, rl+sl)
+	for i, at := range r.Schema().Attrs {
+		names = append(names, at.Name)
+		exprs = append(exprs, expr.ColIdx{Idx: i, Typ: at.Type, Name: at.Name})
+	}
+	for i, at := range s.Schema().Attrs {
+		names = append(names, at.Name)
+		exprs = append(exprs, expr.ColIdx{Idx: rl + 2 + i, Typ: at.Type, Name: at.Name})
+	}
+	period := expr.Call("PERIOD",
+		expr.Call("GREATEST", ci(rts), ci(sts)),
+		expr.Call("LEAST", ci(rte), ci(ste)))
+	return p.ProjectT(join, names, exprs, period)
+}
+
+func ci(i int) expr.Expr { return expr.CI(i, value.KindInt) }
+
+// gapsPart builds the standard-SQL negative part for r against s: the
+// maximal sub-intervals of each r tuple not covered by any θ-matching s
+// tuple, via candidate boundary pairs filtered with NOT EXISTS.
+// Output schema: r's columns; valid time = the gap.
+func gapsPart(p *plan.Planner, r, s plan.Node, theta expr.Expr) plan.Node {
+	rl, sl := r.Schema().Len(), s.Schema().Len()
+	rE, sE := extTs(p, r), extTs(p, s)
+	rts, rte := rl, rl+1
+
+	// Candidate starts: (r.cols, __ts, __te, cs).
+	rCols := func(n plan.Node) ([]string, []expr.Expr) {
+		names := make([]string, 0, rl+3)
+		exprs := make([]expr.Expr, 0, rl+3)
+		for i, at := range r.Schema().Attrs {
+			names = append(names, at.Name)
+			exprs = append(exprs, expr.ColIdx{Idx: i, Typ: at.Type, Name: at.Name})
+		}
+		names = append(names, "__ts", "__te")
+		exprs = append(exprs, ci(rts), ci(rte))
+		return names, exprs
+	}
+
+	candidate := func(ownPoint expr.Expr, partnerPointIdx int, name string) plan.Node {
+		// Own boundary: every r tuple contributes it.
+		namesA, exprsA := rCols(rE)
+		a := p.Project(rE, append(namesA, name), append(exprsA, ownPoint))
+		// Partner boundaries strictly inside r's interval, θ-matching.
+		// Join layout: r.cols, __ts, __te, s.cols, __ts, __te.
+		pIdx := rl + 2 + partnerPointIdx
+		cond := expr.And(
+			expr.Lt(ci(rts), ci(pIdx)),
+			expr.Lt(ci(pIdx), ci(rte)),
+		)
+		if t := shiftTheta(theta, rl, 2); t != nil {
+			cond = expr.And(t, cond)
+		}
+		join := p.Join(rE, sE, cond, exec.InnerJoin, false)
+		namesB, exprsB := rCols(join)
+		b := p.Project(join, append(namesB, name), append(exprsB, ci(pIdx)))
+		return p.SetOp(a, b, exec.UnionOp)
+	}
+	starts := candidate(ci(rts), sl+1, "__cs") // own Ts, or a matching s's Te
+	ends := candidate(ci(rte), sl, "__ce")     // own Te, or a matching s's Ts
+
+	// Pair candidate starts and ends of the same r tuple with cs < ce.
+	// starts layout: r.cols, __ts(rl), __te(rl+1), __cs(rl+2); ends adds
+	// rl+3 columns on the right.
+	eq := make([]expr.Expr, 0, rl+3)
+	w := rl + 3
+	for i := range r.Schema().Attrs {
+		eq = append(eq, expr.Eq(expr.CI(i, r.Schema().Attrs[i].Type), expr.CI(w+i, r.Schema().Attrs[i].Type)))
+	}
+	eq = append(eq,
+		expr.Eq(ci(rts), ci(w+rl)),
+		expr.Eq(ci(rte), ci(w+rl+1)),
+		expr.Lt(ci(rl+2), ci(w+rl+2)), // cs < ce
+	)
+	pairsJoin := p.Join(starts, ends, expr.And(eq...), exec.InnerJoin, false)
+	namesP, exprsP := rCols(pairsJoin)
+	pairs := p.Project(pairsJoin,
+		append(namesP, "__cs", "__ce"),
+		append(exprsP, ci(rl+2), ci(w+rl+2)))
+
+	// NOT EXISTS: no θ-matching s overlaps the candidate gap.
+	// pairs layout: r.cols, __ts, __te, __cs(rl+2), __ce(rl+3); sE appends
+	// s.cols(rl+4..), __ts(rl+4+sl), __te(rl+5+sl).
+	cs, ce := rl+2, rl+3
+	sts2, ste2 := rl+4+sl, rl+5+sl
+	notExists := expr.And(
+		expr.Lt(ci(sts2), ci(ce)),
+		expr.Lt(ci(cs), ci(ste2)),
+	)
+	if t := shiftTheta(theta, rl, 4); t != nil {
+		notExists = expr.And(t, notExists)
+	}
+	anti := p.Join(pairs, sE, notExists, exec.AntiJoin, false)
+
+	// Output the gap tuples.
+	names := make([]string, 0, rl)
+	exprs := make([]expr.Expr, 0, rl)
+	for i, at := range r.Schema().Attrs {
+		names = append(names, at.Name)
+		exprs = append(exprs, expr.ColIdx{Idx: i, Typ: at.Type, Name: at.Name})
+	}
+	period := expr.Call("PERIOD", ci(cs), ci(ce))
+	return p.Distinct(p.ProjectT(anti, names, exprs, period))
+}
+
+// padNulls extends a node's rows with ω columns on the given side.
+func padNulls(p *plan.Planner, n plan.Node, left, right int) plan.Node {
+	names := make([]string, 0, left+n.Schema().Len()+right)
+	exprs := make([]expr.Expr, 0, left+n.Schema().Len()+right)
+	for i := 0; i < left; i++ {
+		names = append(names, fmt.Sprintf("__l%d", i))
+		exprs = append(exprs, expr.Null)
+	}
+	for i, at := range n.Schema().Attrs {
+		names = append(names, at.Name)
+		exprs = append(exprs, expr.ColIdx{Idx: i, Typ: at.Type, Name: at.Name})
+	}
+	for i := 0; i < right; i++ {
+		names = append(names, fmt.Sprintf("__r%d", i))
+		exprs = append(exprs, expr.Null)
+	}
+	return p.Project(n, names, exprs)
+}
+
+// sqlOuter is the standard-SQL strategy: positive part ∪ padded gaps.
+func sqlOuter(r, s *relation.Relation, theta expr.Expr, full bool) (*relation.Relation, error) {
+	bound, err := core.BindTheta(r, s, theta)
+	if err != nil {
+		return nil, err
+	}
+	p := plan.NewPlanner(plan.DefaultFlags())
+	rn, sn := p.Scan(r, "r"), p.Scan(s, "s")
+	pos := positivePart(p, rn, sn, bound)
+	leftGaps := padNulls(p, gapsPart(p, rn, sn, bound), 0, s.Schema.Len())
+	out := p.SetOp(pos, leftGaps, exec.UnionOp)
+	if full {
+		swapped := swapThetaWidths(bound, r.Schema.Len(), s.Schema.Len())
+		rightGaps := padNulls(p, gapsPart(p, sn, rn, swapped), r.Schema.Len(), 0)
+		out = p.SetOp(out, rightGaps, exec.UnionOp)
+	}
+	return plan.Run(out)
+}
+
+// sqlNormalizeOuter computes the join part in SQL and the negative part as
+// a temporal difference evaluated with normalization: the argument is
+// normalized against the projected intermediate join result, the join
+// result against itself plus the argument, and the difference of the two
+// adjusted relations yields the gaps (Sec. 7.5).
+func sqlNormalizeOuter(r, s *relation.Relation, theta expr.Expr, full bool) (*relation.Relation, error) {
+	bound, err := core.BindTheta(r, s, theta)
+	if err != nil {
+		return nil, err
+	}
+	p := plan.NewPlanner(plan.DefaultFlags())
+	a := core.New(plan.DefaultFlags())
+	rn, sn := p.Scan(r, "r"), p.Scan(s, "s")
+	pos, err := plan.Run(positivePart(p, rn, sn, bound))
+	if err != nil {
+		return nil, err
+	}
+	leftGaps, err := normalizedGaps(a, r, pos, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := p.SetOp(p.Scan(pos, "pos"),
+		padNulls(p, p.Scan(leftGaps, "gaps_r"), 0, s.Schema.Len()), exec.UnionOp)
+	if full {
+		rightGaps, err := normalizedGaps(a, s, pos, r.Schema.Len())
+		if err != nil {
+			return nil, err
+		}
+		out = p.SetOp(out, padNulls(p, p.Scan(rightGaps, "gaps_s"), r.Schema.Len(), 0), exec.UnionOp)
+	}
+	return plan.Run(out)
+}
+
+// normalizedGaps computes the temporal difference side −T π_side(join)
+// with the normalization primitive. offset selects the side's columns in
+// the join result.
+func normalizedGaps(a *core.Algebra, side *relation.Relation, join *relation.Relation, offset int) (*relation.Relation, error) {
+	p := a.Planner()
+	// π_side(join): the covered portions of the side relation (with
+	// duplicates across matching partners — the expensive intermediate).
+	cols := make([]int, side.Schema.Len())
+	names := make([]string, side.Schema.Len())
+	exprs := make([]expr.Expr, side.Schema.Len())
+	for i := range cols {
+		at := join.Schema.Attrs[offset+i]
+		cols[i] = offset + i
+		names[i] = side.Schema.Attrs[i].Name
+		exprs[i] = expr.ColIdx{Idx: offset + i, Typ: at.Type, Name: at.Name}
+	}
+	covered, err := plan.Run(p.Project(p.Scan(join, "join"), names, exprs))
+	if err != nil {
+		return nil, err
+	}
+	all := make([]int, side.Schema.Len())
+	for i := range all {
+		all[i] = i
+	}
+	// N_A(side; covered): split the argument at the join result's
+	// boundaries...
+	nSide := a.NormalizePlan(p.Scan(side, "side"), p.Scan(covered, "covered"), all)
+	// ...and N_A(covered; covered ∪ side): the join result is not
+	// duplicate free, so its pieces must additionally be split at their
+	// own boundaries to line up with the argument's pieces.
+	both := p.SetOp(p.Scan(covered, "covered"), p.Scan(side, "side"), exec.UnionOp)
+	nCovered := a.NormalizePlan(p.Scan(covered, "covered"), both, all)
+	return plan.Run(p.SetOp(nSide, nCovered, exec.ExceptOp))
+}

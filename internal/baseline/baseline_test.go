@@ -1,0 +1,190 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"talign/internal/core"
+	"talign/internal/dataset"
+	"talign/internal/expr"
+	"talign/internal/oracle"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// All three strategies must compute the same temporal outer join; the
+// oracle provides the definitional ground truth.
+
+func strategies() []Strategy {
+	return []Strategy{StrategyAlign, StrategySQL, StrategySQLNormalize}
+}
+
+func attrsR() []schema.Attr {
+	return []schema.Attr{{Name: "x", Type: value.KindString}, {Name: "v", Type: value.KindInt}}
+}
+
+func attrsS() []schema.Attr {
+	return []schema.Attr{{Name: "y", Type: value.KindString}, {Name: "w", Type: value.KindInt}}
+}
+
+func TestStrategiesAgreeLeftOuterEqui(t *testing.T) {
+	theta := expr.Eq(expr.C("x"), expr.C("y"))
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 60; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsS()...))
+		want, err := oracle.LeftOuterJoin(r, s, theta)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		for _, st := range strategies() {
+			got, err := LeftOuterJoin(st, r, s, theta)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", st, round, err)
+			}
+			if !relation.SetEqual(got, want) {
+				onlyGot, onlyWant := relation.Diff(got, want)
+				t.Fatalf("%s round %d disagrees with oracle\nr:\n%s\ns:\n%s\nonly %s: %v\nonly oracle: %v",
+					st, round, r, s, st, onlyGot, onlyWant)
+			}
+		}
+	}
+}
+
+func TestStrategiesAgreeLeftOuterTrue(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for round := 0; round < 40; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsS()...))
+		want, err := oracle.LeftOuterJoin(r, s, nil)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		for _, st := range strategies() {
+			got, err := LeftOuterJoin(st, r, s, nil)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", st, round, err)
+			}
+			if !relation.SetEqual(got, want) {
+				onlyGot, onlyWant := relation.Diff(got, want)
+				t.Fatalf("%s round %d disagrees (θ=true)\nr:\n%s\ns:\n%s\nonly %s: %v\nonly oracle: %v",
+					st, round, r, s, st, onlyGot, onlyWant)
+			}
+		}
+	}
+}
+
+func TestStrategiesAgreeFullOuter(t *testing.T) {
+	theta := expr.Eq(expr.C("x"), expr.C("y"))
+	rng := rand.New(rand.NewSource(44))
+	for round := 0; round < 40; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsS()...))
+		want, err := oracle.FullOuterJoin(r, s, theta)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		for _, st := range strategies() {
+			got, err := FullOuterJoin(st, r, s, theta)
+			if err != nil {
+				t.Fatalf("%s round %d: %v", st, round, err)
+			}
+			if !relation.SetEqual(got, want) {
+				onlyGot, onlyWant := relation.Diff(got, want)
+				t.Fatalf("%s round %d disagrees (full outer)\nr:\n%s\ns:\n%s\nonly %s: %v\nonly oracle: %v",
+					st, round, r, s, st, onlyGot, onlyWant)
+			}
+		}
+	}
+}
+
+// TestO1OnPaperDatasets runs O1 = r ⟕T_true s on small instances of the
+// synthetic datasets and cross-checks the strategies.
+func TestO1OnPaperDatasets(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		gen  func(n int, seed int64) (*relation.Relation, *relation.Relation)
+	}{
+		{"Ddisj", dataset.Ddisj},
+		{"Deq", dataset.Deq},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			r, s := mk.gen(30, 7)
+			want, err := LeftOuterJoin(StrategyAlign, r, s, nil)
+			if err != nil {
+				t.Fatalf("align: %v", err)
+			}
+			for _, st := range []Strategy{StrategySQL, StrategySQLNormalize} {
+				got, err := LeftOuterJoin(st, r, s, nil)
+				if err != nil {
+					t.Fatalf("%s: %v", st, err)
+				}
+				if !relation.SetEqual(got, want) {
+					onlyGot, onlyWant := relation.Diff(got, want)
+					t.Fatalf("%s disagrees with align on %s\nonly %s: %v\nonly align: %v",
+						st, mk.name, st, onlyGot, onlyWant)
+				}
+			}
+		})
+	}
+}
+
+// TestO2OnDrand runs O2 = r ⟕T_{Min≤DUR(r.T)≤Max} s: the ESR query needs
+// timestamp propagation.
+func TestO2OnDrand(t *testing.T) {
+	r0, s := dataset.Drand(25, 9)
+	r := core.MustExtend(r0, "u")
+	theta := O2Theta()
+	want, err := LeftOuterJoin(StrategyAlign, r, s, theta)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	spec, err := oracle.LeftOuterJoin(r, s, theta)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !relation.SetEqual(want, spec) {
+		t.Fatalf("align disagrees with oracle on O2")
+	}
+	for _, st := range []Strategy{StrategySQL, StrategySQLNormalize} {
+		got, err := LeftOuterJoin(st, r, s, theta)
+		if err != nil {
+			t.Fatalf("%s: %v", st, err)
+		}
+		if !relation.SetEqual(got, want) {
+			onlyGot, onlyWant := relation.Diff(got, want)
+			t.Fatalf("%s disagrees on O2\nonly %s: %v\nonly align: %v", st, st, onlyGot, onlyWant)
+		}
+	}
+}
+
+// TestO3OnIncumben runs O3 = r ⟗T_{r.pcn=s.pcn} s on a small synthetic
+// Incumben sample.
+func TestO3OnIncumben(t *testing.T) {
+	inc := dataset.Incumben(dataset.IncumbenConfig{Rows: 60, Seed: 11})
+	r, s := dataset.SplitHalves(inc, []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+	theta := O3Theta()
+	want, err := FullOuterJoin(StrategyAlign, r, s, theta)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	spec, err := oracle.FullOuterJoin(r, s, theta)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	if !relation.SetEqual(want, spec) {
+		t.Fatalf("align disagrees with oracle on O3")
+	}
+	for _, st := range []Strategy{StrategySQL, StrategySQLNormalize} {
+		got, err := FullOuterJoin(st, r, s, theta)
+		if err != nil {
+			t.Fatalf("%s: %v", st, err)
+		}
+		if !relation.SetEqual(got, want) {
+			onlyGot, onlyWant := relation.Diff(got, want)
+			t.Fatalf("%s disagrees on O3\nonly %s: %v\nonly align: %v", st, st, onlyGot, onlyWant)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package benchkit is the parameter-sweep harness behind cmd/experiments
+// and the repository benchmarks: it times evaluation strategies across
+// input sizes and renders the series of the paper's figures in a long-form
+// TSV (figure, series, x, seconds, output rows).
+package benchkit
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Point is one measurement.
+type Point struct {
+	X       int     // input tuples per relation
+	Seconds float64 // wall-clock runtime
+	Rows    int     // output cardinality
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Figure groups the series reproducing one panel of the paper.
+type Figure struct {
+	ID     string // e.g. "13a"
+	Title  string
+	XLabel string
+	Series []Series
+}
+
+// Runner evaluates one point: it returns the output cardinality.
+type Runner func(n int) (rows int, err error)
+
+// Sweep measures run across sizes.
+func Sweep(name string, sizes []int, run Runner) (Series, error) {
+	s := Series{Name: name}
+	for _, n := range sizes {
+		start := time.Now()
+		rows, err := run(n)
+		if err != nil {
+			return s, fmt.Errorf("benchkit: %s at n=%d: %w", name, n, err)
+		}
+		s.Points = append(s.Points, Point{X: n, Seconds: time.Since(start).Seconds(), Rows: rows})
+	}
+	return s, nil
+}
+
+// WriteTSV renders the figure in long form.
+func (f Figure) WriteTSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# Figure %s: %s (x = %s)\n", f.ID, f.Title, f.XLabel); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "figure\tseries\tx\tseconds\tout_rows"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s\t%s\t%d\t%.4f\t%d\n", f.ID, s.Name, p.X, p.Seconds, p.Rows); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Scale multiplies sizes by factor/100, keeping at least 1.
+func Scale(sizes []int, percent int) []int {
+	out := make([]int, 0, len(sizes))
+	for _, s := range sizes {
+		v := s * percent / 100
+		if v < 1 {
+			v = 1
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// CapSizes drops sweep points above max (quadratic baselines need caps).
+func CapSizes(sizes []int, max int) []int {
+	var out []int
+	for _, s := range sizes {
+		if s <= max {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package benchkit
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSweepAndTSV(t *testing.T) {
+	s, err := Sweep("lin", []int{1, 2, 4}, func(n int) (int, error) { return n * 10, nil })
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	if len(s.Points) != 3 || s.Points[2].Rows != 40 {
+		t.Fatalf("points: %+v", s.Points)
+	}
+	fig := Figure{ID: "x1", Title: "demo", XLabel: "n", Series: []Series{s}}
+	var b strings.Builder
+	if err := fig.WriteTSV(&b); err != nil {
+		t.Fatalf("tsv: %v", err)
+	}
+	out := b.String()
+	for _, part := range []string{"# Figure x1", "figure\tseries", "x1\tlin\t4\t", "\t40\n"} {
+		if !strings.Contains(out, part) {
+			t.Fatalf("tsv missing %q:\n%s", part, out)
+		}
+	}
+}
+
+func TestSweepPropagatesErrors(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Sweep("bad", []int{1}, func(int) (int, error) { return 0, boom })
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestScaleAndCap(t *testing.T) {
+	got := Scale([]int{100, 10, 1}, 25)
+	if got[0] != 25 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("scale: %v", got)
+	}
+	capped := CapSizes([]int{10, 20, 30}, 20)
+	if len(capped) != 2 || capped[1] != 20 {
+		t.Fatalf("cap: %v", capped)
+	}
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"testing"
+
+	"talign/internal/exec"
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/relation"
+)
+
+// The tests in this file replay the paper's running hotel example (Fig. 1)
+// and its worked examples. Months are encoded as integers with 2012/1 = 0,
+// so e.g. [2012/2, 2012/6) is [1, 5).
+
+// reservationsR returns relation R of Fig. 1(a).
+func reservationsR() *relation.Relation {
+	return relation.NewBuilder("n string").
+		Row(0, 7, "Ann").  // r1 [2012/1, 2012/8)
+		Row(1, 5, "Joe").  // r2 [2012/2, 2012/6)
+		Row(7, 11, "Ann"). // r3 [2012/8, 2012/12)
+		MustBuild()
+}
+
+// pricesP returns relation P of Fig. 1(a).
+func pricesP() *relation.Relation {
+	return relation.NewBuilder("a int", "min int", "max int").
+		Row(0, 5, 50, 1, 2).   // s1 [2012/1, 2012/6)
+		Row(0, 5, 40, 3, 7).   // s2
+		Row(0, 12, 30, 8, 12). // s3 [2012/1, 2013/1)
+		Row(9, 12, 50, 1, 2).  // s4 [2012/10, 2013/1)
+		Row(9, 12, 40, 3, 7).  // s5
+		MustBuild()
+}
+
+// thetaQ1 is Min <= DUR(U) <= Max over Concat(U(R), P).
+func thetaQ1() expr.Expr {
+	return expr.Between{X: expr.Dur(expr.C("u")), Lo: expr.C("min"), Hi: expr.C("max")}
+}
+
+func mustEqual(t *testing.T, got, want *relation.Relation) {
+	t.Helper()
+	if !relation.SetEqual(got, want) {
+		onlyGot, onlyWant := relation.Diff(got, want)
+		t.Fatalf("relations differ\nonly in got:  %v\nonly in want: %v\ngot:\n%s\nwant:\n%s",
+			onlyGot, onlyWant, got, want)
+	}
+}
+
+func iv(ts, te int64) interval.Interval { return interval.New(ts, te) }
+
+// TestQ1LeftOuterJoin replays query Q1 = R ⟕T_{Min≤DUR(R.T)≤Max} P and
+// checks the exact result of Fig. 1(b), including timestamp propagation
+// (extended snapshot reducibility) and the preserved change at 2012/8
+// (tuples z3 and z4 stay separate).
+func TestQ1LeftOuterJoin(t *testing.T) {
+	a := Default()
+	ru := MustExtend(reservationsR(), "u")
+	got, err := a.LeftOuterJoin(ru, pricesP(), thetaQ1())
+	if err != nil {
+		t.Fatalf("left outer join: %v", err)
+	}
+	want := relation.NewBuilder("n string", "u period", "a int", "min int", "max int").
+		Row(0, 5, "Ann", iv(0, 7), 40, 3, 7).       // z1
+		Row(1, 5, "Joe", iv(1, 5), 40, 3, 7).       // z2
+		Row(5, 7, "Ann", iv(0, 7), nil, nil, nil).  // z3
+		Row(7, 9, "Ann", iv(7, 11), nil, nil, nil). // z4 (change at 2012/8 preserved)
+		Row(9, 11, "Ann", iv(7, 11), 40, 3, 7).     // z5
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestQ2Aggregation replays Q2 = ϑT_AVG(DUR(R.T))(R) (Fig. 7).
+func TestQ2Aggregation(t *testing.T) {
+	a := Default()
+	ru := MustExtend(reservationsR(), "u")
+	got, err := a.Aggregation(ru, nil, []exec.AggSpec{
+		{Func: exec.AggAvg, Arg: expr.Dur(expr.C("u")), Name: "avg_dur"},
+	})
+	if err != nil {
+		t.Fatalf("aggregation: %v", err)
+	}
+	want := relation.NewBuilder("avg_dur float").
+		Row(0, 1, 7.0).
+		Row(1, 5, 5.5).
+		Row(5, 7, 7.0).
+		Row(7, 11, 4.0).
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestNormalizationFig3 replays N_{}(R; R) of Fig. 3.
+func TestNormalizationFig3(t *testing.T) {
+	a := Default()
+	r := reservationsR()
+	got, err := a.Normalize(r, r)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	want := relation.NewBuilder("n string").
+		Row(0, 1, "Ann").
+		Row(1, 5, "Ann").
+		Row(5, 7, "Ann").
+		Row(1, 5, "Joe").
+		Row(7, 11, "Ann").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestAlignmentFig4 replays P Φ_{Min≤DUR(U)≤Max} U(R) of Fig. 4.
+func TestAlignmentFig4(t *testing.T) {
+	a := Default()
+	ru := MustExtend(reservationsR(), "u")
+	// θ over Concat(P, U(R)).
+	theta := expr.Between{X: expr.Dur(expr.C("u")), Lo: expr.C("min"), Hi: expr.C("max")}
+	got, err := a.Align(pricesP(), ru, theta)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	want := relation.NewBuilder("a int", "min int", "max int").
+		Row(0, 5, 50, 1, 2).
+		Row(9, 12, 50, 1, 2).
+		Row(0, 5, 40, 3, 7).   // s2 ∩ r1
+		Row(1, 5, 40, 3, 7).   // s2 ∩ r2
+		Row(9, 11, 40, 3, 7).  // s5 ∩ r3
+		Row(11, 12, 40, 3, 7). // uncovered rest of s5
+		Row(0, 12, 30, 8, 12).
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestSplitterFig2a replays the temporal splitter illustration of
+// Fig. 2(a): r over [2012/1, 2012/8), g1 over [2012/1, 2012/4), g2 over
+// [2012/3, 2012/6) produce T1..T4.
+func TestSplitterFig2a(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 7, "r").MustBuild()
+	g := relation.NewBuilder("x string").
+		Row(0, 3, "r").
+		Row(2, 5, "r").
+		MustBuild()
+	got, err := a.Normalize(r, g, "x")
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 2, "r").
+		Row(2, 3, "r").
+		Row(3, 5, "r").
+		Row(5, 7, "r").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestAlignerFig2b replays the temporal aligner illustration of Fig. 2(b):
+// the intersections with g1 and g2 plus the maximal uncovered tail.
+func TestAlignerFig2b(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 7, "r").MustBuild()
+	g := relation.NewBuilder("x string").
+		Row(0, 3, "r").
+		Row(2, 5, "r").
+		MustBuild()
+	got, err := a.Align(r, g, nil) // θ = true
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 3, "r"). // r ∩ g1
+		Row(2, 5, "r"). // r ∩ g2
+		Row(5, 7, "r"). // maximal uncovered part
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestLemma1BaseCase replays Fig. 5: one r tuple and two disjoint s tuples
+// inside it produce 2m+1 = 5 aligned tuples.
+func TestLemma1BaseCase(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 11, "r1").MustBuild()
+	s := relation.NewBuilder("y string").
+		Row(1, 3, "s1").
+		Row(5, 8, "s2").
+		MustBuild()
+	got, err := a.Align(r, s, nil)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 1, "r1").
+		Row(1, 3, "r1").
+		Row(3, 5, "r1").
+		Row(5, 8, "r1").
+		Row(8, 11, "r1").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestExample9CartesianAbsorb replays Example 9: the temporal Cartesian
+// product produces a temporal duplicate (a,c,[3,7)) ⊂ (a,c,[1,9)) that the
+// absorb operator removes.
+func TestExample9CartesianAbsorb(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").
+		Row(1, 9, "a").
+		Row(3, 7, "b").
+		MustBuild()
+	s := relation.NewBuilder("y string").
+		Row(1, 9, "c").
+		Row(3, 7, "d").
+		MustBuild()
+	got, err := a.CartesianProduct(r, s)
+	if err != nil {
+		t.Fatalf("cartesian product: %v", err)
+	}
+	want := relation.NewBuilder("x string", "y string").
+		Row(1, 9, "a", "c").
+		Row(3, 7, "a", "d").
+		Row(3, 7, "b", "c").
+		Row(3, 7, "b", "d").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestExample9AlignedInputs checks the intermediate alignments of
+// Example 9 before the join.
+func TestExample9AlignedInputs(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").
+		Row(1, 9, "a").
+		Row(3, 7, "b").
+		MustBuild()
+	s := relation.NewBuilder("y string").
+		Row(1, 9, "c").
+		Row(3, 7, "d").
+		MustBuild()
+	rt, err := a.Align(r, s, nil)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(1, 9, "a").
+		Row(3, 7, "a").
+		Row(3, 7, "b").
+		MustBuild()
+	mustEqual(t, rt, want)
+}
+
+// TestUnionPreservesChanges checks that ∪T keeps the pieces produced by
+// different argument tuples separate instead of coalescing them.
+func TestUnionPreservesChanges(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 4, "a").MustBuild()
+	s := relation.NewBuilder("x string").Row(2, 6, "a").MustBuild()
+	got, err := a.Union(r, s)
+	if err != nil {
+		t.Fatalf("union: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 2, "a").
+		Row(2, 4, "a").
+		Row(4, 6, "a").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestDifference checks r −T s on overlapping value-equivalent tuples.
+func TestDifference(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").
+		Row(0, 10, "a").
+		Row(0, 10, "b").
+		MustBuild()
+	s := relation.NewBuilder("x string").
+		Row(2, 4, "a").
+		Row(8, 12, "b").
+		MustBuild()
+	got, err := a.Difference(r, s)
+	if err != nil {
+		t.Fatalf("difference: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 2, "a").
+		Row(4, 10, "a").
+		Row(0, 8, "b").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestIntersection checks r ∩T s.
+func TestIntersection(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 10, "a").Row(0, 3, "b").MustBuild()
+	s := relation.NewBuilder("x string").Row(2, 4, "a").Row(5, 6, "a").MustBuild()
+	got, err := a.Intersection(r, s)
+	if err != nil {
+		t.Fatalf("intersection: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(2, 4, "a").
+		Row(5, 6, "a").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestProjection checks πT_B change preservation: pieces split at the
+// boundaries of same-B tuples, value duplicates merged.
+func TestProjection(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("n string", "v int").
+		Row(0, 7, "Ann", 1).
+		Row(1, 5, "Ann", 2).
+		MustBuild()
+	got, err := a.Projection(r, "n")
+	if err != nil {
+		t.Fatalf("projection: %v", err)
+	}
+	want := relation.NewBuilder("n string").
+		Row(0, 1, "Ann").
+		Row(1, 5, "Ann").
+		Row(5, 7, "Ann").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestAntiJoin checks r ▷T_θ s: the gaps of r w.r.t. matching s tuples.
+func TestAntiJoin(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 10, "a").MustBuild()
+	s := relation.NewBuilder("y string").
+		Row(2, 4, "a").
+		Row(6, 7, "b").
+		MustBuild()
+	got, err := a.AntiJoin(r, s, expr.Eq(expr.C("x"), expr.C("y")))
+	if err != nil {
+		t.Fatalf("antijoin: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 2, "a").
+		Row(4, 10, "a").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestSelection checks σT passes tuples through untouched.
+func TestSelection(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string", "v int").
+		Row(0, 5, "a", 1).
+		Row(3, 9, "b", 2).
+		MustBuild()
+	got, err := a.Selection(r, expr.Gt(expr.C("v"), expr.Int(1)))
+	if err != nil {
+		t.Fatalf("selection: %v", err)
+	}
+	want := relation.NewBuilder("x string", "v int").
+		Row(3, 9, "b", 2).
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestFullOuterJoin exercises the O3-style full outer join on an equality
+// condition.
+func TestFullOuterJoin(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("k int").Row(0, 10, 1).MustBuild()
+	s := relation.NewBuilder("k2 int").Row(5, 15, 1).Row(0, 3, 2).MustBuild()
+	got, err := a.FullOuterJoin(r, s, expr.Eq(expr.C("k"), expr.C("k2")))
+	if err != nil {
+		t.Fatalf("full outer join: %v", err)
+	}
+	want := relation.NewBuilder("k int", "k2 int").
+		Row(0, 5, 1, nil).   // r unmatched part
+		Row(5, 10, 1, 1).    // matched intersection
+		Row(10, 15, nil, 1). // s unmatched part
+		Row(0, 3, nil, 2).   // s tuple with no θ-partner
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestExtendRejectsDuplicate verifies U(r) refuses an existing name.
+func TestExtendRejectsDuplicate(t *testing.T) {
+	r := relation.NewBuilder("x string").Row(0, 1, "a").MustBuild()
+	if _, err := Extend(r, "x"); err == nil {
+		t.Fatal("extend with duplicate attribute name should fail")
+	}
+}
+
+// TestThetaOverImplicitTimeRejected verifies the extended snapshot
+// reducibility guard: conditions must use propagated timestamps.
+func TestThetaOverImplicitTimeRejected(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 1, "a").MustBuild()
+	s := relation.NewBuilder("y string").Row(0, 1, "b").MustBuild()
+	_, err := a.Join(r, s, expr.Gt(expr.TEnd{}, expr.Int(0)))
+	if err == nil {
+		t.Fatal("θ over the implicit valid time should be rejected")
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/plan"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// The interval-index access path (Sec. 8 future work) must be a pure
+// performance change: every operator produces identical results with the
+// flag on and off.
+
+func ivxFlags() plan.Flags {
+	f := plan.DefaultFlags()
+	f.EnableIntervalIndex = true
+	return f
+}
+
+func ivxAttrs() []schema.Attr {
+	return []schema.Attr{{Name: "x", Type: value.KindString}, {Name: "v", Type: value.KindInt}}
+}
+
+func ivxAttrsS() []schema.Attr {
+	return []schema.Attr{{Name: "y", Type: value.KindString}, {Name: "w", Type: value.KindInt}}
+}
+
+func TestIntervalIndexAlignEquivalence(t *testing.T) {
+	base := Default()
+	indexed := New(ivxFlags())
+	rng := rand.New(rand.NewSource(91))
+	thetas := map[string]expr.Expr{
+		"true": nil,
+		"v<=w": expr.Le(expr.C("v"), expr.C("w")), // non-equi: index path fires
+	}
+	for name, theta := range thetas {
+		for round := 0; round < 80; round++ {
+			r := randrel.Generate(rng, randrel.DefaultConfig(ivxAttrs()...))
+			s := randrel.Generate(rng, randrel.DefaultConfig(ivxAttrsS()...))
+			want, err := base.Align(r, s, theta)
+			if err != nil {
+				t.Fatalf("base align: %v", err)
+			}
+			got, err := indexed.Align(r, s, theta)
+			if err != nil {
+				t.Fatalf("indexed align: %v", err)
+			}
+			if !relation.SetEqual(got, want) {
+				onlyGot, onlyWant := relation.Diff(got, want)
+				t.Fatalf("θ=%s round %d: interval index changed the result\nonly indexed: %v\nonly base: %v\nr:\n%s\ns:\n%s",
+					name, round, onlyGot, onlyWant, r, s)
+			}
+		}
+	}
+}
+
+func TestIntervalIndexJoinEquivalence(t *testing.T) {
+	base := Default()
+	indexed := New(ivxFlags())
+	rng := rand.New(rand.NewSource(92))
+	for round := 0; round < 60; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(ivxAttrs()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(ivxAttrsS()...))
+		want, err := base.FullOuterJoin(r, s, nil)
+		if err != nil {
+			t.Fatalf("base: %v", err)
+		}
+		got, err := indexed.FullOuterJoin(r, s, nil)
+		if err != nil {
+			t.Fatalf("indexed: %v", err)
+		}
+		if !relation.SetEqual(got, want) {
+			t.Fatalf("round %d: full outer join differs under interval index", round)
+		}
+		wantA, err := base.AntiJoin(r, s, expr.Le(expr.C("v"), expr.C("w")))
+		if err != nil {
+			t.Fatalf("base anti: %v", err)
+		}
+		gotA, err := indexed.AntiJoin(r, s, expr.Le(expr.C("v"), expr.C("w")))
+		if err != nil {
+			t.Fatalf("indexed anti: %v", err)
+		}
+		if !relation.SetEqual(gotA, wantA) {
+			t.Fatalf("round %d: antijoin differs under interval index", round)
+		}
+	}
+}
+
+// TestIntervalIndexPlanShape: with the flag on and a non-equi θ, EXPLAIN
+// shows the interval-index join; with equi θ the ordinary join machinery
+// stays in charge.
+func TestIntervalIndexPlanShape(t *testing.T) {
+	indexed := New(ivxFlags())
+	r := relation.NewBuilder("x string", "v int").Row(0, 5, "a", 1).MustBuild()
+	s := relation.NewBuilder("y string", "w int").Row(2, 7, "b", 2).MustBuild()
+	p := indexed.Planner()
+	nonEqui := indexed.AlignPlan(p.Scan(r, "r"), p.Scan(s, "s"), nil)
+	if text := plan.Explain(nonEqui); !containsStr(text, "interval-index") {
+		t.Fatalf("non-equi align should use the interval index:\n%s", text)
+	}
+	theta, err := BindTheta(r, s, expr.Eq(expr.C("x"), expr.C("y")))
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	equi := indexed.AlignPlan(p.Scan(r, "r"), p.Scan(s, "s"), theta)
+	if text := plan.Explain(equi); containsStr(text, "interval-index") {
+		t.Fatalf("equi align should use hash/merge, not the interval index:\n%s", text)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

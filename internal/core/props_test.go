@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// Property tests for the paper's formal claims about the primitives.
+
+func propAttrs() []schema.Attr {
+	return []schema.Attr{{Name: "x", Type: value.KindString}}
+}
+
+func propAttrsS() []schema.Attr {
+	return []schema.Attr{{Name: "y", Type: value.KindString}}
+}
+
+// TestLemma1CardinalityBound: |r Φ_θ s| ≤ 2nm + n for every θ.
+func TestLemma1CardinalityBound(t *testing.T) {
+	a := Default()
+	rng := rand.New(rand.NewSource(21))
+	thetas := map[string]expr.Expr{
+		"true": nil,
+		"x=y":  expr.Eq(expr.C("x"), expr.C("y")),
+	}
+	for name, theta := range thetas {
+		for round := 0; round < 150; round++ {
+			r := randrel.Generate(rng, randrel.DefaultConfig(propAttrs()...))
+			s := randrel.Generate(rng, randrel.DefaultConfig(propAttrsS()...))
+			got, err := a.Align(r, s, theta)
+			if err != nil {
+				t.Fatalf("align: %v", err)
+			}
+			n, m := r.Len(), s.Len()
+			if got.Len() > 2*n*m+n {
+				t.Fatalf("θ=%s: |rΦs| = %d exceeds 2nm+n = %d\nr:\n%s\ns:\n%s",
+					name, got.Len(), 2*n*m+n, r, s)
+			}
+		}
+	}
+}
+
+// TestProposition1: after N_B(r; r), same-B tuples have equal or disjoint
+// timestamps.
+func TestProposition1(t *testing.T) {
+	a := Default()
+	rng := rand.New(rand.NewSource(22))
+	for round := 0; round < 150; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(propAttrs()...))
+		norm, err := a.Normalize(r, r, "x")
+		if err != nil {
+			t.Fatalf("normalize: %v", err)
+		}
+		for i, t1 := range norm.Tuples {
+			for _, t2 := range norm.Tuples[i+1:] {
+				if !t1.ValsEqual(t2) {
+					continue
+				}
+				if t1.T != t2.T && t1.T.Overlaps(t2.T) {
+					t.Fatalf("round %d: pieces %v and %v neither equal nor disjoint\nr:\n%s\nnorm:\n%s",
+						round, t1, t2, r, norm)
+				}
+			}
+		}
+	}
+}
+
+// TestProposition2: after N_A(r; s) and N_A(s; r), same-value pieces across
+// the two results are equal or disjoint.
+func TestProposition2(t *testing.T) {
+	a := Default()
+	rng := rand.New(rand.NewSource(23))
+	for round := 0; round < 150; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(propAttrs()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(propAttrs()...))
+		nr, err := a.Normalize(r, s, "x")
+		if err != nil {
+			t.Fatalf("normalize r: %v", err)
+		}
+		ns, err := a.Normalize(s, r, "x")
+		if err != nil {
+			t.Fatalf("normalize s: %v", err)
+		}
+		for _, t1 := range nr.Tuples {
+			for _, t2 := range ns.Tuples {
+				if !t1.ValsEqual(t2) {
+					continue
+				}
+				if t1.T != t2.T && t1.T.Overlaps(t2.T) {
+					t.Fatalf("round %d: cross pieces %v and %v neither equal nor disjoint\nr:\n%s\ns:\n%s",
+						round, t1, t2, r, s)
+				}
+			}
+		}
+	}
+}
+
+// TestProposition3: for each θ-matching overlapping pair, both alignments
+// contain pieces with exactly the intersection timestamp.
+func TestProposition3(t *testing.T) {
+	a := Default()
+	rng := rand.New(rand.NewSource(24))
+	theta := expr.Eq(expr.C("x"), expr.C("y"))
+	for round := 0; round < 150; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(propAttrs()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(propAttrsS()...))
+		rt, err := a.Align(r, s, theta)
+		if err != nil {
+			t.Fatalf("align r: %v", err)
+		}
+		st, err := a.Align(s, r, expr.Eq(expr.C("y"), expr.C("x")))
+		if err != nil {
+			t.Fatalf("align s: %v", err)
+		}
+		for _, rr := range r.Tuples {
+			for _, ss := range s.Tuples {
+				if !rr.Vals[0].Equal(ss.Vals[0]) {
+					continue
+				}
+				iv, ok := rr.T.Intersect(ss.T)
+				if !ok {
+					continue
+				}
+				foundR, foundS := false, false
+				for _, p := range rt.Tuples {
+					if p.ValsEqual(rr) && p.T == iv {
+						foundR = true
+					}
+				}
+				for _, p := range st.Tuples {
+					if p.ValsEqual(ss) && p.T == iv {
+						foundS = true
+					}
+				}
+				if !foundR || !foundS {
+					t.Fatalf("round %d: intersection %v of %v and %v missing (r:%v s:%v)",
+						round, iv, rr, ss, foundR, foundS)
+				}
+			}
+		}
+	}
+}
+
+// TestProposition4: every aligned piece is either an intersection with a
+// matching group tuple or a maximal uncovered sub-interval.
+func TestProposition4(t *testing.T) {
+	a := Default()
+	rng := rand.New(rand.NewSource(25))
+	theta := expr.Eq(expr.C("x"), expr.C("y"))
+	for round := 0; round < 150; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(propAttrs()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(propAttrsS()...))
+		rt, err := a.Align(r, s, theta)
+		if err != nil {
+			t.Fatalf("align: %v", err)
+		}
+		for _, p := range rt.Tuples {
+			// Find the source tuple (unique by duplicate-freeness).
+			okPiece := false
+			for _, rr := range r.Tuples {
+				if !p.ValsEqual(rr) || !rr.T.ContainsInterval(p.T) {
+					continue
+				}
+				// Case 1: intersection with a matching s tuple.
+				for _, ss := range s.Tuples {
+					if rr.Vals[0].Equal(ss.Vals[0]) {
+						if iv, ok := rr.T.Intersect(ss.T); ok && iv == p.T {
+							okPiece = true
+						}
+					}
+				}
+				if okPiece {
+					break
+				}
+				// Case 2: maximal uncovered sub-interval: no matching s
+				// overlaps it, and extending by one point in either
+				// direction hits a matching s or leaves rr.T.
+				covered := false
+				for _, ss := range s.Tuples {
+					if rr.Vals[0].Equal(ss.Vals[0]) && ss.T.Overlaps(p.T) {
+						covered = true
+					}
+				}
+				if covered {
+					continue
+				}
+				extendLeftOK := p.T.Ts == rr.T.Ts
+				extendRightOK := p.T.Te == rr.T.Te
+				for _, ss := range s.Tuples {
+					if !rr.Vals[0].Equal(ss.Vals[0]) {
+						continue
+					}
+					if ss.T.Contains(p.T.Ts - 1) {
+						extendLeftOK = true
+					}
+					if ss.T.Contains(p.T.Te) {
+						extendRightOK = true
+					}
+				}
+				if extendLeftOK && extendRightOK {
+					okPiece = true
+					break
+				}
+			}
+			if !okPiece {
+				t.Fatalf("round %d: piece %v violates Proposition 4\nr:\n%s\ns:\n%s\naligned:\n%s",
+					round, p, r, s, rt)
+			}
+		}
+	}
+}
+
+// TestAlignAgainstEmptyGroup: aligning against an empty relation returns r
+// unchanged; normalizing likewise.
+func TestAlignAgainstEmpty(t *testing.T) {
+	a := Default()
+	r := relation.NewBuilder("x string").Row(0, 9, "a").Row(2, 4, "b").MustBuild()
+	empty := relation.NewBuilder("y string").MustBuild()
+	aligned, err := a.Align(r, empty, nil)
+	if err != nil {
+		t.Fatalf("align: %v", err)
+	}
+	if !relation.SetEqual(aligned, r) {
+		t.Fatalf("align against empty changed r:\n%s", aligned)
+	}
+	norm, err := a.Normalize(r, empty)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if !relation.SetEqual(norm, r) {
+		t.Fatalf("normalize against empty changed r:\n%s", norm)
+	}
+}
+
+// TestEmptyArguments: every operator handles empty inputs.
+func TestEmptyArguments(t *testing.T) {
+	a := Default()
+	empty := relation.NewBuilder("x string", "v int").MustBuild()
+	other := relation.NewBuilder("x string", "v int").Row(0, 5, "a", 1).MustBuild()
+	if out, err := a.Union(empty, other); err != nil || out.Len() != 1 {
+		t.Fatalf("union with empty: %v %v", out, err)
+	}
+	if out, err := a.Difference(empty, other); err != nil || out.Len() != 0 {
+		t.Fatalf("difference with empty: %v %v", out, err)
+	}
+	if out, err := a.Join(empty, other, nil); err != nil || out.Len() != 0 {
+		t.Fatalf("join with empty: %v %v", out, err)
+	}
+	if out, err := a.FullOuterJoin(empty, other, nil); err != nil || out.Len() != 1 {
+		t.Fatalf("full outer with empty: %v %v", out, err)
+	}
+	if out, err := a.Projection(empty, "x"); err != nil || out.Len() != 0 {
+		t.Fatalf("projection of empty: %v %v", out, err)
+	}
+}

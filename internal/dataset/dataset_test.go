@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"testing"
+
+	"talign/internal/relation"
+)
+
+// TestIncumbenStatistics verifies the generator reproduces the published
+// statistics of the real dataset at a scaled size.
+func TestIncumbenStatistics(t *testing.T) {
+	const n = 20000
+	rel := Incumben(IncumbenConfig{Rows: n, Seed: 3})
+	if rel.Len() != n {
+		t.Fatalf("rows: %d", rel.Len())
+	}
+	if err := rel.DuplicateFree(); err != nil {
+		t.Fatalf("duplicate free: %v", err)
+	}
+	ssn := map[int64]bool{}
+	var durSum int64
+	for _, tp := range rel.Tuples {
+		ssn[tp.Vals[0].Int()] = true
+		d := tp.T.Duration()
+		if d < IncumbenMinDur || d > IncumbenMaxDur {
+			t.Fatalf("duration %d outside [%d, %d]", d, IncumbenMinDur, IncumbenMaxDur)
+		}
+		durSum += d
+		if tp.T.Ts < 0 || tp.T.Te > int64(IncumbenSpanDays) {
+			t.Fatalf("interval %v outside the 16-year span", tp.T)
+		}
+	}
+	wantEmployees := n * IncumbenEmployees / IncumbenRows
+	if got := len(ssn); got < wantEmployees*95/100 || got > wantEmployees*105/100 {
+		t.Fatalf("distinct employees: %d, want ≈ %d", got, wantEmployees)
+	}
+	mean := float64(durSum) / float64(n)
+	if mean < 160 || mean > 200 {
+		t.Fatalf("mean duration %.1f, want ≈ %d", mean, IncumbenMeanDur)
+	}
+}
+
+func TestIncumbenDeterminism(t *testing.T) {
+	a := Incumben(IncumbenConfig{Rows: 500, Seed: 7})
+	b := Incumben(IncumbenConfig{Rows: 500, Seed: 7})
+	if !relation.SetEqual(a, b) {
+		t.Fatal("same seed must reproduce the dataset")
+	}
+	c := Incumben(IncumbenConfig{Rows: 500, Seed: 8})
+	if relation.SetEqual(a, c) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestDdisjIsDisjoint(t *testing.T) {
+	r, s := Ddisj(200, 1)
+	all := r.Clone()
+	all.Tuples = append(all.Tuples, s.Tuples...)
+	for i, a := range all.Tuples {
+		for _, b := range all.Tuples[i+1:] {
+			if a.T.Overlaps(b.T) {
+				t.Fatalf("intervals %v and %v overlap", a.T, b.T)
+			}
+		}
+	}
+}
+
+func TestDeqAllEqual(t *testing.T) {
+	r, s := Deq(100, 1)
+	span := r.Tuples[0].T
+	for _, tp := range append(r.Tuples, s.Tuples...) {
+		if tp.T != span {
+			t.Fatalf("interval %v differs", tp.T)
+		}
+	}
+	if err := r.DuplicateFree(); err != nil {
+		t.Fatalf("ids keep D_eq duplicate free: %v", err)
+	}
+}
+
+func TestDrandCategories(t *testing.T) {
+	r, s := Drand(300, 2)
+	if r.Len() != 300 || s.Len() != 300 {
+		t.Fatal("sizes")
+	}
+	for _, tp := range s.Tuples {
+		lo, hi := tp.Vals[1].Int(), tp.Vals[2].Int()
+		if lo < 1 || hi < lo {
+			t.Fatalf("category [%d, %d] malformed", lo, hi)
+		}
+	}
+}
+
+func TestRandomIncumbenLike(t *testing.T) {
+	rel := RandomIncumbenLike(2000, 4)
+	if rel.Len() != 2000 {
+		t.Fatalf("rows: %d", rel.Len())
+	}
+	if err := rel.DuplicateFree(); err != nil {
+		t.Fatalf("duplicate free: %v", err)
+	}
+	var durSum int64
+	for _, tp := range rel.Tuples {
+		durSum += tp.T.Duration()
+	}
+	mean := float64(durSum) / 2000
+	if mean < 150 || mean > 210 {
+		t.Fatalf("mean duration %.1f, want ≈ 180", mean)
+	}
+}
+
+func TestSplitHalves(t *testing.T) {
+	rel := Incumben(IncumbenConfig{Rows: 100, Seed: 5})
+	r, s := SplitHalves(rel, []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+	if r.Len()+s.Len() != rel.Len() {
+		t.Fatal("halves must partition the relation")
+	}
+	if r.Schema.Attrs[0].Name != "ssn" || s.Schema.Attrs[0].Name != "ssn2" {
+		t.Fatal("renaming broken")
+	}
+}

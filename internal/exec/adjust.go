@@ -1,0 +1,335 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// AdjustMode selects between the two temporal primitives that share the
+// plane-sweep executor function (Fig. 10): temporal alignment (Def. 11) and
+// temporal normalization (Def. 9). In the paper's terms this is the
+// `isalign` flag of ExecAdjustment.
+type AdjustMode uint8
+
+const (
+	// ModeAlign produces, per left tuple, each distinct non-empty
+	// intersection with a matching group tuple plus the maximal uncovered
+	// gaps (temporal aligner, Def. 10).
+	ModeAlign AdjustMode = iota
+	// ModeNormalize splits each left tuple at every distinct split point
+	// strictly inside its interval (temporal splitter, Def. 8).
+	ModeNormalize
+	// ModeGaps emits only the maximal uncovered sub-intervals of ModeAlign
+	// and suppresses the intersections. It implements the paper's Sec. 8
+	// future-work customization for the antijoin, whose reduction keeps
+	// exactly the gap tuples: the aligned intersections can never survive
+	// r ▷_{θ∧r.T=s.T} (sΦθr), so producing them is wasted work.
+	ModeGaps
+)
+
+func (m AdjustMode) String() string {
+	switch m {
+	case ModeAlign:
+		return "align"
+	case ModeGaps:
+		return "align-gaps"
+	}
+	return "normalize"
+}
+
+// Adjust is the ExecAdjustment executor node. Its input is the
+// group-construction join stream of Sec. 6.1/6.3: one row per (left tuple,
+// group member) pair — or a single ω-padded row for left tuples with an
+// empty group — PARTITIONED by left tuple and SORTED within each partition
+// by the intersection interval (align) or split point (normalize).
+//
+// For ModeAlign, P1/P2 evaluate to the precomputed intersection bounds
+// (ints; ω on padded rows). For ModeNormalize, P1 evaluates to the split
+// point (ω on padded rows) and P2 is unused.
+//
+// The node is fully pipelined: each Next call pulls at most one input row
+// and emits buffered results, mirroring the paper's single-tuple-per-
+// invocation contract.
+type Adjust struct {
+	Input     Iterator
+	Mode      AdjustMode
+	LeftWidth int
+	P1, P2    expr.Expr
+
+	out schema.Schema
+
+	// Sweep state (the paper's context node n).
+	cur     tuple.Tuple // current left tuple (its first LeftWidth values + T)
+	curSet  bool
+	sweep   int64
+	lastP1  int64
+	lastP2  int64
+	lastSet bool
+	queue   []tuple.Tuple
+	qPos    int
+	done    bool
+}
+
+// NewAdjust builds the node. For ModeNormalize pass p2 == nil.
+func NewAdjust(input Iterator, mode AdjustMode, leftWidth int, p1, p2 expr.Expr) (*Adjust, error) {
+	in := input.Schema()
+	if leftWidth <= 0 || leftWidth > in.Len() {
+		return nil, fmt.Errorf("exec: adjust left width %d out of range for %s", leftWidth, in)
+	}
+	if (mode == ModeAlign || mode == ModeGaps) && (p1 == nil || p2 == nil) {
+		return nil, fmt.Errorf("exec: %s mode requires P1 and P2 expressions", mode)
+	}
+	if mode == ModeNormalize && p1 == nil {
+		return nil, fmt.Errorf("exec: normalize mode requires a split point expression")
+	}
+	cols := make([]int, leftWidth)
+	for i := range cols {
+		cols[i] = i
+	}
+	return &Adjust{
+		Input:     input,
+		Mode:      mode,
+		LeftWidth: leftWidth,
+		P1:        p1,
+		P2:        p2,
+		out:       in.Project(cols),
+	}, nil
+}
+
+func (a *Adjust) Schema() schema.Schema { return a.out }
+
+func (a *Adjust) Open() error {
+	a.curSet = false
+	a.lastSet = false
+	a.queue = a.queue[:0]
+	a.qPos = 0
+	a.done = false
+	return a.Input.Open()
+}
+
+// leftPart extracts the left tuple (values and valid time) from a join row.
+func (a *Adjust) leftPart(row tuple.Tuple) tuple.Tuple {
+	return tuple.Tuple{Vals: row.Vals[:a.LeftWidth:a.LeftWidth], T: row.T}
+}
+
+// sameGroup reports whether row belongs to the current left tuple's group.
+// Relations are duplicate free, so (values, T) identifies the left tuple;
+// this is the paper's `sameleft` test.
+func (a *Adjust) sameGroup(row tuple.Tuple) bool {
+	if !a.curSet || row.T != a.cur.T {
+		return false
+	}
+	for i := 0; i < a.LeftWidth; i++ {
+		if !row.Vals[i].Equal(a.cur.Vals[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *Adjust) emit(ts, te int64) {
+	if ts >= te {
+		return
+	}
+	a.queue = append(a.queue, a.cur.WithT(interval.Interval{Ts: ts, Te: te}))
+}
+
+// closeGroup emits the trailing gap of the current left tuple, if any.
+func (a *Adjust) closeGroup() {
+	if !a.curSet {
+		return
+	}
+	if a.sweep < a.cur.T.Te {
+		a.emit(a.sweep, a.cur.T.Te)
+	}
+	a.curSet = false
+}
+
+// startGroup begins sweeping a new left tuple.
+func (a *Adjust) startGroup(row tuple.Tuple) {
+	a.cur = a.leftPart(row)
+	a.curSet = true
+	a.sweep = a.cur.T.Ts
+	a.lastSet = false
+}
+
+// processRow advances the sweep with one join row.
+func (a *Adjust) processRow(row tuple.Tuple) error {
+	env := expr.Env{Vals: row.Vals, T: row.T}
+	p1v, err := a.P1.Eval(&env)
+	if err != nil {
+		return err
+	}
+	if p1v.IsNull() {
+		// ω-padded row: the left tuple has no group members; the whole
+		// interval surfaces as one gap when the group closes.
+		return nil
+	}
+	if a.Mode == ModeNormalize {
+		p := p1v.Int()
+		// Split points outside (Ts, Te) are filtered by the group join;
+		// duplicates collapse here because the stream is sorted on P.
+		if p <= a.sweep || p <= a.cur.T.Ts || p >= a.cur.T.Te {
+			return nil
+		}
+		a.emit(a.sweep, p)
+		a.sweep = p
+		return nil
+	}
+	p2v, err := a.P2.Eval(&env)
+	if err != nil {
+		return err
+	}
+	if p2v.IsNull() {
+		return nil
+	}
+	p1, p2 := p1v.Int(), p2v.Int()
+	if p1 >= p2 {
+		return nil // empty intersection: contributes nothing
+	}
+	// Gap before this intersection (first block of Fig. 10).
+	if a.sweep < p1 {
+		a.emit(a.sweep, p1)
+		a.sweep = p1
+	}
+	// The intersection itself, skipping duplicates (second block): the
+	// stream is sorted by (P1, P2), so equal intersections are adjacent.
+	// ModeGaps advances the sweep without emitting it.
+	if a.Mode != ModeGaps && (!a.lastSet || p1 != a.lastP1 || p2 != a.lastP2) {
+		a.emit(p1, p2)
+		a.lastP1, a.lastP2, a.lastSet = p1, p2, true
+	}
+	if p2 > a.sweep {
+		a.sweep = p2
+	}
+	return nil
+}
+
+func (a *Adjust) Next() (tuple.Tuple, bool, error) {
+	for {
+		if a.qPos < len(a.queue) {
+			t := a.queue[a.qPos]
+			a.qPos++
+			if a.qPos == len(a.queue) {
+				a.queue = a.queue[:0]
+				a.qPos = 0
+			}
+			return t, true, nil
+		}
+		if a.done {
+			return tuple.Tuple{}, false, nil
+		}
+		row, ok, err := a.Input.Next()
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		if !ok {
+			a.closeGroup()
+			a.done = true
+			continue
+		}
+		if !a.sameGroup(row) {
+			a.closeGroup()
+			a.startGroup(row)
+		}
+		if err := a.processRow(row); err != nil {
+			return tuple.Tuple{}, false, err
+		}
+	}
+}
+
+func (a *Adjust) Close() error {
+	a.queue = nil
+	return a.Input.Close()
+}
+
+// Absorb implements the absorb operator α (Def. 12): it removes every
+// tuple whose timestamp is a proper subset of a value-equivalent tuple's
+// timestamp, and collapses exact duplicates (set semantics). The paper's
+// SQL surfaces it as SELECT ABSORB.
+type Absorb struct {
+	Input Iterator
+
+	rows []tuple.Tuple
+	pos  int
+}
+
+// NewAbsorb builds the node.
+func NewAbsorb(input Iterator) *Absorb { return &Absorb{Input: input} }
+
+func (ab *Absorb) Schema() schema.Schema { return ab.Input.Schema() }
+
+func (ab *Absorb) Open() error {
+	if err := ab.Input.Open(); err != nil {
+		return err
+	}
+	var all []tuple.Tuple
+	for {
+		t, ok, err := ab.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		all = append(all, t)
+	}
+	// Sort value-equivalent tuples together, by Ts ascending then Te
+	// DESCENDING: a tuple is then properly contained in an earlier tuple of
+	// its value group iff its Te does not exceed the maximal Te seen so far.
+	sortAbsorb(all)
+	ab.rows = ab.rows[:0]
+	var groupStart int
+	var maxTe int64
+	for i, t := range all {
+		newGroup := i == 0 || !t.ValsEqual(all[groupStart])
+		if newGroup {
+			groupStart = i
+			maxTe = t.T.Te
+			ab.rows = append(ab.rows, t)
+			continue
+		}
+		if i > 0 && t.Equal(all[i-1]) {
+			continue // exact duplicate
+		}
+		if t.T.Te <= maxTe {
+			continue // properly contained in an earlier tuple
+		}
+		maxTe = t.T.Te
+		ab.rows = append(ab.rows, t)
+	}
+	ab.pos = 0
+	return nil
+}
+
+func sortAbsorb(rows []tuple.Tuple) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		x, y := rows[i], rows[j]
+		if c := x.CompareVals(y); c != 0 {
+			return c < 0
+		}
+		if x.T.Ts != y.T.Ts {
+			return x.T.Ts < y.T.Ts
+		}
+		return x.T.Te > y.T.Te
+	})
+}
+
+func (ab *Absorb) Next() (tuple.Tuple, bool, error) {
+	if ab.pos >= len(ab.rows) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := ab.rows[ab.pos]
+	ab.pos++
+	return t, true, nil
+}
+
+func (ab *Absorb) Close() error {
+	ab.rows = nil
+	return ab.Input.Close()
+}

@@ -1,0 +1,233 @@
+package exec
+
+import (
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// buildJoinStream hand-crafts the group-construction stream for Adjust:
+// rows of (left value, p1, p2) with the left tuple's T. ω p1 marks a
+// padded (empty group) row.
+func buildJoinStream(rows []struct {
+	val     string
+	ts, te  int64
+	p1, p2  int64
+	noMatch bool
+}) *relation.Relation {
+	sch := schema.MustNew(
+		schema.Attr{Name: "x", Type: value.KindString},
+		schema.Attr{Name: "p1", Type: value.KindInt},
+		schema.Attr{Name: "p2", Type: value.KindInt},
+	)
+	rel := relation.New(sch)
+	for _, r := range rows {
+		p1, p2 := value.NewInt(r.p1), value.NewInt(r.p2)
+		if r.noMatch {
+			p1, p2 = value.Null, value.Null
+		}
+		rel.Tuples = append(rel.Tuples, tuple.New(interval.New(r.ts, r.te), value.NewString(r.val), p1, p2))
+	}
+	return rel
+}
+
+func runAdjust(t *testing.T, rel *relation.Relation, mode AdjustMode) *relation.Relation {
+	t.Helper()
+	p1 := expr.ColIdx{Idx: 1, Typ: value.KindInt}
+	var p2 expr.Expr
+	if mode == ModeAlign {
+		p2 = expr.ColIdx{Idx: 2, Typ: value.KindInt}
+	}
+	ad, err := NewAdjust(NewScan(rel), mode, 1, p1, p2)
+	if err != nil {
+		t.Fatalf("adjust: %v", err)
+	}
+	out, err := Collect(ad)
+	if err != nil {
+		t.Fatalf("collect: %v", err)
+	}
+	return out
+}
+
+type stream = []struct {
+	val     string
+	ts, te  int64
+	p1, p2  int64
+	noMatch bool
+}
+
+// TestAdjustAlignFig11 replays the four invocations of Fig. 11: group g1
+// with intersections [2012/2..4) and [2012/3..4) inside r1 = [2012/1..6).
+func TestAdjustAlignFig11(t *testing.T) {
+	in := buildJoinStream(stream{
+		{val: "r1", ts: 0, te: 5, p1: 1, p2: 3},
+		{val: "r1", ts: 0, te: 5, p1: 2, p2: 3},
+	})
+	got := runAdjust(t, in, ModeAlign)
+	want := relation.NewBuilder("x string").
+		Row(0, 1, "r1"). // gap before first intersection
+		Row(1, 3, "r1"). // first intersection
+		Row(2, 3, "r1"). // second intersection
+		Row(3, 5, "r1"). // remaining tail
+		MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdjustAlignDedup: identical intersections from different group
+// members collapse (set semantics, Sec. 6.1).
+func TestAdjustAlignDedup(t *testing.T) {
+	in := buildJoinStream(stream{
+		{val: "r1", ts: 0, te: 10, p1: 2, p2: 4},
+		{val: "r1", ts: 0, te: 10, p1: 2, p2: 4},
+		{val: "r1", ts: 0, te: 10, p1: 2, p2: 4},
+	})
+	got := runAdjust(t, in, ModeAlign)
+	want := relation.NewBuilder("x string").
+		Row(0, 2, "r1").
+		Row(2, 4, "r1").
+		Row(4, 10, "r1").
+		MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdjustAlignEmptyGroup: an ω-padded row yields the whole interval.
+func TestAdjustAlignEmptyGroup(t *testing.T) {
+	in := buildJoinStream(stream{
+		{val: "r1", ts: 3, te: 9, noMatch: true},
+	})
+	got := runAdjust(t, in, ModeAlign)
+	want := relation.NewBuilder("x string").Row(3, 9, "r1").MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdjustAlignCoveredPrefix: an intersection covering the whole left
+// interval leaves no gaps.
+func TestAdjustAlignCoveredPrefix(t *testing.T) {
+	in := buildJoinStream(stream{
+		{val: "r1", ts: 2, te: 6, p1: 2, p2: 6},
+		{val: "r1", ts: 2, te: 6, p1: 3, p2: 5},
+	})
+	got := runAdjust(t, in, ModeAlign)
+	want := relation.NewBuilder("x string").
+		Row(2, 6, "r1").
+		Row(3, 5, "r1").
+		MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdjustGroupBoundary: two left tuples in sequence sweep separately,
+// including value-equivalent left tuples with different timestamps.
+func TestAdjustGroupBoundary(t *testing.T) {
+	in := buildJoinStream(stream{
+		{val: "a", ts: 0, te: 4, p1: 1, p2: 2},
+		{val: "a", ts: 6, te: 9, noMatch: true},
+		{val: "b", ts: 0, te: 2, p1: 0, p2: 2},
+	})
+	got := runAdjust(t, in, ModeAlign)
+	want := relation.NewBuilder("x string").
+		Row(0, 1, "a").
+		Row(1, 2, "a").
+		Row(2, 4, "a").
+		Row(6, 9, "a").
+		Row(0, 2, "b").
+		MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdjustNormalize: split points partition the interval; duplicates and
+// out-of-range points are ignored.
+func TestAdjustNormalize(t *testing.T) {
+	in := buildJoinStream(stream{
+		{val: "r1", ts: 0, te: 10, p1: 3},
+		{val: "r1", ts: 0, te: 10, p1: 3}, // duplicate split point
+		{val: "r1", ts: 0, te: 10, p1: 7},
+	})
+	got := runAdjust(t, in, ModeNormalize)
+	want := relation.NewBuilder("x string").
+		Row(0, 3, "r1").
+		Row(3, 7, "r1").
+		Row(7, 10, "r1").
+		MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdjustNormalizeNoPoints: no split points reproduce the input tuple.
+func TestAdjustNormalizeNoPoints(t *testing.T) {
+	in := buildJoinStream(stream{
+		{val: "r1", ts: 5, te: 8, noMatch: true},
+	})
+	got := runAdjust(t, in, ModeNormalize)
+	want := relation.NewBuilder("x string").Row(5, 8, "r1").MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAdjustValidation covers constructor errors.
+func TestAdjustValidation(t *testing.T) {
+	rel := buildJoinStream(stream{})
+	p1 := expr.ColIdx{Idx: 1, Typ: value.KindInt}
+	if _, err := NewAdjust(NewScan(rel), ModeAlign, 1, p1, nil); err == nil {
+		t.Error("align without P2 must fail")
+	}
+	if _, err := NewAdjust(NewScan(rel), ModeNormalize, 1, nil, nil); err == nil {
+		t.Error("normalize without P must fail")
+	}
+	if _, err := NewAdjust(NewScan(rel), ModeAlign, 0, p1, p1); err == nil {
+		t.Error("zero left width must fail")
+	}
+	if _, err := NewAdjust(NewScan(rel), ModeAlign, 9, p1, p1); err == nil {
+		t.Error("oversized left width must fail")
+	}
+}
+
+// TestAbsorbDef12 checks α on the paper's Example 9 shape plus duplicates.
+func TestAbsorbDef12(t *testing.T) {
+	in := relation.NewBuilder("x string").
+		Row(1, 9, "a").
+		Row(3, 7, "a").  // properly contained: removed
+		Row(1, 9, "a").  // exact duplicate: collapsed
+		Row(3, 7, "b").  // different value: kept
+		Row(1, 5, "a").  // shares start with [1,9): contained, removed
+		Row(5, 9, "a").  // shares end with [1,9): contained, removed
+		Row(8, 12, "a"). // overlaps but not contained: kept
+		MustBuild()
+	got, err := Collect(NewAbsorb(NewScan(in)))
+	if err != nil {
+		t.Fatalf("absorb: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(1, 9, "a").
+		Row(8, 12, "a").
+		Row(3, 7, "b").
+		MustBuild()
+	if !relation.SetEqual(got, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestAbsorbEmpty covers the trivial cases.
+func TestAbsorbEmpty(t *testing.T) {
+	in := relation.NewBuilder("x string").MustBuild()
+	got, err := Collect(NewAbsorb(NewScan(in)))
+	if err != nil || got.Len() != 0 {
+		t.Fatalf("empty absorb: %v %v", got, err)
+	}
+}

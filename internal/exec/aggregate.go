@@ -1,0 +1,282 @@
+package exec
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sort"
+
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// AggFunc enumerates the aggregate functions.
+type AggFunc uint8
+
+const (
+	AggCountStar AggFunc = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"COUNT(*)", "COUNT", "SUM", "AVG", "MIN", "MAX"}[f]
+}
+
+// AggSpec is one aggregate column: a function over an argument expression
+// (nil for COUNT(*)). ω inputs are skipped, as in SQL.
+type AggSpec struct {
+	Func AggFunc
+	Arg  expr.Expr
+	Name string
+}
+
+// resultType returns the aggregate's output kind.
+func (a AggSpec) resultType() value.Kind {
+	switch a.Func {
+	case AggCountStar, AggCount:
+		return value.KindInt
+	case AggAvg:
+		return value.KindFloat
+	case AggSum:
+		if a.Arg != nil && a.Arg.Type() == value.KindFloat {
+			return value.KindFloat
+		}
+		return value.KindInt
+	default:
+		if a.Arg != nil {
+			return a.Arg.Type()
+		}
+		return value.KindNull
+	}
+}
+
+// accumulator folds values for one aggregate in one group.
+type accumulator struct {
+	spec   AggSpec
+	count  int64
+	sumI   int64
+	sumF   float64
+	sawF   bool
+	best   value.Value
+	hasVal bool
+}
+
+func (a *accumulator) add(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.count++
+	switch a.spec.Func {
+	case AggSum, AggAvg:
+		switch v.Kind() {
+		case value.KindInt:
+			a.sumI += v.Int()
+			a.sumF += float64(v.Int())
+		case value.KindFloat:
+			a.sawF = true
+			a.sumF += v.Float()
+		}
+	case AggMin:
+		if !a.hasVal || v.Compare(a.best) < 0 {
+			a.best = v
+			a.hasVal = true
+		}
+	case AggMax:
+		if !a.hasVal || v.Compare(a.best) > 0 {
+			a.best = v
+			a.hasVal = true
+		}
+	}
+}
+
+func (a *accumulator) result() value.Value {
+	switch a.spec.Func {
+	case AggCountStar, AggCount:
+		return value.NewInt(a.count)
+	case AggSum:
+		if a.count == 0 {
+			return value.Null
+		}
+		if a.sawF {
+			return value.NewFloat(a.sumF)
+		}
+		return value.NewInt(a.sumI)
+	case AggAvg:
+		if a.count == 0 {
+			return value.Null
+		}
+		return value.NewFloat(a.sumF / float64(a.count))
+	default:
+		if !a.hasVal {
+			return value.Null
+		}
+		return a.best
+	}
+}
+
+// HashAggregate groups its input by the GroupBy expressions (optionally
+// plus the tuple's valid time T) and computes the aggregate columns. Output
+// schema: group columns, then aggregate columns. When GroupByT is set the
+// output tuples carry their group's T; otherwise the output is nontemporal
+// (zero T). With no group columns and GroupByT false, SQL-style global
+// aggregation over an empty input yields a single row (COUNT = 0); with
+// group columns an empty input yields no rows.
+type HashAggregate struct {
+	Input    Iterator
+	GroupBy  []expr.Expr
+	Names    []string // names for the group columns
+	GroupByT bool
+	Aggs     []AggSpec
+
+	out    schema.Schema
+	seed   maphash.Seed
+	groups []*aggGroup
+	pos    int
+}
+
+type aggGroup struct {
+	key  []value.Value
+	t    interval.Interval
+	accs []accumulator
+	rows int64
+}
+
+// NewHashAggregate builds the node; names must parallel groupBy.
+func NewHashAggregate(input Iterator, groupBy []expr.Expr, names []string, groupByT bool, aggs []AggSpec) (*HashAggregate, error) {
+	if len(groupBy) != len(names) {
+		return nil, fmt.Errorf("exec: %d group names for %d group exprs", len(names), len(groupBy))
+	}
+	attrs := make([]schema.Attr, 0, len(groupBy)+len(aggs))
+	for i, e := range groupBy {
+		attrs = append(attrs, schema.Attr{Name: names[i], Type: e.Type()})
+	}
+	for _, a := range aggs {
+		name := a.Name
+		if name == "" {
+			name = a.Func.String()
+		}
+		attrs = append(attrs, schema.Attr{Name: name, Type: a.resultType()})
+	}
+	return &HashAggregate{
+		Input:    input,
+		GroupBy:  groupBy,
+		Names:    names,
+		GroupByT: groupByT,
+		Aggs:     aggs,
+		out:      schema.Schema{Attrs: attrs},
+		seed:     maphash.MakeSeed(),
+	}, nil
+}
+
+func (h *HashAggregate) Schema() schema.Schema { return h.out }
+
+func (h *HashAggregate) Open() error {
+	if err := h.Input.Open(); err != nil {
+		return err
+	}
+	table := make(map[uint64][]*aggGroup)
+	h.groups = h.groups[:0]
+	n := 0
+	for {
+		t, ok, err := h.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n++
+		env := expr.Env{Vals: t.Vals, T: t.T}
+		key := make([]value.Value, len(h.GroupBy))
+		for i, e := range h.GroupBy {
+			v, err := e.Eval(&env)
+			if err != nil {
+				return err
+			}
+			key[i] = v
+		}
+		var mh maphash.Hash
+		mh.SetSeed(h.seed)
+		for _, v := range key {
+			v.Hash(&mh)
+		}
+		gt := interval.Interval{}
+		if h.GroupByT {
+			gt = t.T
+			value.NewInterval(gt).Hash(&mh)
+		}
+		hv := mh.Sum64()
+		var grp *aggGroup
+		for _, g := range table[hv] {
+			if g.t == gt && keysEqual(g.key, key) {
+				grp = g
+				break
+			}
+		}
+		if grp == nil {
+			grp = &aggGroup{key: key, t: gt, accs: make([]accumulator, len(h.Aggs))}
+			for i := range grp.accs {
+				grp.accs[i].spec = h.Aggs[i]
+			}
+			table[hv] = append(table[hv], grp)
+			h.groups = append(h.groups, grp)
+		}
+		grp.rows++
+		for i := range grp.accs {
+			if h.Aggs[i].Func == AggCountStar {
+				grp.accs[i].count++
+				continue
+			}
+			v, err := h.Aggs[i].Arg.Eval(&env)
+			if err != nil {
+				return err
+			}
+			grp.accs[i].add(v)
+		}
+	}
+	if n == 0 && len(h.GroupBy) == 0 && !h.GroupByT {
+		// Global aggregation over empty input: one all-default row.
+		grp := &aggGroup{accs: make([]accumulator, len(h.Aggs))}
+		for i := range grp.accs {
+			grp.accs[i].spec = h.Aggs[i]
+		}
+		h.groups = append(h.groups, grp)
+	}
+	// Deterministic output order.
+	sort.Slice(h.groups, func(i, j int) bool {
+		a, b := h.groups[i], h.groups[j]
+		for k := range a.key {
+			if c := a.key[k].Compare(b.key[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return a.t.Compare(b.t) < 0
+	})
+	h.pos = 0
+	return nil
+}
+
+func (h *HashAggregate) Next() (tuple.Tuple, bool, error) {
+	if h.pos >= len(h.groups) {
+		return tuple.Tuple{}, false, nil
+	}
+	g := h.groups[h.pos]
+	h.pos++
+	vals := make([]value.Value, 0, len(g.key)+len(g.accs))
+	vals = append(vals, g.key...)
+	for i := range g.accs {
+		vals = append(vals, g.accs[i].result())
+	}
+	return tuple.Tuple{Vals: vals, T: g.t}, true, nil
+}
+
+func (h *HashAggregate) Close() error {
+	h.groups = nil
+	return h.Input.Close()
+}

@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+func scanOf(rel *relation.Relation) Iterator { return NewScan(rel) }
+
+func TestHashAggregateBasics(t *testing.T) {
+	in := relation.NewBuilder("g string", "v int").
+		Row(0, 10, "a", 1).
+		Row(0, 10, "a", 3).
+		Row(0, 10, "b", 5).
+		MustBuild()
+	groupBy := []expr.Expr{expr.ColIdx{Idx: 0, Typ: value.KindString}}
+	arg := expr.ColIdx{Idx: 1, Typ: value.KindInt}
+	agg, err := NewHashAggregate(scanOf(in), groupBy, []string{"g"}, false, []AggSpec{
+		{Func: AggCountStar, Name: "c"},
+		{Func: AggSum, Arg: arg, Name: "s"},
+		{Func: AggAvg, Arg: arg, Name: "a"},
+		{Func: AggMin, Arg: arg, Name: "mn"},
+		{Func: AggMax, Arg: arg, Name: "mx"},
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("want 2 groups, got %d:\n%s", out.Len(), out)
+	}
+	a := out.Tuples[0]
+	if a.Vals[0].Str() != "a" || a.Vals[1].Int() != 2 || a.Vals[2].Int() != 4 ||
+		a.Vals[3].Float() != 2.0 || a.Vals[4].Int() != 1 || a.Vals[5].Int() != 3 {
+		t.Fatalf("group a wrong: %v", a)
+	}
+	b := out.Tuples[1]
+	if b.Vals[0].Str() != "b" || b.Vals[1].Int() != 1 || b.Vals[2].Int() != 5 {
+		t.Fatalf("group b wrong: %v", b)
+	}
+}
+
+func TestHashAggregateNullHandling(t *testing.T) {
+	in := relation.New(relation.NewBuilder("g string", "v int").MustBuild().Schema)
+	in.MustAppend(mkT(0, 5, value.NewString("a"), value.Null))
+	in.MustAppend(mkT(0, 5, value.NewString("a"), value.NewInt(4)))
+	arg := expr.ColIdx{Idx: 1, Typ: value.KindInt}
+	agg, err := NewHashAggregate(scanOf(in),
+		[]expr.Expr{expr.ColIdx{Idx: 0, Typ: value.KindString}}, []string{"g"}, false,
+		[]AggSpec{
+			{Func: AggCountStar, Name: "all"},
+			{Func: AggCount, Arg: arg, Name: "nn"},
+			{Func: AggSum, Arg: arg, Name: "s"},
+		})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	row := out.Tuples[0]
+	if row.Vals[1].Int() != 2 || row.Vals[2].Int() != 1 || row.Vals[3].Int() != 4 {
+		t.Fatalf("null handling wrong: %v", row)
+	}
+}
+
+func TestHashAggregateGlobalEmptyInput(t *testing.T) {
+	in := relation.NewBuilder("v int").MustBuild()
+	arg := expr.ColIdx{Idx: 0, Typ: value.KindInt}
+	agg, err := NewHashAggregate(scanOf(in), nil, nil, false, []AggSpec{
+		{Func: AggCountStar, Name: "c"},
+		{Func: AggSum, Arg: arg, Name: "s"},
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 1 || out.Tuples[0].Vals[0].Int() != 0 || !out.Tuples[0].Vals[1].IsNull() {
+		t.Fatalf("global empty aggregation wrong: %s", out)
+	}
+}
+
+func TestHashAggregateGroupByT(t *testing.T) {
+	in := relation.NewBuilder("v int").
+		Row(0, 5, 1).
+		Row(0, 5, 2).
+		Row(5, 9, 3).
+		MustBuild()
+	arg := expr.ColIdx{Idx: 0, Typ: value.KindInt}
+	agg, err := NewHashAggregate(scanOf(in), nil, nil, true, []AggSpec{
+		{Func: AggSum, Arg: arg, Name: "s"},
+	})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	out, err := Collect(agg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := relation.NewBuilder("s int").
+		Row(0, 5, 3).
+		Row(5, 9, 3).
+		MustBuild()
+	if !relation.SetEqual(out, want) {
+		t.Fatalf("got:\n%s\nwant:\n%s", out, want)
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := relation.NewBuilder("x string").
+		Row(0, 5, "p").
+		Row(5, 9, "q").
+		MustBuild()
+	b := relation.NewBuilder("x string").
+		Row(0, 5, "p").
+		Row(9, 12, "r").
+		MustBuild()
+	mk := func(kind SetOpKind) *relation.Relation {
+		op, err := NewSetOp(NewScan(a), NewScan(b), kind)
+		if err != nil {
+			t.Fatalf("setop: %v", err)
+		}
+		out, err := Collect(op)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return out
+	}
+	union := mk(UnionOp)
+	wantU := relation.NewBuilder("x string").
+		Row(0, 5, "p").
+		Row(5, 9, "q").
+		Row(9, 12, "r").
+		MustBuild()
+	if !relation.SetEqual(union, wantU) {
+		t.Fatalf("union:\n%s", union)
+	}
+	inter := mk(IntersectOp)
+	wantI := relation.NewBuilder("x string").Row(0, 5, "p").MustBuild()
+	if !relation.SetEqual(inter, wantI) {
+		t.Fatalf("intersect:\n%s", inter)
+	}
+	except := mk(ExceptOp)
+	wantE := relation.NewBuilder("x string").Row(5, 9, "q").MustBuild()
+	if !relation.SetEqual(except, wantE) {
+		t.Fatalf("except:\n%s", except)
+	}
+}
+
+func TestSetOpRejectsIncompatible(t *testing.T) {
+	a := relation.NewBuilder("x string").MustBuild()
+	b := relation.NewBuilder("x string", "y int").MustBuild()
+	if _, err := NewSetOp(NewScan(a), NewScan(b), UnionOp); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+}
+
+func TestSetOpTimestampsDistinguish(t *testing.T) {
+	// Same values over different intervals are different set elements.
+	a := relation.NewBuilder("x string").Row(0, 5, "p").MustBuild()
+	b := relation.NewBuilder("x string").Row(5, 9, "p").MustBuild()
+	op, err := NewSetOp(NewScan(a), NewScan(b), UnionOp)
+	if err != nil {
+		t.Fatalf("setop: %v", err)
+	}
+	out, err := Collect(op)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("want 2 tuples, got:\n%s", out)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	in := relation.NewBuilder("x string").
+		Row(0, 5, "p").
+		Row(0, 5, "p").
+		Row(5, 9, "p").
+		MustBuild()
+	out, err := Collect(NewDistinct(NewScan(in)))
+	if err != nil {
+		t.Fatalf("distinct: %v", err)
+	}
+	if out.Len() != 2 {
+		t.Fatalf("want 2 tuples, got:\n%s", out)
+	}
+}
+
+func TestSortOrdersAndTieBreaks(t *testing.T) {
+	in := relation.NewBuilder("x string", "v int").
+		Row(5, 9, "b", 2).
+		Row(0, 5, "a", 2).
+		Row(0, 3, "a", 1).
+		MustBuild()
+	s := NewSort(NewScan(in),
+		SortKey{Expr: expr.ColIdx{Idx: 1, Typ: value.KindInt}, Desc: true},
+		SortKey{Expr: expr.TStart{}},
+	)
+	out, err := Collect(s)
+	if err != nil {
+		t.Fatalf("sort: %v", err)
+	}
+	if out.Tuples[0].Vals[0].Str() != "a" || out.Tuples[0].T.Ts != 0 {
+		t.Fatalf("first row wrong: %v", out.Tuples[0])
+	}
+	if out.Tuples[2].Vals[1].Int() != 1 {
+		t.Fatalf("last row wrong: %v", out.Tuples[2])
+	}
+}
+
+func TestFilterAndProject(t *testing.T) {
+	in := relation.NewBuilder("x string", "v int").
+		Row(0, 5, "a", 1).
+		Row(5, 9, "b", 2).
+		MustBuild()
+	f := NewFilter(NewScan(in), expr.Gt(expr.ColIdx{Idx: 1, Typ: value.KindInt}, expr.Int(1)))
+	pr, err := NewProject(f, []string{"double"}, []expr.Expr{
+		expr.Mul(expr.ColIdx{Idx: 1, Typ: value.KindInt}, expr.Int(2)),
+	})
+	if err != nil {
+		t.Fatalf("project: %v", err)
+	}
+	out, err := Collect(pr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 1 || out.Tuples[0].Vals[0].Int() != 4 || out.Tuples[0].T.Ts != 5 {
+		t.Fatalf("filter+project wrong: %s", out)
+	}
+}
+
+func TestProjectTFromExprDropsEmpty(t *testing.T) {
+	in := relation.NewBuilder("a int", "b int").
+		Row(0, 1, 3, 7).
+		Row(0, 1, 7, 3). // inverted period: dropped
+		MustBuild()
+	pr, err := NewProject(NewScan(in), []string{"a"}, []expr.Expr{expr.ColIdx{Idx: 0, Typ: value.KindInt}})
+	if err != nil {
+		t.Fatalf("project: %v", err)
+	}
+	pr.TMode = TFromExpr
+	pr.TExpr = expr.Call("PERIOD", expr.ColIdx{Idx: 0, Typ: value.KindInt}, expr.ColIdx{Idx: 1, Typ: value.KindInt})
+	out, err := Collect(pr)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 1 || out.Tuples[0].T != (interval.Interval{Ts: 3, Te: 7}) {
+		t.Fatalf("TFromExpr wrong: %s", out)
+	}
+}

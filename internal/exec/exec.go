@@ -1,0 +1,82 @@
+// Package exec implements the Volcano-style query executor: pipelined
+// iterators for scans, selections, projections, sorts, nested-loop / hash /
+// sort-merge joins (inner, left/right/full outer, semi, anti), hash
+// aggregation, set operations, duplicate elimination, and the paper's new
+// executor nodes: Adjust (the plane-sweep ExecAdjustment of Fig. 10, serving
+// both temporal alignment and temporal normalization), and Absorb (Def. 12).
+//
+// Every tuple carries its valid-time interval T natively. Join nodes can be
+// asked to additionally match T with equality (MatchT), which is exactly the
+// "r.T = s.T" comparison the reduction rules of Table 2 append to θ.
+//
+// Convention: when a join condition is evaluated over the concatenated row,
+// env.T holds the LEFT input tuple's valid time, so TStart/TEnd in residual
+// conditions refer to the left side. The temporal layer projects the right
+// side's timestamp into ordinary columns before joining when it needs it.
+package exec
+
+import (
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// Iterator is the Volcano operator interface. Usage: Open, repeated Next
+// until ok==false, Close. Next must not be called after it reported
+// ok==false or an error.
+type Iterator interface {
+	// Schema describes the output tuples' nontemporal attributes.
+	Schema() schema.Schema
+	// Open prepares the iterator (and its children) for iteration.
+	Open() error
+	// Next produces the next tuple; ok==false signals exhaustion.
+	Next() (t tuple.Tuple, ok bool, err error)
+	// Close releases resources; it is idempotent.
+	Close() error
+}
+
+// Collect drains it into a materialized relation, handling Open/Close.
+func Collect(it Iterator) (*relation.Relation, error) {
+	out := relation.New(it.Schema())
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	for {
+		t, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out.Tuples = append(out.Tuples, t)
+	}
+}
+
+// Scan iterates over a materialized relation.
+type Scan struct {
+	Rel *relation.Relation
+	pos int
+}
+
+// NewScan returns a scan over rel.
+func NewScan(rel *relation.Relation) *Scan { return &Scan{Rel: rel} }
+
+func (s *Scan) Schema() schema.Schema { return s.Rel.Schema }
+
+func (s *Scan) Open() error {
+	s.pos = 0
+	return nil
+}
+
+func (s *Scan) Next() (tuple.Tuple, bool, error) {
+	if s.pos >= len(s.Rel.Tuples) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := s.Rel.Tuples[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *Scan) Close() error { return nil }

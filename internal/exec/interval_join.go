@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"talign/internal/expr"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// IntervalJoin is the Sec. 8 "future work" access path: a sort-based
+// overlap join for the group-construction step of alignment and
+// normalization when θ carries no equi-join keys (e.g. O1's θ = true),
+// where the paper's implementation falls back to a quadratic nested loop.
+//
+// The right input is materialized and sorted by interval start. For a left
+// tuple with valid time [Ts, Te), overlap candidates satisfy
+// r.Ts < Te and r.Te > Ts; since r.Te ≤ r.Ts + maxDur (maxDur = the
+// longest right interval), every candidate has r.Ts > Ts - maxDur. Binary
+// searching that lower bound and scanning while r.Ts < Te touches only a
+// window of the sorted input, giving O(n·log m + n·window) instead of
+// O(n·m). The full join condition is still evaluated per candidate, so an
+// arbitrary residual θ remains supported.
+//
+// Only inner and left outer joins are provided — exactly what group
+// construction needs.
+type IntervalJoin struct {
+	Left, Right Iterator
+	Cond        expr.Expr // over Concat(left, right) with env.T = left T
+	Type        JoinType
+
+	core    joinCore
+	out     schema.Schema
+	rights  []tuple.Tuple
+	starts  []int64
+	maxDur  int64
+	cur     tuple.Tuple
+	curOK   bool
+	curHit  bool
+	scanPos int
+	scanEnd int64
+}
+
+// NewIntervalJoin builds the node.
+func NewIntervalJoin(l, r Iterator, cond expr.Expr, typ JoinType) (*IntervalJoin, error) {
+	if typ != InnerJoin && typ != LeftOuterJoin {
+		return nil, fmt.Errorf("exec: interval join supports inner and left outer joins, not %s", typ)
+	}
+	j := &IntervalJoin{Left: l, Right: r, Cond: cond, Type: typ}
+	j.core = joinCore{typ: typ, lWidth: l.Schema().Len(), rWidth: r.Schema().Len()}
+	j.out = l.Schema().Concat(r.Schema())
+	return j, nil
+}
+
+func (j *IntervalJoin) Schema() schema.Schema { return j.out }
+
+func (j *IntervalJoin) Open() error {
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		return err
+	}
+	j.rights = j.rights[:0]
+	j.maxDur = 0
+	for {
+		t, ok, err := j.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.rights = append(j.rights, t)
+		if d := t.T.Duration(); d > j.maxDur {
+			j.maxDur = d
+		}
+	}
+	sort.SliceStable(j.rights, func(a, b int) bool {
+		return j.rights[a].T.Ts < j.rights[b].T.Ts
+	})
+	j.starts = make([]int64, len(j.rights))
+	for i, t := range j.rights {
+		j.starts[i] = t.T.Ts
+	}
+	j.curOK = false
+	return nil
+}
+
+func (j *IntervalJoin) Next() (tuple.Tuple, bool, error) {
+	for {
+		if !j.curOK {
+			l, ok, err := j.Left.Next()
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if !ok {
+				return tuple.Tuple{}, false, nil
+			}
+			j.cur = l
+			j.curOK = true
+			j.curHit = false
+			// Window [lower bound, Te): candidates that can overlap.
+			lo := l.T.Ts - j.maxDur
+			j.scanPos = sort.Search(len(j.starts), func(i int) bool { return j.starts[i] > lo })
+			j.scanEnd = l.T.Te
+		}
+		for j.scanPos < len(j.rights) && j.starts[j.scanPos] < j.scanEnd {
+			r := j.rights[j.scanPos]
+			j.scanPos++
+			if !j.cur.T.Overlaps(r.T) {
+				continue
+			}
+			ok, err := j.core.matches(j.Cond, j.cur, r)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if !ok {
+				continue
+			}
+			j.curHit = true
+			return j.core.combine(j.cur, r), true, nil
+		}
+		hit := j.curHit
+		cur := j.cur
+		j.curOK = false
+		if !hit && j.Type == LeftOuterJoin {
+			return j.core.padRight(cur), true, nil
+		}
+	}
+}
+
+func (j *IntervalJoin) Close() error {
+	j.rights = nil
+	j.starts = nil
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

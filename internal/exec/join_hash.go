@@ -1,0 +1,248 @@
+package exec
+
+import (
+	"hash/maphash"
+	"sort"
+
+	"talign/internal/expr"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// HashJoin is an equi-join: the right input is built into a hash table on
+// the key expressions, the left input probes it. A residual condition
+// (evaluated like NestedLoopJoin's) and optional timestamp equality filter
+// candidate pairs. ω keys never match (SQL semantics); unmatched rows
+// surface through the outer join types.
+type HashJoin struct {
+	Left, Right Iterator
+	// Keys are pairwise equality conditions: Keys[i].Left is bound against
+	// the left schema, Keys[i].Right against the right schema.
+	Keys     []expr.EquiPair
+	Residual expr.Expr // bound against Concat(left, right); may be nil
+	Type     JoinType
+	MatchT   bool
+
+	core   joinCore
+	out    schema.Schema
+	seed   maphash.Seed
+	table  map[uint64][]buildRow
+	buildN int
+	cur    tuple.Tuple
+	curKey []value.Value
+	curOK  bool
+	curHit bool
+	bucket []buildRow
+	bktPos int
+	drainB []buildRow
+	drainP int
+	drain  bool
+}
+
+type buildRow struct {
+	t       tuple.Tuple
+	key     []value.Value
+	matched bool
+}
+
+// NewHashJoin constructs the node.
+func NewHashJoin(l, r Iterator, keys []expr.EquiPair, residual expr.Expr, typ JoinType, matchT bool) *HashJoin {
+	h := &HashJoin{Left: l, Right: r, Keys: keys, Residual: residual, Type: typ, MatchT: matchT}
+	h.core = joinCore{typ: typ, lWidth: l.Schema().Len(), rWidth: r.Schema().Len(), matchT: matchT}
+	if typ.projectsLeftOnly() {
+		h.out = l.Schema()
+	} else {
+		h.out = l.Schema().Concat(r.Schema())
+	}
+	h.seed = maphash.MakeSeed()
+	return h
+}
+
+func (h *HashJoin) Schema() schema.Schema { return h.out }
+
+func (h *HashJoin) Open() error {
+	if err := h.Left.Open(); err != nil {
+		return err
+	}
+	if err := h.Right.Open(); err != nil {
+		return err
+	}
+	h.table = make(map[uint64][]buildRow)
+	h.buildN = 0
+	for {
+		t, ok, err := h.Right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		key, hv, nullKey, err := h.evalKey(t, false)
+		if err != nil {
+			return err
+		}
+		row := buildRow{t: t, key: key}
+		if nullKey {
+			// ω keys can never match; park them under a reserved bucket so
+			// right/full outer can still drain them.
+			h.table[^uint64(0)] = append(h.table[^uint64(0)], row)
+		} else {
+			h.table[hv] = append(h.table[hv], row)
+		}
+		h.buildN++
+	}
+	h.curOK = false
+	h.drain = false
+	return nil
+}
+
+// evalKey computes the key values and their hash; left selects which side
+// of the EquiPairs to evaluate.
+func (h *HashJoin) evalKey(t tuple.Tuple, left bool) (key []value.Value, hash uint64, hasNull bool, err error) {
+	env := expr.Env{Vals: t.Vals, T: t.T}
+	key = make([]value.Value, len(h.Keys))
+	for i, k := range h.Keys {
+		e := k.Right
+		if left {
+			e = k.Left
+		}
+		v, err := e.Eval(&env)
+		if err != nil {
+			return nil, 0, false, err
+		}
+		if v.IsNull() {
+			hasNull = true
+		}
+		key[i] = v
+	}
+	var mh maphash.Hash
+	mh.SetSeed(h.seed)
+	for _, v := range key {
+		v.Hash(&mh)
+	}
+	return key, mh.Sum64(), hasNull, nil
+}
+
+func keysEqual(a, b []value.Value) bool {
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *HashJoin) Next() (tuple.Tuple, bool, error) {
+	for {
+		if h.drain {
+			for h.drainP < len(h.drainB) {
+				row := h.drainB[h.drainP]
+				h.drainP++
+				if !row.matched {
+					return h.core.padLeft(row.t), true, nil
+				}
+			}
+			return tuple.Tuple{}, false, nil
+		}
+		if !h.curOK {
+			l, ok, err := h.Left.Next()
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if !ok {
+				if h.Type == RightOuterJoin || h.Type == FullOuterJoin {
+					h.startDrain()
+					continue
+				}
+				return tuple.Tuple{}, false, nil
+			}
+			key, hv, nullKey, err := h.evalKey(l, true)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			h.cur = l
+			h.curKey = key
+			h.curOK = true
+			h.curHit = false
+			h.bktPos = 0
+			if nullKey {
+				h.bucket = nil
+			} else {
+				h.bucket = h.table[hv]
+			}
+		}
+		disqualified := false
+		for h.bktPos < len(h.bucket) {
+			row := &h.bucket[h.bktPos]
+			h.bktPos++
+			if !keysEqual(h.curKey, row.key) {
+				continue
+			}
+			ok, err := h.core.matches(h.Residual, h.cur, row.t)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if !ok {
+				continue
+			}
+			h.curHit = true
+			row.matched = true
+			switch h.Type {
+			case SemiJoin:
+				h.curOK = false
+				return h.cur, true, nil
+			case AntiJoin:
+				h.curOK = false
+				disqualified = true
+			default:
+				return h.core.combine(h.cur, row.t), true, nil
+			}
+			if disqualified {
+				break
+			}
+		}
+		if disqualified {
+			continue
+		}
+		h.curOK = false
+		if !h.curHit {
+			switch h.Type {
+			case LeftOuterJoin, FullOuterJoin:
+				return h.core.padRight(h.cur), true, nil
+			case AntiJoin:
+				return h.cur, true, nil
+			}
+		}
+	}
+}
+
+func (h *HashJoin) startDrain() {
+	h.drain = true
+	h.drainP = 0
+	h.drainB = h.drainB[:0]
+	for _, bucket := range h.table {
+		h.drainB = append(h.drainB, bucket...)
+	}
+	// Deterministic drain order: sort by tuple order. Buckets iterate in
+	// arbitrary map order, which would make full outer join output order
+	// nondeterministic across runs.
+	sortBuildRows(h.drainB)
+}
+
+func sortBuildRows(rows []buildRow) {
+	sort.Slice(rows, func(i, j int) bool {
+		return rows[i].t.Compare(rows[j].t) < 0
+	})
+}
+
+func (h *HashJoin) Close() error {
+	h.table = nil
+	h.drainB = nil
+	err1 := h.Left.Close()
+	err2 := h.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// Filter passes through tuples satisfying Pred (σ). Pred must be bound
+// against Input's schema; it is evaluated with env.T = the tuple's T, so
+// predicates over the tuple's own valid time are possible.
+type Filter struct {
+	Input Iterator
+	Pred  expr.Expr
+}
+
+// NewFilter builds a filter node.
+func NewFilter(input Iterator, pred expr.Expr) *Filter {
+	return &Filter{Input: input, Pred: pred}
+}
+
+func (f *Filter) Schema() schema.Schema { return f.Input.Schema() }
+func (f *Filter) Open() error           { return f.Input.Open() }
+func (f *Filter) Close() error          { return f.Input.Close() }
+
+func (f *Filter) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Input.Next()
+		if err != nil || !ok {
+			return tuple.Tuple{}, false, err
+		}
+		env := expr.Env{Vals: t.Vals, T: t.T}
+		keep, err := expr.EvalBool(f.Pred, &env)
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		if keep {
+			return t, true, nil
+		}
+	}
+}
+
+// TPolicy controls what valid time a Project node assigns to its outputs.
+type TPolicy uint8
+
+const (
+	// TKeep propagates the input tuple's T (the default for π).
+	TKeep TPolicy = iota
+	// TZero marks outputs as nontemporal (zero interval).
+	TZero
+	// TFromExpr computes T from TExpr, which must yield a period value;
+	// tuples whose TExpr is ω or empty are dropped (used by the standard-SQL
+	// baseline to build intersection timestamps).
+	TFromExpr
+)
+
+// Project evaluates Exprs over each input tuple (π plus computed columns).
+type Project struct {
+	Input Iterator
+	Exprs []expr.Expr
+	Out   schema.Schema
+	TMode TPolicy
+	TExpr expr.Expr // used when TMode == TFromExpr
+}
+
+// NewProject builds a projection. names gives the output attribute names;
+// types are inferred from the bound expressions.
+func NewProject(input Iterator, names []string, exprs []expr.Expr) (*Project, error) {
+	if len(names) != len(exprs) {
+		return nil, fmt.Errorf("exec: %d names for %d expressions", len(names), len(exprs))
+	}
+	attrs := make([]schema.Attr, len(exprs))
+	for i, e := range exprs {
+		attrs[i] = schema.Attr{Name: names[i], Type: e.Type()}
+	}
+	return &Project{Input: input, Exprs: exprs, Out: schema.Schema{Attrs: attrs}}, nil
+}
+
+// NewProjectCols builds a projection of the given column positions.
+func NewProjectCols(input Iterator, cols []int) *Project {
+	in := input.Schema()
+	exprs := make([]expr.Expr, len(cols))
+	attrs := make([]schema.Attr, len(cols))
+	for i, c := range cols {
+		exprs[i] = expr.ColIdx{Idx: c, Typ: in.Attrs[c].Type, Name: in.Attrs[c].Name}
+		attrs[i] = in.Attrs[c]
+	}
+	return &Project{Input: input, Exprs: exprs, Out: schema.Schema{Attrs: attrs}}
+}
+
+func (p *Project) Schema() schema.Schema { return p.Out }
+func (p *Project) Open() error           { return p.Input.Open() }
+func (p *Project) Close() error          { return p.Input.Close() }
+
+func (p *Project) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := p.Input.Next()
+		if err != nil || !ok {
+			return tuple.Tuple{}, false, err
+		}
+		env := expr.Env{Vals: t.Vals, T: t.T}
+		vals := make([]value.Value, len(p.Exprs))
+		for i, e := range p.Exprs {
+			v, err := e.Eval(&env)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			vals[i] = v
+		}
+		var ts interval.Interval
+		switch p.TMode {
+		case TKeep:
+			ts = t.T
+		case TZero:
+			ts = interval.Interval{}
+		case TFromExpr:
+			v, err := p.TExpr.Eval(&env)
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if v.IsNull() {
+				continue // empty or unknown period: drop the tuple
+			}
+			ts = v.Interval()
+			if !ts.Valid() {
+				continue
+			}
+		}
+		return tuple.Tuple{Vals: vals, T: ts}, true, nil
+	}
+}
+
+// SortKey is one ordering term.
+type SortKey struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// Sort materializes its input and emits it ordered by Keys (values compare
+// with the total order of the value package; ω sorts first).
+type Sort struct {
+	Input Iterator
+	Keys  []SortKey
+
+	rows []decorated
+	pos  int
+	open bool
+}
+
+type decorated struct {
+	t    tuple.Tuple
+	keys []value.Value
+}
+
+// NewSort builds a sort node.
+func NewSort(input Iterator, keys ...SortKey) *Sort {
+	return &Sort{Input: input, Keys: keys}
+}
+
+// ByCols returns ascending sort keys for the given column positions.
+func ByCols(s schema.Schema, cols ...int) []SortKey {
+	out := make([]SortKey, len(cols))
+	for i, c := range cols {
+		out[i] = SortKey{Expr: expr.ColIdx{Idx: c, Typ: s.Attrs[c].Type, Name: s.Attrs[c].Name}}
+	}
+	return out
+}
+
+func (s *Sort) Schema() schema.Schema { return s.Input.Schema() }
+
+func (s *Sort) Open() error {
+	if err := s.Input.Open(); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	for {
+		t, ok, err := s.Input.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		env := expr.Env{Vals: t.Vals, T: t.T}
+		keys := make([]value.Value, len(s.Keys))
+		for i, k := range s.Keys {
+			v, err := k.Expr.Eval(&env)
+			if err != nil {
+				return err
+			}
+			keys[i] = v
+		}
+		s.rows = append(s.rows, decorated{t: t, keys: keys})
+	}
+	sortDecorated(s.rows, s.Keys)
+	s.pos = 0
+	s.open = true
+	return nil
+}
+
+func (s *Sort) Next() (tuple.Tuple, bool, error) {
+	if !s.open || s.pos >= len(s.rows) {
+		return tuple.Tuple{}, false, nil
+	}
+	t := s.rows[s.pos].t
+	s.pos++
+	return t, true, nil
+}
+
+func (s *Sort) Close() error {
+	s.rows = nil
+	s.open = false
+	return s.Input.Close()
+}
+
+func sortDecorated(rows []decorated, keys []SortKey) {
+	sort.SliceStable(rows, func(x, y int) bool {
+		a, b := rows[x], rows[y]
+		for i := range keys {
+			c := a.keys[i].Compare(b.keys[i])
+			if c == 0 {
+				continue
+			}
+			if keys[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		// Total tie-break keeps output deterministic.
+		return a.t.Compare(b.t) < 0
+	})
+}

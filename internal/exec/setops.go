@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"fmt"
+	"hash/maphash"
+
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// SetOpKind enumerates the set operators (set semantics: outputs are
+// duplicate free; tuples compare on values AND valid time, which after
+// normalization is exactly the paper's equality-only comparison).
+type SetOpKind uint8
+
+const (
+	UnionOp SetOpKind = iota
+	IntersectOp
+	ExceptOp
+)
+
+func (k SetOpKind) String() string {
+	return [...]string{"union", "intersect", "except"}[k]
+}
+
+// SetOp implements UNION / INTERSECT / EXCEPT over union compatible inputs.
+type SetOp struct {
+	Left, Right Iterator
+	Kind        SetOpKind
+
+	seed  maphash.Seed
+	seen  map[uint64][]tuple.Tuple // dedup / membership table
+	rhs   map[uint64][]tuple.Tuple // right side membership (intersect/except)
+	phase int
+}
+
+// NewSetOp builds the node; it validates union compatibility.
+func NewSetOp(l, r Iterator, kind SetOpKind) (*SetOp, error) {
+	if !l.Schema().UnionCompatible(r.Schema()) {
+		return nil, fmt.Errorf("exec: %s arguments not union compatible: %s vs %s", kind, l.Schema(), r.Schema())
+	}
+	return &SetOp{Left: l, Right: r, Kind: kind, seed: maphash.MakeSeed()}, nil
+}
+
+func (s *SetOp) Schema() schema.Schema { return s.Left.Schema() }
+
+func (s *SetOp) hash(t tuple.Tuple) uint64 {
+	var mh maphash.Hash
+	mh.SetSeed(s.seed)
+	t.Hash(&mh)
+	return mh.Sum64()
+}
+
+// memberAdd inserts t into m if absent; it reports whether t was added.
+func (s *SetOp) memberAdd(m map[uint64][]tuple.Tuple, t tuple.Tuple) bool {
+	hv := s.hash(t)
+	for _, o := range m[hv] {
+		if o.Equal(t) {
+			return false
+		}
+	}
+	m[hv] = append(m[hv], t)
+	return true
+}
+
+func (s *SetOp) member(m map[uint64][]tuple.Tuple, t tuple.Tuple) bool {
+	hv := s.hash(t)
+	for _, o := range m[hv] {
+		if o.Equal(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *SetOp) Open() error {
+	if err := s.Left.Open(); err != nil {
+		return err
+	}
+	if err := s.Right.Open(); err != nil {
+		return err
+	}
+	s.seen = make(map[uint64][]tuple.Tuple)
+	s.phase = 0
+	if s.Kind == IntersectOp || s.Kind == ExceptOp {
+		s.rhs = make(map[uint64][]tuple.Tuple)
+		for {
+			t, ok, err := s.Right.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			s.memberAdd(s.rhs, t)
+		}
+	}
+	return nil
+}
+
+func (s *SetOp) Next() (tuple.Tuple, bool, error) {
+	for {
+		switch s.phase {
+		case 0: // left input
+			t, ok, err := s.Left.Next()
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if !ok {
+				if s.Kind == UnionOp {
+					s.phase = 1
+					continue
+				}
+				return tuple.Tuple{}, false, nil
+			}
+			switch s.Kind {
+			case UnionOp:
+				if s.memberAdd(s.seen, t) {
+					return t, true, nil
+				}
+			case IntersectOp:
+				if s.member(s.rhs, t) && s.memberAdd(s.seen, t) {
+					return t, true, nil
+				}
+			case ExceptOp:
+				if !s.member(s.rhs, t) && s.memberAdd(s.seen, t) {
+					return t, true, nil
+				}
+			}
+		case 1: // union: right input
+			t, ok, err := s.Right.Next()
+			if err != nil {
+				return tuple.Tuple{}, false, err
+			}
+			if !ok {
+				return tuple.Tuple{}, false, nil
+			}
+			if s.memberAdd(s.seen, t) {
+				return t, true, nil
+			}
+		}
+	}
+}
+
+func (s *SetOp) Close() error {
+	s.seen = nil
+	s.rhs = nil
+	err1 := s.Left.Close()
+	err2 := s.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// Distinct removes exact duplicates (values and valid time), enforcing set
+// semantics after projections.
+type Distinct struct {
+	Input Iterator
+
+	seed maphash.Seed
+	seen map[uint64][]tuple.Tuple
+}
+
+// NewDistinct builds the node.
+func NewDistinct(input Iterator) *Distinct {
+	return &Distinct{Input: input, seed: maphash.MakeSeed()}
+}
+
+func (d *Distinct) Schema() schema.Schema { return d.Input.Schema() }
+
+func (d *Distinct) Open() error {
+	d.seen = make(map[uint64][]tuple.Tuple)
+	return d.Input.Open()
+}
+
+func (d *Distinct) Next() (tuple.Tuple, bool, error) {
+	for {
+		t, ok, err := d.Input.Next()
+		if err != nil || !ok {
+			return tuple.Tuple{}, false, err
+		}
+		var mh maphash.Hash
+		mh.SetSeed(d.seed)
+		t.Hash(&mh)
+		hv := mh.Sum64()
+		dup := false
+		for _, o := range d.seen[hv] {
+			if o.Equal(t) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		d.seen[hv] = append(d.seen[hv], t)
+		return t, true, nil
+	}
+}
+
+func (d *Distinct) Close() error {
+	d.seen = nil
+	return d.Input.Close()
+}

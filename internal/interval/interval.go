@@ -1,0 +1,148 @@
+// Package interval implements half-open time intervals [Ts, Te) over a
+// linearly ordered, discrete time domain (Sec. 3.1 of the paper).
+//
+// A time point is an int64. An interval is a contiguous, non-empty set of
+// time points represented by its inclusive start Ts and exclusive end Te.
+// All operators in this repository assume Ts < Te for valid intervals; the
+// zero Interval{} is the canonical "no valid time" marker used by
+// nontemporal intermediate results.
+package interval
+
+import (
+	"fmt"
+	"math"
+)
+
+// TimeMin and TimeMax bound the usable time domain. They leave headroom so
+// that arithmetic such as Te-Ts never overflows.
+const (
+	TimeMin int64 = math.MinInt64 / 4
+	TimeMax int64 = math.MaxInt64 / 4
+)
+
+// Interval is a half-open interval [Ts, Te) of discrete time points.
+type Interval struct {
+	Ts int64 // inclusive start
+	Te int64 // exclusive end
+}
+
+// New returns the interval [ts, te). It panics if ts >= te, because an empty
+// or inverted interval is never a valid tuple timestamp; use Intersect for
+// operations that may produce empty results.
+func New(ts, te int64) Interval {
+	if ts >= te {
+		panic(fmt.Sprintf("interval: invalid [%d, %d)", ts, te))
+	}
+	return Interval{Ts: ts, Te: te}
+}
+
+// Zero reports whether i is the zero interval (the "no valid time" marker).
+func (i Interval) Zero() bool { return i.Ts == 0 && i.Te == 0 }
+
+// Valid reports whether i is a well-formed, non-empty interval.
+func (i Interval) Valid() bool { return i.Ts < i.Te }
+
+// Duration returns the number of time points in i, i.e. Te - Ts (the DUR
+// function of the paper's examples).
+func (i Interval) Duration() int64 { return i.Te - i.Ts }
+
+// Contains reports whether time point t lies in [Ts, Te).
+func (i Interval) Contains(t int64) bool { return i.Ts <= t && t < i.Te }
+
+// ContainsInterval reports whether o is a (not necessarily proper) subset
+// of i.
+func (i Interval) ContainsInterval(o Interval) bool {
+	return i.Ts <= o.Ts && o.Te <= i.Te
+}
+
+// ProperContains reports whether o ⊂ i (subset and not equal). This is the
+// covering test used by the absorb operator (Def. 12).
+func (i Interval) ProperContains(o Interval) bool {
+	return i.ContainsInterval(o) && i != o
+}
+
+// Overlaps reports whether i and o share at least one time point.
+func (i Interval) Overlaps(o Interval) bool {
+	return i.Ts < o.Te && o.Ts < i.Te
+}
+
+// Adjacent reports whether i and o meet without overlapping, i.e. one ends
+// exactly where the other starts.
+func (i Interval) Adjacent(o Interval) bool {
+	return i.Te == o.Ts || o.Te == i.Ts
+}
+
+// Intersect returns i ∩ o and whether it is non-empty.
+func (i Interval) Intersect(o Interval) (Interval, bool) {
+	ts := max64(i.Ts, o.Ts)
+	te := min64(i.Te, o.Te)
+	if ts >= te {
+		return Interval{}, false
+	}
+	return Interval{Ts: ts, Te: te}, true
+}
+
+// Union returns the smallest interval covering both i and o and whether the
+// two form a contiguous set (overlapping or adjacent); if they do not, the
+// union of the point sets is not an interval and ok is false.
+func (i Interval) Union(o Interval) (Interval, bool) {
+	if !i.Overlaps(o) && !i.Adjacent(o) {
+		return Interval{}, false
+	}
+	return Interval{Ts: min64(i.Ts, o.Ts), Te: max64(i.Te, o.Te)}, true
+}
+
+// Minus returns the (0, 1 or 2) maximal sub-intervals of i not covered by o.
+func (i Interval) Minus(o Interval) []Interval {
+	if !i.Overlaps(o) {
+		return []Interval{i}
+	}
+	var out []Interval
+	if i.Ts < o.Ts {
+		out = append(out, Interval{Ts: i.Ts, Te: o.Ts})
+	}
+	if o.Te < i.Te {
+		out = append(out, Interval{Ts: o.Te, Te: i.Te})
+	}
+	return out
+}
+
+// Compare orders intervals by (Ts, Te). It returns -1, 0 or +1.
+func (i Interval) Compare(o Interval) int {
+	switch {
+	case i.Ts < o.Ts:
+		return -1
+	case i.Ts > o.Ts:
+		return 1
+	case i.Te < o.Te:
+		return -1
+	case i.Te > o.Te:
+		return 1
+	}
+	return 0
+}
+
+// Equal reports i == o.
+func (i Interval) Equal(o Interval) bool { return i == o }
+
+// String renders the interval in the paper's notation, e.g. "[3, 7)".
+func (i Interval) String() string {
+	if i.Zero() {
+		return "[-)"
+	}
+	return fmt.Sprintf("[%d, %d)", i.Ts, i.Te)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

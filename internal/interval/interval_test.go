@@ -1,0 +1,177 @@
+package interval
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// genPair produces two valid intervals in a small domain from raw quick
+// inputs, so overlap cases are common.
+func genPair(a, b, c, d int8) (Interval, Interval) {
+	mk := func(x, y int8) Interval {
+		lo, hi := int64(x%32), int64(y%32)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			hi++
+		}
+		return Interval{Ts: lo, Te: hi}
+	}
+	return mk(a, b), mk(c, d)
+}
+
+func TestNewValidatesOrder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(5, 5) must panic")
+		}
+	}()
+	New(5, 5)
+}
+
+func TestBasicPredicates(t *testing.T) {
+	i := New(2, 7)
+	cases := []struct {
+		name string
+		got  bool
+		want bool
+	}{
+		{"contains start", i.Contains(2), true},
+		{"excludes end", i.Contains(7), false},
+		{"contains inner", i.Contains(4), true},
+		{"excludes before", i.Contains(1), false},
+		{"valid", i.Valid(), true},
+		{"zero invalid", Interval{}.Valid(), false},
+		{"zero is zero", Interval{}.Zero(), true},
+		{"contains itself", i.ContainsInterval(i), true},
+		{"proper excludes self", i.ProperContains(i), false},
+		{"proper contains strict", i.ProperContains(New(3, 6)), true},
+		{"proper contains shared start", i.ProperContains(New(2, 6)), true},
+		{"overlaps self", i.Overlaps(i), true},
+		{"adjacent no overlap", i.Overlaps(New(7, 9)), false},
+		{"adjacent detected", i.Adjacent(New(7, 9)), true},
+		{"not adjacent", i.Adjacent(New(8, 9)), false},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v want %v", c.name, c.got, c.want)
+		}
+	}
+	if i.Duration() != 5 {
+		t.Errorf("duration: got %d want 5", i.Duration())
+	}
+	if i.String() != "[2, 7)" {
+		t.Errorf("string: got %q", i)
+	}
+	if (Interval{}).String() != "[-)" {
+		t.Errorf("zero string: got %q", Interval{})
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b   Interval
+		want   Interval
+		wantOK bool
+	}{
+		{New(1, 5), New(3, 8), New(3, 5), true},
+		{New(1, 5), New(5, 8), Interval{}, false},
+		{New(1, 9), New(3, 5), New(3, 5), true},
+		{New(1, 2), New(8, 9), Interval{}, false},
+		{New(1, 5), New(1, 5), New(1, 5), true},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Intersect(c.b)
+		if ok != c.wantOK || (ok && got != c.want) {
+			t.Errorf("%v ∩ %v: got %v,%v want %v,%v", c.a, c.b, got, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestUnionAndMinus(t *testing.T) {
+	if u, ok := New(1, 4).Union(New(4, 8)); !ok || u != New(1, 8) {
+		t.Errorf("adjacent union failed: %v %v", u, ok)
+	}
+	if _, ok := New(1, 3).Union(New(5, 8)); ok {
+		t.Error("disjoint union must fail")
+	}
+	if got := New(1, 9).Minus(New(3, 5)); len(got) != 2 || got[0] != New(1, 3) || got[1] != New(5, 9) {
+		t.Errorf("minus middle: %v", got)
+	}
+	if got := New(1, 9).Minus(New(0, 10)); len(got) != 0 {
+		t.Errorf("minus cover: %v", got)
+	}
+	if got := New(1, 9).Minus(New(10, 12)); len(got) != 1 || got[0] != New(1, 9) {
+		t.Errorf("minus disjoint: %v", got)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	if New(1, 5).Compare(New(1, 5)) != 0 {
+		t.Error("equal compare")
+	}
+	if New(1, 5).Compare(New(2, 3)) != -1 {
+		t.Error("start order")
+	}
+	if New(1, 5).Compare(New(1, 4)) != 1 {
+		t.Error("end order")
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestPropIntersection(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		x, y := genPair(a, b, c, d)
+		i1, ok1 := x.Intersect(y)
+		i2, ok2 := y.Intersect(x)
+		if ok1 != ok2 || i1 != i2 {
+			return false
+		}
+		if ok1 && (!x.ContainsInterval(i1) || !y.ContainsInterval(i1)) {
+			return false
+		}
+		return ok1 == x.Overlaps(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Minus yields disjoint pieces covering exactly x \ y.
+func TestPropMinus(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		x, y := genPair(a, b, c, d)
+		pieces := x.Minus(y)
+		for t := x.Ts; t < x.Te; t++ {
+			inPieces := false
+			for _, p := range pieces {
+				if p.Contains(t) {
+					inPieces = true
+				}
+			}
+			if inPieces == y.Contains(t) {
+				return false // must be in pieces iff not in y
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Compare is a total order consistent with equality.
+func TestPropCompare(t *testing.T) {
+	f := func(a, b, c, d int8) bool {
+		x, y := genPair(a, b, c, d)
+		cxy, cyx := x.Compare(y), y.Compare(x)
+		if cxy != -cyx {
+			return false
+		}
+		return (cxy == 0) == (x == y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package lineage
+
+import (
+	"math/rand"
+	"testing"
+
+	"talign/internal/core"
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+func attrsR() []schema.Attr {
+	return []schema.Attr{{Name: "x", Type: value.KindString}}
+}
+
+func attrsS() []schema.Attr {
+	return []schema.Attr{{Name: "y", Type: value.KindString}}
+}
+
+// TestExample4ChangePreservation replays Example 4: the reduction's left
+// outer join result preserves the change at 2012/8, and the over-coalesced
+// and over-split variants violate Def. 7.
+func TestExample4ChangePreservation(t *testing.T) {
+	r := relation.NewBuilder("n string").
+		Row(0, 7, "Ann").
+		Row(1, 5, "Joe").
+		Row(7, 11, "Ann").
+		MustBuild()
+	ru := core.MustExtend(r, "u")
+	p := relation.NewBuilder("a int", "mn int", "mx int").
+		Row(0, 5, 50, 1, 2).
+		Row(0, 5, 40, 3, 7).
+		Row(0, 12, 30, 8, 12).
+		Row(9, 12, 50, 1, 2).
+		Row(9, 12, 40, 3, 7).
+		MustBuild()
+	theta := expr.Between{X: expr.Dur(expr.C("u")), Lo: expr.C("mn"), Hi: expr.C("mx")}
+	bound, err := core.BindTheta(ru, p, theta)
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	got, err := core.Default().LeftOuterJoin(ru, p, theta)
+	if err != nil {
+		t.Fatalf("join: %v", err)
+	}
+	fn := LeftOuterJoin(ru, p, bound)
+	if err := Verify(got, fn); err != nil {
+		t.Fatalf("the reduction result must be change preserving: %v", err)
+	}
+
+	// Coalescing z3 and z4 into one tuple violates constancy: the lineage
+	// flips from r1 to r3 at 2012/8.
+	coalesced := got.Clone()
+	merged := relation.New(coalesced.Schema)
+	for _, tp := range coalesced.Tuples {
+		if tp.Vals[2].IsNull() && tp.T.Ts == 5 {
+			nt := tp.WithT(interval.New(5, 9))
+			merged.Tuples = append(merged.Tuples, nt)
+			continue
+		}
+		if tp.Vals[2].IsNull() && tp.T.Ts == 7 {
+			continue
+		}
+		merged.Tuples = append(merged.Tuples, tp)
+	}
+	if err := Verify(merged, fn); err == nil {
+		t.Fatal("coalescing across the change at 2012/8 must violate change preservation")
+	}
+
+	// Splitting z3 into two month-long pieces violates maximality.
+	split := relation.New(got.Schema)
+	for _, tp := range got.Tuples {
+		if tp.Vals[2].IsNull() && tp.T.Ts == 5 {
+			split.Tuples = append(split.Tuples,
+				tp.WithT(interval.New(5, 6)),
+				tp.WithT(interval.New(6, 7)))
+			continue
+		}
+		split.Tuples = append(split.Tuples, tp)
+	}
+	if err := Verify(split, fn); err == nil {
+		t.Fatal("over-splitting z3 must violate maximality")
+	}
+}
+
+// TestRandomizedJoinLineage verifies Def. 7 on random instances for the
+// outer and anti joins via the explicit checker.
+func TestRandomizedJoinLineage(t *testing.T) {
+	a := core.Default()
+	rng := rand.New(rand.NewSource(77))
+	theta := expr.Eq(expr.C("x"), expr.C("y"))
+	for round := 0; round < 60; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsS()...))
+		bound, err := core.BindTheta(r, s, theta)
+		if err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		louter, err := a.LeftOuterJoin(r, s, theta)
+		if err != nil {
+			t.Fatalf("louter: %v", err)
+		}
+		if err := Verify(louter, LeftOuterJoin(r, s, bound)); err != nil {
+			t.Fatalf("round %d louter: %v\nr:\n%s\ns:\n%s", round, err, r, s)
+		}
+		anti, err := a.AntiJoin(r, s, theta)
+		if err != nil {
+			t.Fatalf("anti: %v", err)
+		}
+		if err := Verify(anti, AntiJoin(r, s, bound)); err != nil {
+			t.Fatalf("round %d anti: %v\nr:\n%s\ns:\n%s", round, err, r, s)
+		}
+	}
+}
+
+// TestRandomizedGroupLineage verifies projection, union and difference.
+func TestRandomizedGroupLineage(t *testing.T) {
+	a := core.Default()
+	rng := rand.New(rand.NewSource(78))
+	for round := 0; round < 60; round++ {
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR()...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsR()...))
+		proj, err := a.Projection(r, "x")
+		if err != nil {
+			t.Fatalf("projection: %v", err)
+		}
+		if err := Verify(proj, Projection(r, []int{0})); err != nil {
+			t.Fatalf("round %d projection: %v\nr:\n%s", round, err, r)
+		}
+		uni, err := a.Union(r, s)
+		if err != nil {
+			t.Fatalf("union: %v", err)
+		}
+		if err := Verify(uni, Union(r, s)); err != nil {
+			t.Fatalf("round %d union: %v\nr:\n%s\ns:\n%s", round, err, r, s)
+		}
+		diff, err := a.Difference(r, s)
+		if err != nil {
+			t.Fatalf("difference: %v", err)
+		}
+		if err := Verify(diff, Difference(r, s)); err != nil {
+			t.Fatalf("round %d difference: %v\nr:\n%s\ns:\n%s", round, err, r, s)
+		}
+	}
+}
+
+// TestLineageEquality covers the canonical comparison.
+func TestLineageEquality(t *testing.T) {
+	a := Lineage{Left: []int{2, 1}, Right: []int{3}}
+	b := Lineage{Left: []int{1, 2}, Right: []int{3}}
+	if !a.Equal(b) {
+		t.Fatal("order must not matter")
+	}
+	c := Lineage{Left: []int{1, 2}, RightWhole: true}
+	if a.Equal(c) {
+		t.Fatal("whole-relation component must differ from an index set")
+	}
+}
+
+// TestVerifyRejectsForeignTuple checks that a tuple not derivable from the
+// arguments fails verification.
+func TestVerifyRejectsForeignTuple(t *testing.T) {
+	r := relation.NewBuilder("x string").Row(0, 4, "a").MustBuild()
+	s := relation.NewBuilder("y string").MustBuild()
+	bad := relation.New(r.Schema)
+	bad.Tuples = append(bad.Tuples, tuple.Tuple{
+		Vals: []value.Value{value.NewString("zz")},
+		T:    interval.New(0, 4),
+	})
+	if err := Verify(bad, AntiJoin(r, s, nil)); err == nil {
+		t.Fatal("foreign tuple must fail verification")
+	}
+}

@@ -1,0 +1,167 @@
+package oracle
+
+import (
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/relation"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// periodOf propagates a tuple's valid time as an interval value (a manual
+// extend operator, keeping the oracle tests independent of package core).
+func periodOf(tp tuple.Tuple) value.Value { return value.NewInterval(tp.T) }
+
+// The oracle is itself validated on the paper's worked examples: if the
+// reference implementation were wrong, the Theorem 1 cross-validation in
+// package core would prove nothing.
+
+func reservations() *relation.Relation {
+	return relation.NewBuilder("n string").
+		Row(0, 7, "Ann").
+		Row(1, 5, "Joe").
+		Row(7, 11, "Ann").
+		MustBuild()
+}
+
+func mustEqual(t *testing.T, got, want *relation.Relation) {
+	t.Helper()
+	if !relation.SetEqual(got, want) {
+		onlyGot, onlyWant := relation.Diff(got, want)
+		t.Fatalf("only got: %v\nonly want: %v\ngot:\n%s", onlyGot, onlyWant, got)
+	}
+}
+
+// TestOracleQ1 evaluates the Fig. 1(b) left outer join from the
+// definitions (with timestamp propagation for the DUR predicate).
+func TestOracleQ1(t *testing.T) {
+	r := reservations()
+	ru := relation.NewBuilder("n string", "u period").MustBuild()
+	for _, tp := range r.Tuples {
+		c := tp.Clone()
+		c.Vals = append(c.Vals, periodOf(tp))
+		ru.Tuples = append(ru.Tuples, c)
+	}
+	p := relation.NewBuilder("a int", "mn int", "mx int").
+		Row(0, 5, 50, 1, 2).
+		Row(0, 5, 40, 3, 7).
+		Row(0, 12, 30, 8, 12).
+		Row(9, 12, 50, 1, 2).
+		Row(9, 12, 40, 3, 7).
+		MustBuild()
+	theta := expr.Between{X: expr.Dur(expr.C("u")), Lo: expr.C("mn"), Hi: expr.C("mx")}
+	got, err := LeftOuterJoin(ru, p, theta)
+	if err != nil {
+		t.Fatalf("oracle louter: %v", err)
+	}
+	// z3 and z4 must stay separate (change preservation at 2012/8).
+	nullPieces := 0
+	for _, tp := range got.Tuples {
+		if tp.Vals[2].IsNull() {
+			nullPieces++
+		}
+	}
+	if nullPieces != 2 {
+		t.Fatalf("want the two ω pieces z3/z4, got %d:\n%s", nullPieces, got)
+	}
+	if got.Len() != 5 {
+		t.Fatalf("want 5 result tuples, got %d:\n%s", got.Len(), got)
+	}
+}
+
+// TestOracleProjectionMergesRuns: maximal runs with identical lineage
+// merge, changes split.
+func TestOracleProjectionMergesRuns(t *testing.T) {
+	r := relation.NewBuilder("n string", "v int").
+		Row(0, 7, "Ann", 1).
+		Row(1, 5, "Ann", 2).
+		MustBuild()
+	got, err := Projection(r, "n")
+	if err != nil {
+		t.Fatalf("projection: %v", err)
+	}
+	want := relation.NewBuilder("n string").
+		Row(0, 1, "Ann").
+		Row(1, 5, "Ann").
+		Row(5, 7, "Ann").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestOracleDifferenceLineage: the whole-s lineage component keeps
+// non-adjacent surviving pieces separate but merges across irrelevant s
+// boundaries.
+func TestOracleDifference(t *testing.T) {
+	r := relation.NewBuilder("x string").Row(0, 10, "a").MustBuild()
+	s := relation.NewBuilder("x string").
+		Row(2, 4, "a").
+		Row(5, 6, "b"). // different value: no effect on a's pieces
+		MustBuild()
+	got, err := Difference(r, s)
+	if err != nil {
+		t.Fatalf("difference: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 2, "a").
+		Row(4, 10, "a").
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestOracleAggregation replays Q2 (Fig. 7) at the snapshot level.
+func TestOracleAggregation(t *testing.T) {
+	r := reservations()
+	ru := relation.NewBuilder("n string", "u period").MustBuild()
+	for _, tp := range r.Tuples {
+		c := tp.Clone()
+		c.Vals = append(c.Vals, periodOf(tp))
+		ru.Tuples = append(ru.Tuples, c)
+	}
+	got, err := Aggregation(ru, nil, []AggSpec{{Op: Avg, Arg: expr.Dur(expr.C("u")), Name: "d"}})
+	if err != nil {
+		t.Fatalf("aggregation: %v", err)
+	}
+	want := relation.NewBuilder("d float").
+		Row(0, 1, 7.0).
+		Row(1, 5, 5.5).
+		Row(5, 7, 7.0).
+		Row(7, 11, 4.0).
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestOracleGroupsValueEquivalentTuples: arguments that violate the
+// duplicate-free invariant still evaluate set-style operators — the
+// overlapping value-equivalent tuples fold into one snapshot row whose
+// lineage changes where the contributing set changes.
+func TestOracleGroupsValueEquivalentTuples(t *testing.T) {
+	bad := relation.NewBuilder("x string").
+		Row(0, 5, "a").
+		Row(3, 8, "a").
+		MustBuild()
+	other := relation.NewBuilder("x string").MustBuild()
+	got, err := Union(bad, other)
+	if err != nil {
+		t.Fatalf("union: %v", err)
+	}
+	want := relation.NewBuilder("x string").
+		Row(0, 3, "a"). // only the first tuple alive
+		Row(3, 5, "a"). // both alive: different lineage
+		Row(5, 8, "a"). // only the second
+		MustBuild()
+	mustEqual(t, got, want)
+}
+
+// TestOracleEmpty covers empty arguments.
+func TestOracleEmpty(t *testing.T) {
+	empty := relation.NewBuilder("x string").MustBuild()
+	out, err := CartesianProduct(empty, empty)
+	if err != nil || out.Len() != 0 {
+		t.Fatalf("empty product: %v %v", out, err)
+	}
+	sel, err := Selection(empty, expr.Eq(expr.C("x"), expr.Str("a")))
+	if err != nil || sel.Len() != 0 {
+		t.Fatalf("empty selection: %v %v", sel, err)
+	}
+}

@@ -1,0 +1,657 @@
+// Package plan implements the logical plan layer above the executor:
+// statistics-based cost estimation, join-method selection (nested loop vs
+// hash vs sort-merge) with PostgreSQL-style enable flags, the paper's row
+// and cost estimates for the new Align/Normalize nodes (Sec. 6.2/6.3), plan
+// construction helpers, and EXPLAIN rendering.
+//
+// The optimizer is deliberately in the spirit of the paper's host system:
+// enable flags add a large disable cost rather than removing an access path
+// (so a forced method still wins even if it is the only viable one), and
+// the group-construction joins of alignment and normalization go through
+// the same join planning as every other join — which is what Fig. 13
+// measures.
+package plan
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"talign/internal/exec"
+	"talign/internal/expr"
+	"talign/internal/relation"
+	"talign/internal/schema"
+)
+
+// Cost model constants, PostgreSQL-flavoured.
+const (
+	CPUTupleCost    = 0.01
+	CPUOperatorCost = 0.0025
+	SeqPageCost     = 1.0
+	TuplesPerPage   = 100
+	DisableCost     = 1.0e10
+
+	// Default selectivities.
+	EqSelectivity    = 0.005
+	RangeSelectivity = 1.0 / 3.0
+)
+
+// Flags mirror PostgreSQL's planner enable_* settings (Sec. 7.2 toggles
+// enable_mergejoin / enable_hashjoin to steer normalization's internal
+// join).
+type Flags struct {
+	EnableNestLoop  bool
+	EnableHashJoin  bool
+	EnableMergeJoin bool
+	EnableSort      bool
+	// EnableIntervalIndex turns on the sort-based overlap join for the
+	// aligner's group construction when θ has no equi keys (the paper's
+	// Sec. 8 future-work direction). Off by default to keep the
+	// paper-faithful access paths.
+	EnableIntervalIndex bool
+	// EnableAntiJoinRewrite evaluates the temporal antijoin with the
+	// customized gaps-only aligner instead of the generic Table 2
+	// reduction (Sec. 8 future work: primitives specialized per operator).
+	// Off by default for paper fidelity.
+	EnableAntiJoinRewrite bool
+}
+
+// DefaultFlags enables every paper-faithful access path.
+func DefaultFlags() Flags {
+	return Flags{EnableNestLoop: true, EnableHashJoin: true, EnableMergeJoin: true, EnableSort: true}
+}
+
+// JoinMethod enumerates physical join strategies.
+type JoinMethod uint8
+
+const (
+	MethodNestLoop JoinMethod = iota
+	MethodHash
+	MethodMerge
+)
+
+func (m JoinMethod) String() string {
+	return [...]string{"nestloop", "hash", "merge"}[m]
+}
+
+// Node is a logical plan node with cost estimates and a physical build.
+type Node interface {
+	Schema() schema.Schema
+	Children() []Node
+	// Rows is the estimated output cardinality.
+	Rows() float64
+	// Cost is the estimated total cost (children included).
+	Cost() float64
+	// Build instantiates the executor subtree.
+	Build() (exec.Iterator, error)
+	// Label describes the node for EXPLAIN.
+	Label() string
+}
+
+// Planner constructs plan nodes under a set of flags.
+type Planner struct {
+	Flags Flags
+}
+
+// NewPlanner returns a planner with the given flags.
+func NewPlanner(flags Flags) *Planner { return &Planner{Flags: flags} }
+
+// Explain renders the plan tree with estimates, one node per line.
+func Explain(n Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s  (rows=%.0f cost=%.2f)\n", n.Label(), n.Rows(), n.Cost())
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}
+
+// ----------------------------------------------------------------- scan
+
+// ScanNode reads a materialized relation.
+type ScanNode struct {
+	Rel  *relation.Relation
+	Name string
+}
+
+// Scan builds a scan node; name is used by EXPLAIN.
+func (p *Planner) Scan(rel *relation.Relation, name string) *ScanNode {
+	return &ScanNode{Rel: rel, Name: name}
+}
+
+func (s *ScanNode) Schema() schema.Schema { return s.Rel.Schema }
+func (s *ScanNode) Children() []Node      { return nil }
+func (s *ScanNode) Rows() float64         { return float64(s.Rel.Len()) }
+func (s *ScanNode) Cost() float64 {
+	pages := math.Ceil(float64(s.Rel.Len()) / TuplesPerPage)
+	return pages*SeqPageCost + float64(s.Rel.Len())*CPUTupleCost
+}
+func (s *ScanNode) Build() (exec.Iterator, error) { return exec.NewScan(s.Rel), nil }
+func (s *ScanNode) Label() string {
+	name := s.Name
+	if name == "" {
+		name = "relation"
+	}
+	return "SeqScan " + name
+}
+
+// ----------------------------------------------------------------- filter
+
+// FilterNode applies a predicate.
+type FilterNode struct {
+	Input Node
+	Pred  expr.Expr
+}
+
+// Filter builds a selection node; pred must be bound against input's
+// schema.
+func (p *Planner) Filter(input Node, pred expr.Expr) *FilterNode {
+	return &FilterNode{Input: input, Pred: pred}
+}
+
+func (f *FilterNode) Schema() schema.Schema { return f.Input.Schema() }
+func (f *FilterNode) Children() []Node      { return []Node{f.Input} }
+func (f *FilterNode) Rows() float64 {
+	return math.Max(1, f.Input.Rows()*selectivity(f.Pred))
+}
+func (f *FilterNode) Cost() float64 {
+	return f.Input.Cost() + f.Input.Rows()*CPUOperatorCost
+}
+func (f *FilterNode) Build() (exec.Iterator, error) {
+	in, err := f.Input.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewFilter(in, f.Pred), nil
+}
+func (f *FilterNode) Label() string { return "Filter " + f.Pred.String() }
+
+// selectivity estimates the fraction of tuples passing pred.
+func selectivity(pred expr.Expr) float64 {
+	sel := 1.0
+	for _, c := range expr.Conjuncts(pred) {
+		switch e := c.(type) {
+		case expr.Cmp:
+			if e.Op == expr.EQ {
+				sel *= EqSelectivity
+			} else {
+				sel *= RangeSelectivity
+			}
+		default:
+			sel *= 0.5
+		}
+	}
+	return sel
+}
+
+// ---------------------------------------------------------------- project
+
+// ProjectNode evaluates output expressions.
+type ProjectNode struct {
+	Input Node
+	Exprs []expr.Expr
+	Names []string
+	TMode exec.TPolicy
+	TExpr expr.Expr
+
+	out schema.Schema
+}
+
+// Project builds a projection node.
+func (p *Planner) Project(input Node, names []string, exprs []expr.Expr) *ProjectNode {
+	attrs := make([]schema.Attr, len(exprs))
+	for i := range exprs {
+		attrs[i] = schema.Attr{Name: names[i], Type: exprs[i].Type()}
+	}
+	return &ProjectNode{Input: input, Exprs: exprs, Names: names, out: schema.Schema{Attrs: attrs}}
+}
+
+// ProjectT builds a projection whose valid time comes from a period-typed
+// expression; tuples with ω/empty periods are dropped.
+func (p *Planner) ProjectT(input Node, names []string, exprs []expr.Expr, tExpr expr.Expr) *ProjectNode {
+	n := p.Project(input, names, exprs)
+	n.TMode = exec.TFromExpr
+	n.TExpr = tExpr
+	return n
+}
+
+func (pr *ProjectNode) Schema() schema.Schema { return pr.out }
+func (pr *ProjectNode) Children() []Node      { return []Node{pr.Input} }
+func (pr *ProjectNode) Rows() float64         { return pr.Input.Rows() }
+func (pr *ProjectNode) Cost() float64 {
+	return pr.Input.Cost() + pr.Input.Rows()*CPUOperatorCost*float64(len(pr.Exprs))
+}
+func (pr *ProjectNode) Build() (exec.Iterator, error) {
+	in, err := pr.Input.Build()
+	if err != nil {
+		return nil, err
+	}
+	node, err := exec.NewProject(in, pr.Names, pr.Exprs)
+	if err != nil {
+		return nil, err
+	}
+	node.TMode = pr.TMode
+	node.TExpr = pr.TExpr
+	return node, nil
+}
+func (pr *ProjectNode) Label() string {
+	parts := make([]string, len(pr.Exprs))
+	for i, e := range pr.Exprs {
+		parts[i] = e.String()
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+
+// ------------------------------------------------------------------- sort
+
+// SortNode orders its input.
+type SortNode struct {
+	Input Node
+	Keys  []exec.SortKey
+}
+
+// Sort builds a sort node.
+func (p *Planner) Sort(input Node, keys ...exec.SortKey) *SortNode {
+	return &SortNode{Input: input, Keys: keys}
+}
+
+func (s *SortNode) Schema() schema.Schema { return s.Input.Schema() }
+func (s *SortNode) Children() []Node      { return []Node{s.Input} }
+func (s *SortNode) Rows() float64         { return s.Input.Rows() }
+func (s *SortNode) Cost() float64 {
+	n := math.Max(s.Input.Rows(), 2)
+	return s.Input.Cost() + 2*CPUOperatorCost*n*math.Log2(n)
+}
+func (s *SortNode) Build() (exec.Iterator, error) {
+	in, err := s.Input.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewSort(in, s.Keys...), nil
+}
+func (s *SortNode) Label() string { return fmt.Sprintf("Sort (%d keys)", len(s.Keys)) }
+
+// ------------------------------------------------------------------- join
+
+// JoinNode joins two inputs; the physical method is chosen at construction
+// from the planner's flags and cost estimates.
+type JoinNode struct {
+	Left, Right Node
+	Cond        expr.Expr // bound against Concat(left, right); may be nil
+	Type        exec.JoinType
+	MatchT      bool
+
+	Method   JoinMethod
+	keys     []expr.EquiPair
+	residual expr.Expr
+	out      schema.Schema
+	cost     float64
+	rows     float64
+}
+
+// Join builds a join node and selects the cheapest enabled method.
+func (p *Planner) Join(l, r Node, cond expr.Expr, typ exec.JoinType, matchT bool) *JoinNode {
+	j := &JoinNode{Left: l, Right: r, Cond: cond, Type: typ, MatchT: matchT}
+	if typ == exec.SemiJoin || typ == exec.AntiJoin {
+		j.out = l.Schema()
+	} else {
+		j.out = l.Schema().Concat(r.Schema())
+	}
+	if cond != nil {
+		j.keys, j.residual = expr.SplitJoinCondition(cond, l.Schema().Len())
+	}
+	if matchT {
+		// The reduction rules compare adjusted timestamps with equality
+		// only (Table 2): T becomes an ordinary equi-join key, which is
+		// what lets reduced temporal joins use hash or merge strategies.
+		j.keys = append(j.keys, expr.EquiPair{Left: expr.TPeriod{}, Right: expr.TPeriod{}})
+	}
+	j.choose(p.Flags)
+	return j
+}
+
+// choose picks the physical method: candidate costs plus DisableCost for
+// disabled paths, cheapest wins.
+func (j *JoinNode) choose(flags Flags) {
+	lr, rr := math.Max(j.Left.Rows(), 1), math.Max(j.Right.Rows(), 1)
+	base := j.Left.Cost() + j.Right.Cost()
+
+	nlCost := base + lr*rr*CPUOperatorCost + rr*CPUTupleCost
+	if !flags.EnableNestLoop {
+		nlCost += DisableCost
+	}
+	best, bestCost := MethodNestLoop, nlCost
+
+	if len(j.keys) > 0 {
+		hashCost := base + rr*(CPUOperatorCost+CPUTupleCost) + lr*CPUOperatorCost*2
+		if !flags.EnableHashJoin {
+			hashCost += DisableCost
+		}
+		if hashCost < bestCost {
+			best, bestCost = MethodHash, hashCost
+		}
+		mergeCost := base +
+			2*CPUOperatorCost*lr*math.Log2(lr+1) +
+			2*CPUOperatorCost*rr*math.Log2(rr+1) +
+			(lr+rr)*CPUOperatorCost
+		if !flags.EnableMergeJoin {
+			mergeCost += DisableCost
+		}
+		if mergeCost < bestCost {
+			best, bestCost = MethodMerge, mergeCost
+		}
+	}
+	j.Method = best
+	j.cost = bestCost
+
+	sel := RangeSelectivity
+	if j.Cond == nil {
+		sel = 1.0
+	} else if len(j.keys) > 0 {
+		sel = math.Pow(EqSelectivity, float64(len(j.keys))) * 2
+	}
+	rows := lr * rr * sel
+	switch j.Type {
+	case exec.LeftOuterJoin:
+		rows = math.Max(rows, lr)
+	case exec.RightOuterJoin:
+		rows = math.Max(rows, rr)
+	case exec.FullOuterJoin:
+		rows = math.Max(rows, lr+rr)
+	case exec.SemiJoin, exec.AntiJoin:
+		rows = lr * 0.5
+	}
+	j.rows = math.Max(rows, 1)
+}
+
+func (j *JoinNode) Schema() schema.Schema { return j.out }
+func (j *JoinNode) Children() []Node      { return []Node{j.Left, j.Right} }
+func (j *JoinNode) Rows() float64         { return j.rows }
+func (j *JoinNode) Cost() float64         { return j.cost }
+
+func (j *JoinNode) Build() (exec.Iterator, error) {
+	l, err := j.Left.Build()
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.Right.Build()
+	if err != nil {
+		return nil, err
+	}
+	switch j.Method {
+	case MethodHash:
+		return exec.NewHashJoin(l, r, j.keys, j.residual, j.Type, j.MatchT), nil
+	case MethodMerge:
+		lk := make([]exec.SortKey, len(j.keys))
+		rk := make([]exec.SortKey, len(j.keys))
+		for i, k := range j.keys {
+			lk[i] = exec.SortKey{Expr: k.Left}
+			rk[i] = exec.SortKey{Expr: k.Right}
+		}
+		return exec.NewMergeJoin(exec.NewSort(l, lk...), exec.NewSort(r, rk...), j.keys, j.residual, j.Type, j.MatchT)
+	default:
+		return exec.NewNestedLoopJoin(l, r, j.Cond, j.Type, j.MatchT), nil
+	}
+}
+
+func (j *JoinNode) Label() string {
+	cond := "true"
+	if j.Cond != nil {
+		cond = j.Cond.String()
+	}
+	t := ""
+	if j.MatchT {
+		t = " AND l.T = r.T"
+	}
+	return fmt.Sprintf("%s %s join ON %s%s", j.Method, j.Type, cond, t)
+}
+
+// -------------------------------------------------------- interval join
+
+// IntervalJoinNode is the sort-based overlap join (Sec. 8 future work):
+// group construction for alignment when θ admits no equi keys.
+type IntervalJoinNode struct {
+	Left, Right Node
+	Cond        expr.Expr
+	Type        exec.JoinType
+
+	out schema.Schema
+}
+
+// IntervalJoin builds the node (inner or left outer only).
+func (p *Planner) IntervalJoin(l, r Node, cond expr.Expr, typ exec.JoinType) *IntervalJoinNode {
+	return &IntervalJoinNode{Left: l, Right: r, Cond: cond, Type: typ, out: l.Schema().Concat(r.Schema())}
+}
+
+func (j *IntervalJoinNode) Schema() schema.Schema { return j.out }
+func (j *IntervalJoinNode) Children() []Node      { return []Node{j.Left, j.Right} }
+func (j *IntervalJoinNode) Rows() float64 {
+	rows := j.Left.Rows() * 3 // a few overlap partners per tuple
+	if j.Type == exec.LeftOuterJoin {
+		rows = math.Max(rows, j.Left.Rows())
+	}
+	return math.Max(rows, 1)
+}
+func (j *IntervalJoinNode) Cost() float64 {
+	lr, rr := math.Max(j.Left.Rows(), 2), math.Max(j.Right.Rows(), 2)
+	return j.Left.Cost() + j.Right.Cost() +
+		2*CPUOperatorCost*rr*math.Log2(rr) + // sort the inner
+		lr*CPUOperatorCost*math.Log2(rr) + // binary search per outer tuple
+		j.Rows()*CPUOperatorCost // window scan
+}
+func (j *IntervalJoinNode) Build() (exec.Iterator, error) {
+	l, err := j.Left.Build()
+	if err != nil {
+		return nil, err
+	}
+	r, err := j.Right.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewIntervalJoin(l, r, j.Cond, j.Type)
+}
+func (j *IntervalJoinNode) Label() string {
+	cond := "true"
+	if j.Cond != nil {
+		cond = j.Cond.String()
+	}
+	return fmt.Sprintf("interval-index %s join ON %s", j.Type, cond)
+}
+
+// ------------------------------------------------------------- aggregation
+
+// AggNode groups and aggregates.
+type AggNode struct {
+	Input    Node
+	GroupBy  []expr.Expr
+	Names    []string
+	GroupByT bool
+	Aggs     []exec.AggSpec
+
+	out schema.Schema
+}
+
+// Aggregate builds an aggregation node.
+func (p *Planner) Aggregate(input Node, groupBy []expr.Expr, names []string, groupByT bool, aggs []exec.AggSpec) (*AggNode, error) {
+	probe, err := exec.NewHashAggregate(exec.NewScan(relation.New(input.Schema())), groupBy, names, groupByT, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &AggNode{Input: input, GroupBy: groupBy, Names: names, GroupByT: groupByT, Aggs: aggs, out: probe.Schema()}, nil
+}
+
+func (a *AggNode) Schema() schema.Schema { return a.out }
+func (a *AggNode) Children() []Node      { return []Node{a.Input} }
+func (a *AggNode) Rows() float64 {
+	if len(a.GroupBy) == 0 && !a.GroupByT {
+		return 1
+	}
+	return math.Max(1, a.Input.Rows()*0.1)
+}
+func (a *AggNode) Cost() float64 {
+	return a.Input.Cost() + a.Input.Rows()*CPUOperatorCost*float64(1+len(a.Aggs))
+}
+func (a *AggNode) Build() (exec.Iterator, error) {
+	in, err := a.Input.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewHashAggregate(in, a.GroupBy, a.Names, a.GroupByT, a.Aggs)
+}
+func (a *AggNode) Label() string {
+	return fmt.Sprintf("HashAggregate (%d group cols, byT=%v, %d aggs)", len(a.GroupBy), a.GroupByT, len(a.Aggs))
+}
+
+// ----------------------------------------------------------------- set ops
+
+// SetOpNode implements union/intersect/except.
+type SetOpNode struct {
+	Left, Right Node
+	Kind        exec.SetOpKind
+}
+
+// SetOp builds a set operation node.
+func (p *Planner) SetOp(l, r Node, kind exec.SetOpKind) *SetOpNode {
+	return &SetOpNode{Left: l, Right: r, Kind: kind}
+}
+
+func (s *SetOpNode) Schema() schema.Schema { return s.Left.Schema() }
+func (s *SetOpNode) Children() []Node      { return []Node{s.Left, s.Right} }
+func (s *SetOpNode) Rows() float64 {
+	switch s.Kind {
+	case exec.UnionOp:
+		return s.Left.Rows() + s.Right.Rows()
+	case exec.IntersectOp:
+		return math.Min(s.Left.Rows(), s.Right.Rows()) * 0.5
+	default:
+		return s.Left.Rows() * 0.5
+	}
+}
+func (s *SetOpNode) Cost() float64 {
+	return s.Left.Cost() + s.Right.Cost() + (s.Left.Rows()+s.Right.Rows())*CPUOperatorCost
+}
+func (s *SetOpNode) Build() (exec.Iterator, error) {
+	l, err := s.Left.Build()
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.Right.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewSetOp(l, r, s.Kind)
+}
+func (s *SetOpNode) Label() string { return "SetOp " + s.Kind.String() }
+
+// ---------------------------------------------------------------- distinct
+
+// DistinctNode removes exact duplicates.
+type DistinctNode struct{ Input Node }
+
+// Distinct builds a duplicate-elimination node.
+func (p *Planner) Distinct(input Node) *DistinctNode { return &DistinctNode{Input: input} }
+
+func (d *DistinctNode) Schema() schema.Schema { return d.Input.Schema() }
+func (d *DistinctNode) Children() []Node      { return []Node{d.Input} }
+func (d *DistinctNode) Rows() float64         { return math.Max(1, d.Input.Rows()*0.9) }
+func (d *DistinctNode) Cost() float64 {
+	return d.Input.Cost() + d.Input.Rows()*CPUOperatorCost
+}
+func (d *DistinctNode) Build() (exec.Iterator, error) {
+	in, err := d.Input.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewDistinct(in), nil
+}
+func (d *DistinctNode) Label() string { return "Distinct" }
+
+// ----------------------------------------------------- adjust (align/norm)
+
+// AdjustNode is the logical node for the plane-sweep primitive. Its row
+// and cost estimates are the paper's (Sec. 6.2 for alignment, Sec. 6.3 for
+// normalization):
+//
+//	align:     numRows = 3·input.numRows
+//	           cost    = input.cost + 2·cpu_op·input.numRows·numCols
+//	normalize: numRows = 2·input.numRows
+//	           cost    = input.cost + cpu_op·input.numRows·numCols
+type AdjustNode struct {
+	Input     Node
+	Mode      exec.AdjustMode
+	LeftWidth int
+	P1, P2    expr.Expr
+
+	out schema.Schema
+}
+
+// Adjust builds the plane-sweep node over the group-construction stream.
+func (p *Planner) Adjust(input Node, mode exec.AdjustMode, leftWidth int, p1, p2 expr.Expr) *AdjustNode {
+	cols := make([]int, leftWidth)
+	for i := range cols {
+		cols[i] = i
+	}
+	return &AdjustNode{Input: input, Mode: mode, LeftWidth: leftWidth, P1: p1, P2: p2, out: input.Schema().Project(cols)}
+}
+
+func (a *AdjustNode) Schema() schema.Schema { return a.out }
+func (a *AdjustNode) Children() []Node      { return []Node{a.Input} }
+func (a *AdjustNode) Rows() float64 {
+	if a.Mode == exec.ModeAlign {
+		return 3 * a.Input.Rows()
+	}
+	return 2 * a.Input.Rows()
+}
+func (a *AdjustNode) Cost() float64 {
+	numCols := float64(a.LeftWidth)
+	if a.Mode == exec.ModeAlign {
+		return a.Input.Cost() + 2*CPUOperatorCost*a.Input.Rows()*numCols
+	}
+	return a.Input.Cost() + CPUOperatorCost*a.Input.Rows()*numCols
+}
+func (a *AdjustNode) Build() (exec.Iterator, error) {
+	in, err := a.Input.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewAdjust(in, a.Mode, a.LeftWidth, a.P1, a.P2)
+}
+func (a *AdjustNode) Label() string { return "Adjust " + a.Mode.String() }
+
+// ----------------------------------------------------------------- absorb
+
+// AbsorbNode is the logical α node.
+type AbsorbNode struct{ Input Node }
+
+// Absorb builds the temporal-duplicate elimination node (Def. 12).
+func (p *Planner) Absorb(input Node) *AbsorbNode { return &AbsorbNode{Input: input} }
+
+func (a *AbsorbNode) Schema() schema.Schema { return a.Input.Schema() }
+func (a *AbsorbNode) Children() []Node      { return []Node{a.Input} }
+func (a *AbsorbNode) Rows() float64         { return math.Max(1, a.Input.Rows()*0.9) }
+func (a *AbsorbNode) Cost() float64 {
+	n := math.Max(a.Input.Rows(), 2)
+	return a.Input.Cost() + 2*CPUOperatorCost*n*math.Log2(n)
+}
+func (a *AbsorbNode) Build() (exec.Iterator, error) {
+	in, err := a.Input.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewAbsorb(in), nil
+}
+func (a *AbsorbNode) Label() string { return "Absorb" }
+
+// Run builds and drains a plan into a relation.
+func Run(n Node) (*relation.Relation, error) {
+	it, err := n.Build()
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(it)
+}

@@ -1,0 +1,186 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"talign/internal/exec"
+	"talign/internal/expr"
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+func sampleRel(n int) *relation.Relation {
+	b := relation.NewBuilder("k int", "v int")
+	for i := 0; i < n; i++ {
+		b.Row(int64(i), int64(i)+1, i%10, i)
+	}
+	return b.MustBuild()
+}
+
+func equiCond(split int) expr.Expr {
+	return expr.Eq(expr.CI(0, value.KindInt), expr.CI(split, value.KindInt))
+}
+
+// TestPaperCostEstimates checks the Sec. 6.2/6.3 formulas: alignment
+// estimates 3× input rows, normalization 2×, with the stated CPU costs.
+func TestPaperCostEstimates(t *testing.T) {
+	p := NewPlanner(DefaultFlags())
+	scan := p.Scan(sampleRel(100), "r")
+	adjA := p.Adjust(scan, exec.ModeAlign, 2, expr.TStart{}, expr.TEnd{})
+	if got := adjA.Rows(); got != 300 {
+		t.Fatalf("align rows: got %v want 300 (= 3·input)", got)
+	}
+	wantCostA := scan.Cost() + 2*CPUOperatorCost*100*2
+	if got := adjA.Cost(); got != wantCostA {
+		t.Fatalf("align cost: got %v want %v", got, wantCostA)
+	}
+	adjN := p.Adjust(scan, exec.ModeNormalize, 2, expr.TStart{}, nil)
+	if got := adjN.Rows(); got != 200 {
+		t.Fatalf("normalize rows: got %v want 200 (= 2·input)", got)
+	}
+	wantCostN := scan.Cost() + CPUOperatorCost*100*2
+	if got := adjN.Cost(); got != wantCostN {
+		t.Fatalf("normalize cost: got %v want %v", got, wantCostN)
+	}
+}
+
+// TestJoinMethodSelection mirrors the Sec. 7.2 experiment mechanics: with
+// everything enabled an equi join picks hash or merge; disabling paths
+// steers the choice, and with only nestloop left it falls back to it.
+func TestJoinMethodSelection(t *testing.T) {
+	rel := sampleRel(1000)
+	mk := func(flags Flags) JoinMethod {
+		p := NewPlanner(flags)
+		j := p.Join(p.Scan(rel, "r"), p.Scan(rel, "s"), equiCond(2), exec.InnerJoin, false)
+		return j.Method
+	}
+	all := DefaultFlags()
+	if m := mk(all); m == MethodNestLoop {
+		t.Fatalf("equi join with all paths enabled must not pick nestloop, got %s", m)
+	}
+	noMerge := all
+	noMerge.EnableMergeJoin = false
+	if m := mk(noMerge); m != MethodHash {
+		t.Fatalf("with merge disabled want hash, got %s", m)
+	}
+	nlOnly := Flags{EnableNestLoop: true}
+	if m := mk(nlOnly); m != MethodNestLoop {
+		t.Fatalf("with only nestloop want nestloop, got %s", m)
+	}
+	// Non-equi conditions can only nest-loop.
+	p := NewPlanner(all)
+	j := p.Join(p.Scan(rel, "r"), p.Scan(rel, "s"),
+		expr.Lt(expr.CI(0, value.KindInt), expr.CI(2, value.KindInt)), exec.InnerJoin, false)
+	if j.Method != MethodNestLoop {
+		t.Fatalf("non-equi join must nestloop, got %s", j.Method)
+	}
+}
+
+// TestMatchTAddsTimestampKey: with MatchT the adjusted timestamp becomes an
+// equi key, so even θ=true joins can hash (the Table 2 joins after
+// alignment).
+func TestMatchTAddsTimestampKey(t *testing.T) {
+	rel := sampleRel(1000)
+	p := NewPlanner(DefaultFlags())
+	j := p.Join(p.Scan(rel, "r"), p.Scan(rel, "s"), nil, exec.InnerJoin, true)
+	if j.Method == MethodNestLoop {
+		t.Fatalf("T-equality join should hash or merge, got %s", j.Method)
+	}
+}
+
+// TestDisabledPathStillUsable: disabling every path must still produce a
+// plan (disable costs, not hard removal).
+func TestDisabledPathStillUsable(t *testing.T) {
+	rel := sampleRel(10)
+	p := NewPlanner(Flags{})
+	j := p.Join(p.Scan(rel, "r"), p.Scan(rel, "s"), equiCond(2), exec.InnerJoin, false)
+	out, err := Run(j)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("join produced nothing")
+	}
+}
+
+// TestJoinMethodsProduceSameResult runs the same plan under each forced
+// method and compares.
+func TestJoinMethodsProduceSameResult(t *testing.T) {
+	rel := sampleRel(50)
+	var results []*relation.Relation
+	for _, flags := range []Flags{
+		{EnableNestLoop: true},
+		{EnableHashJoin: true, EnableNestLoop: true},
+		{EnableMergeJoin: true, EnableSort: true, EnableNestLoop: true},
+	} {
+		p := NewPlanner(flags)
+		j := p.Join(p.Scan(rel, "r"), p.Scan(rel, "s"), equiCond(2), exec.LeftOuterJoin, false)
+		out, err := Run(j)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		results = append(results, out)
+	}
+	for i := 1; i < len(results); i++ {
+		if !relation.SetEqual(results[0], results[i]) {
+			t.Fatalf("method %d produced different result", i)
+		}
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	rel := sampleRel(10)
+	p := NewPlanner(DefaultFlags())
+	node := p.Absorb(p.Distinct(p.Filter(p.Scan(rel, "r"),
+		expr.Gt(expr.CI(1, value.KindInt), expr.Int(3)))))
+	text := Explain(node)
+	for _, part := range []string{"Absorb", "Distinct", "Filter", "SeqScan r", "rows=", "cost="} {
+		if !strings.Contains(text, part) {
+			t.Fatalf("explain missing %q:\n%s", part, text)
+		}
+	}
+}
+
+// TestScanCostGrowsWithSize sanity-checks the scan model.
+func TestScanCostGrowsWithSize(t *testing.T) {
+	p := NewPlanner(DefaultFlags())
+	small := p.Scan(sampleRel(10), "s")
+	big := p.Scan(sampleRel(1000), "b")
+	if small.Cost() >= big.Cost() {
+		t.Fatal("scan cost must grow with relation size")
+	}
+	if small.Rows() != 10 || big.Rows() != 1000 {
+		t.Fatal("scan row estimates must be exact")
+	}
+}
+
+// TestAggregateAndSetOpNodes exercises the remaining node constructors.
+func TestAggregateAndSetOpNodes(t *testing.T) {
+	rel := sampleRel(20)
+	p := NewPlanner(DefaultFlags())
+	agg, err := p.Aggregate(p.Scan(rel, "r"),
+		[]expr.Expr{expr.CI(0, value.KindInt)}, []string{"k"}, false,
+		[]exec.AggSpec{{Func: exec.AggCountStar, Name: "c"}})
+	if err != nil {
+		t.Fatalf("aggregate: %v", err)
+	}
+	out, err := Run(agg)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if out.Len() != 10 {
+		t.Fatalf("want 10 groups, got %d", out.Len())
+	}
+	set := p.SetOp(p.Scan(rel, "a"), p.Scan(rel, "b"), exec.IntersectOp)
+	out2, err := Run(set)
+	if err != nil {
+		t.Fatalf("setop run: %v", err)
+	}
+	if out2.Len() != rel.Len() {
+		t.Fatalf("self-intersection must keep all tuples, got %d", out2.Len())
+	}
+	if set.Rows() <= 0 || agg.Rows() <= 0 {
+		t.Fatal("row estimates must be positive")
+	}
+}

@@ -1,0 +1,57 @@
+package randrel
+
+import (
+	"math/rand"
+	"testing"
+
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+func TestGeneratorInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := DefaultConfig(
+		schema.Attr{Name: "x", Type: value.KindString},
+		schema.Attr{Name: "v", Type: value.KindInt},
+	)
+	for round := 0; round < 200; round++ {
+		r := Generate(rng, cfg)
+		if r.Len() > cfg.MaxTuples {
+			t.Fatalf("too many tuples: %d", r.Len())
+		}
+		if err := r.DuplicateFree(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for _, tp := range r.Tuples {
+			if tp.T.Ts < 0 || tp.T.Te > cfg.TimeMax {
+				t.Fatalf("interval %v outside [0, %d)", tp.T, cfg.TimeMax)
+			}
+			if !tp.T.Valid() {
+				t.Fatalf("invalid interval %v", tp.T)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := DefaultConfig(schema.Attr{Name: "x", Type: value.KindString})
+	a := Generate(rand.New(rand.NewSource(9)), cfg)
+	b := Generate(rand.New(rand.NewSource(9)), cfg)
+	if a.Len() != b.Len() {
+		t.Fatal("same seed must give same relation")
+	}
+	for i := range a.Tuples {
+		if !a.Tuples[i].Equal(b.Tuples[i]) {
+			t.Fatal("same seed must give same tuples")
+		}
+	}
+}
+
+func TestPair(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cfg := DefaultConfig(schema.Attr{Name: "x", Type: value.KindInt})
+	a, b := Pair(rng, cfg, cfg)
+	if a == nil || b == nil {
+		t.Fatal("pair must generate both relations")
+	}
+}

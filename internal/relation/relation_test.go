@@ -1,0 +1,223 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"talign/internal/interval"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+func sample() *Relation {
+	return NewBuilder("n string", "v int").
+		Row(0, 5, "a", 1).
+		Row(3, 9, "b", 2).
+		Row(9, 12, "a", 1).
+		MustBuild()
+}
+
+func TestBuilderAndAppend(t *testing.T) {
+	r := sample()
+	if r.Len() != 3 {
+		t.Fatalf("len: %d", r.Len())
+	}
+	if err := r.Append(tuple.New(interval.New(0, 1), value.NewString("x"))); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if err := r.Append(tuple.New(interval.New(0, 1), value.NewString("x"), value.NewString("y"))); err == nil {
+		t.Fatal("type mismatch must fail")
+	}
+	if err := r.Append(tuple.New(interval.New(0, 1), value.Null, value.Null)); err != nil {
+		t.Fatalf("ω must be accepted for any type: %v", err)
+	}
+	if _, err := NewBuilder("bad").Build(); err == nil {
+		t.Fatal("bad attribute spec must fail")
+	}
+	if _, err := NewBuilder("x sometype").Build(); err == nil {
+		t.Fatal("unknown type must fail")
+	}
+}
+
+func TestDuplicateFree(t *testing.T) {
+	ok := sample()
+	if err := ok.DuplicateFree(); err != nil {
+		t.Fatalf("sample is duplicate free: %v", err)
+	}
+	bad := NewBuilder("n string").
+		Row(0, 5, "a").
+		Row(3, 7, "a").
+		MustBuild()
+	if err := bad.DuplicateFree(); err == nil {
+		t.Fatal("overlapping value-equivalent tuples must be rejected")
+	}
+	adjacent := NewBuilder("n string").
+		Row(0, 5, "a").
+		Row(5, 7, "a").
+		MustBuild()
+	if err := adjacent.DuplicateFree(); err != nil {
+		t.Fatalf("adjacent tuples are fine: %v", err)
+	}
+}
+
+func TestTimeslice(t *testing.T) {
+	r := sample()
+	snap := r.Timeslice(4)
+	if snap.Len() != 2 {
+		t.Fatalf("snapshot at 4: %d rows", snap.Len())
+	}
+	for _, tp := range snap.Tuples {
+		if !tp.T.Zero() {
+			t.Fatal("snapshots are nontemporal")
+		}
+	}
+	if got := r.Timeslice(100).Len(); got != 0 {
+		t.Fatalf("snapshot at 100: %d rows", got)
+	}
+	if idx := r.TimesliceIdx(4); len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("timeslice idx: %v", idx)
+	}
+}
+
+func TestActiveDomainAndSpan(t *testing.T) {
+	r := sample()
+	dom := r.ActiveDomain()
+	want := []int64{0, 3, 5, 9, 12}
+	if len(dom) != len(want) {
+		t.Fatalf("domain: %v", dom)
+	}
+	for i := range want {
+		if dom[i] != want[i] {
+			t.Fatalf("domain: %v", dom)
+		}
+	}
+	span, ok := r.Span()
+	if !ok || span != interval.New(0, 12) {
+		t.Fatalf("span: %v %v", span, ok)
+	}
+	if _, ok := New(r.Schema).Span(); ok {
+		t.Fatal("empty relation has no span")
+	}
+}
+
+func TestSetEqualAndDiff(t *testing.T) {
+	a := sample()
+	b := sample()
+	// Different order, same set.
+	b.Tuples[0], b.Tuples[2] = b.Tuples[2], b.Tuples[0]
+	if !SetEqual(a, b) {
+		t.Fatal("permutation must be set-equal")
+	}
+	c := sample()
+	c.Tuples = c.Tuples[:2]
+	if SetEqual(a, c) {
+		t.Fatal("subset must not be set-equal")
+	}
+	onlyA, onlyC := Diff(a, c)
+	if len(onlyA) != 1 || len(onlyC) != 0 {
+		t.Fatalf("diff: %v %v", onlyA, onlyC)
+	}
+	// Duplicates collapse under set semantics.
+	d := sample()
+	d.Tuples = append(d.Tuples, d.Tuples[0].Clone())
+	if !SetEqual(a, d) {
+		t.Fatal("duplicate must not affect set equality")
+	}
+}
+
+func TestDedupAndSort(t *testing.T) {
+	r := NewBuilder("n string").
+		Row(3, 5, "b").
+		Row(0, 2, "a").
+		Row(0, 2, "a").
+		MustBuild()
+	r.Dedup()
+	if r.Len() != 2 {
+		t.Fatalf("dedup: %d", r.Len())
+	}
+	if r.Tuples[0].Vals[0].Str() != "a" {
+		t.Fatal("dedup must sort canonically")
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	r := NewBuilder("n string").
+		Row(0, 3, "a").
+		Row(3, 6, "a"). // adjacent: merges
+		Row(8, 9, "a"). // gap: stays
+		Row(0, 9, "b").
+		MustBuild()
+	got := r.Coalesce()
+	want := NewBuilder("n string").
+		Row(0, 6, "a").
+		Row(8, 9, "a").
+		Row(0, 9, "b").
+		MustBuild()
+	if !SetEqual(got, want) {
+		t.Fatalf("coalesce:\n%s", got)
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	r := sample()
+	c := r.Clone()
+	c.Schema.Attrs[0].Name = "renamed"
+	c.Tuples[0].Vals[0] = value.NewString("zzz")
+	if r.Schema.Attrs[0].Name != "n" {
+		t.Fatal("clone must not alias the schema")
+	}
+	if r.Tuples[0].Vals[0].Str() != "a" {
+		t.Fatal("clone must not alias tuple values")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := sample().String()
+	for _, part := range []string{"n string", "v int", "[0, 5)", "(a, 1)"} {
+		if !strings.Contains(s, part) {
+			t.Fatalf("rendering missing %q:\n%s", part, s)
+		}
+	}
+}
+
+func TestAutoConversions(t *testing.T) {
+	for _, c := range []struct {
+		in   any
+		kind value.Kind
+	}{
+		{nil, value.KindNull},
+		{true, value.KindBool},
+		{int(1), value.KindInt},
+		{int32(1), value.KindInt},
+		{int64(1), value.KindInt},
+		{1.5, value.KindFloat},
+		{"x", value.KindString},
+		{interval.New(0, 1), value.KindInterval},
+		{value.NewInt(9), value.KindInt},
+	} {
+		v, err := Auto(c.in)
+		if err != nil || v.Kind() != c.kind {
+			t.Fatalf("Auto(%v): %v %v", c.in, v, err)
+		}
+	}
+	if _, err := Auto(struct{}{}); err == nil {
+		t.Fatal("unconvertible type must fail")
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for in, want := range map[string]value.Kind{
+		"int": value.KindInt, "bigint": value.KindInt, "integer": value.KindInt,
+		"float": value.KindFloat, "double": value.KindFloat,
+		"string": value.KindString, "text": value.KindString, "varchar": value.KindString,
+		"bool": value.KindBool, "period": value.KindInterval,
+	} {
+		got, err := ParseKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseKind(%q): %v %v", in, got, err)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Fatal("unknown kind must fail")
+	}
+}

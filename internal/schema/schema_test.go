@@ -1,0 +1,76 @@
+package schema
+
+import (
+	"testing"
+
+	"talign/internal/value"
+)
+
+func TestNewRejectsDuplicates(t *testing.T) {
+	if _, err := New(Attr{Name: "a", Type: value.KindInt}, Attr{Name: "A", Type: value.KindInt}); err == nil {
+		t.Fatal("case-insensitive duplicate must fail")
+	}
+	s, err := New(Attr{Name: "a", Type: value.KindInt}, Attr{Name: "b", Type: value.KindString})
+	if err != nil || s.Len() != 2 {
+		t.Fatalf("new: %v %v", s, err)
+	}
+}
+
+func TestIndexAndIndexes(t *testing.T) {
+	s := MustNew(Attr{Name: "a", Type: value.KindInt}, Attr{Name: "b", Type: value.KindString})
+	if s.Index("B") != 1 || s.Index("a") != 0 || s.Index("zz") != -1 {
+		t.Fatal("index lookup broken")
+	}
+	idx, err := s.Indexes("b", "a")
+	if err != nil || idx[0] != 1 || idx[1] != 0 {
+		t.Fatalf("indexes: %v %v", idx, err)
+	}
+	if _, err := s.Indexes("zz"); err == nil {
+		t.Fatal("unknown name must fail")
+	}
+}
+
+func TestProjectConcat(t *testing.T) {
+	s := MustNew(Attr{Name: "a", Type: value.KindInt}, Attr{Name: "b", Type: value.KindString})
+	p := s.Project([]int{1})
+	if p.Len() != 1 || p.Attrs[0].Name != "b" {
+		t.Fatalf("project: %v", p)
+	}
+	c := s.Concat(p)
+	if c.Len() != 3 || c.Attrs[2].Name != "b" {
+		t.Fatalf("concat: %v", c)
+	}
+}
+
+func TestUnionCompatible(t *testing.T) {
+	a := MustNew(Attr{Name: "x", Type: value.KindInt}, Attr{Name: "y", Type: value.KindString})
+	b := MustNew(Attr{Name: "p", Type: value.KindFloat}, Attr{Name: "q", Type: value.KindString})
+	if !a.UnionCompatible(b) {
+		t.Fatal("numeric kinds are compatible")
+	}
+	c := MustNew(Attr{Name: "p", Type: value.KindString}, Attr{Name: "q", Type: value.KindString})
+	if a.UnionCompatible(c) {
+		t.Fatal("int vs string must not be compatible")
+	}
+	d := MustNew(Attr{Name: "only", Type: value.KindInt})
+	if a.UnionCompatible(d) {
+		t.Fatal("arity mismatch must not be compatible")
+	}
+	// ω-typed (padding) columns union with anything.
+	e := MustNew(Attr{Name: "p", Type: value.KindNull}, Attr{Name: "q", Type: value.KindNull})
+	if !a.UnionCompatible(e) {
+		t.Fatal("null columns must be wildcards")
+	}
+}
+
+func TestEqualAndString(t *testing.T) {
+	a := MustNew(Attr{Name: "x", Type: value.KindInt})
+	b := MustNew(Attr{Name: "X", Type: value.KindInt})
+	c := MustNew(Attr{Name: "x", Type: value.KindString})
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("schema equality broken")
+	}
+	if a.String() != "(x int)" {
+		t.Fatalf("string: %q", a.String())
+	}
+}

@@ -1,0 +1,163 @@
+// Package sqlish implements the SQL dialect of Sec. 6: the standard SELECT
+// fragment (WITH, joins including outer joins, WHERE, GROUP BY, HAVING, set
+// operations, ORDER BY) extended with the paper's keywords:
+//
+//	FROM (r ALIGN s ON θ) x            -- temporal alignment (Sec. 6.2)
+//	FROM (r NORMALIZE s USING (b)) x   -- temporal normalization (Sec. 6.3)
+//	SELECT ABSORB ...                  -- absorb instead of DISTINCT
+//
+// Valid time is exposed through the virtual columns Ts and Te: selecting
+// them (unaliased) sets the result's valid time; aliasing them (SELECT Ts
+// AS Us, Te AS Ue, *) propagates the timestamps as ordinary data, which is
+// how queries obtain extended snapshot reducibility.
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokKind
+	text string // identifiers are lower-cased; symbols canonical
+	pos  int
+}
+
+// lexer tokenizes the input.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(l.src[start:l.pos]), pos: start})
+		case c >= '0' && c <= '9':
+			seenDot := false
+			for l.pos < len(l.src) {
+				d := l.src[l.pos]
+				if d == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sqlish: unterminated string at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		default:
+			sym := l.symbol()
+			if sym == "" {
+				return nil, fmt.Errorf("sqlish: unexpected character %q at %d", c, l.pos)
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+// symbol consumes one operator or punctuation token.
+func (l *lexer) symbol() string {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		if two == "!=" {
+			return "<>"
+		}
+		return two
+	}
+	switch c := l.src[l.pos]; c {
+	case '(', ')', ',', '.', '*', '+', '-', '/', '%', '=', '<', '>':
+		l.pos++
+		return string(c)
+	}
+	return ""
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// reserved words that cannot be used as implicit aliases.
+var reserved = map[string]bool{
+	"select": true, "distinct": true, "absorb": true, "from": true,
+	"where": true, "group": true, "by": true, "having": true,
+	"order": true, "asc": true, "desc": true, "as": true, "with": true,
+	"align": true, "normalize": true, "using": true, "on": true,
+	"join": true, "inner": true, "left": true, "right": true, "full": true,
+	"outer": true, "cross": true, "and": true, "or": true, "not": true,
+	"between": true, "is": true, "null": true, "union": true,
+	"intersect": true, "except": true, "true": true, "false": true,
+	"explain": true,
+}
