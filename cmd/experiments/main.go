@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"talign/internal/baseline"
 	"talign/internal/benchkit"
@@ -28,7 +30,27 @@ var (
 	nlMax     = flag.Int("nlmax", 4000, "largest input for nested-loop series (quadratic)")
 	sqlMax    = flag.Int("sqlmax", 2000, "largest input for standard-SQL series (quadratic)")
 	seed      = flag.Int64("seed", 1, "dataset seed")
+	dopFlag   = flag.Int("j", 1, "degree of parallelism: when > 1, parallel exchange series are added (0 = all CPUs)")
 )
+
+// dop resolves the -j flag (0 means every CPU; negatives are rejected).
+func dop() int {
+	if *dopFlag < 0 {
+		fmt.Fprintf(os.Stderr, "-j must be >= 0 (0 = all CPUs), got %d\n", *dopFlag)
+		os.Exit(1)
+	}
+	if *dopFlag == 0 {
+		return runtime.NumCPU()
+	}
+	return *dopFlag
+}
+
+// parFlags is DefaultFlags with the exchange layer enabled at -j workers.
+func parFlags() plan.Flags {
+	f := plan.DefaultFlags()
+	f.DOP = dop()
+	return f
+}
 
 func main() {
 	flag.Parse()
@@ -66,10 +88,16 @@ func main() {
 
 func sizes(base []int) []int { return benchkit.Scale(base, *scaleFlag) }
 
-// incumbenPrefix caches generated Incumben datasets per size.
-var incCache = map[int]*relation.Relation{}
+// incCache caches generated Incumben datasets per size; the mutex keeps it
+// safe if sweeps ever run concurrently.
+var (
+	incMu    sync.Mutex
+	incCache = map[int]*relation.Relation{}
+)
 
 func incumben(n int) *relation.Relation {
+	incMu.Lock()
+	defer incMu.Unlock()
 	if rel, ok := incCache[n]; ok {
 		return rel
 	}
@@ -103,6 +131,14 @@ func fig13a() (benchkit.Figure, error) {
 		{"merge", plan.Flags{EnableMergeJoin: true, EnableSort: true}, 1 << 30},
 		{"hash", plan.Flags{EnableHashJoin: true}, 1 << 30},
 		{"nestloop", plan.Flags{EnableNestLoop: true}, *nlMax},
+	}
+	if dop() > 1 {
+		par := plan.Flags{EnableHashJoin: true, DOP: dop()}
+		variants = append(variants, struct {
+			name  string
+			flags plan.Flags
+			cap   int
+		}{fmt.Sprintf("hash-par(j=%d)", dop()), par, 1 << 30})
 	}
 	for _, v := range variants {
 		s, err := benchkit.Sweep(v.name, benchkit.CapSizes(sz, v.cap), normalizeRun([]string{"ssn"}, v.flags))
@@ -256,6 +292,21 @@ func fig15d() (benchkit.Figure, error) {
 		return fig, err
 	}
 	fig.Series = append(fig.Series, sAlign, sSQL)
+	if dop() > 1 {
+		run := func(n int) (int, error) {
+			r, s := dataset.SplitHalves(incumben(n), []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
+			out, err := core.New(parFlags()).FullOuterJoin(r, s, baseline.O3Theta())
+			if err != nil {
+				return 0, err
+			}
+			return out.Len(), nil
+		}
+		sPar, err := benchkit.Sweep(fmt.Sprintf("align-par(j=%d)", dop()), sz, run)
+		if err != nil {
+			return fig, err
+		}
+		fig.Series = append(fig.Series, sPar)
+	}
 	return fig, nil
 }
 

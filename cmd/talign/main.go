@@ -6,11 +6,14 @@
 //
 // Usage:
 //
-//	talign [-q query] [name=file.csv ...]
+//	talign [-q query] [-j dop] [name=file.csv ...]
 //
 // Without -q, talign reads statements from stdin, one per line (or
 // semicolon-terminated blocks). The CSV layout is documented in package
-// csvio: a "name:type,...,ts,te" header followed by data rows.
+// csvio: a "name:type,...,ts,te" header followed by data rows. -j enables
+// the parallel exchange layer: large joins, aggregations, ALIGN and
+// NORMALIZE are hash-partitioned across that many worker goroutines
+// (-j 0 uses all CPUs); EXPLAIN shows the Exchange nodes.
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"talign/internal/csvio"
@@ -29,9 +33,18 @@ import (
 func main() {
 	query := flag.String("q", "", "run a single query and exit")
 	demo := flag.Bool("demo", false, "preload the paper's hotel example relations r and p")
+	dop := flag.Int("j", 1, "degree of parallelism for the exchange layer (0 = all CPUs)")
 	flag.Parse()
 
-	eng := sqlish.NewEngine(plan.DefaultFlags())
+	if *dop < 0 {
+		fatalf("-j must be >= 0 (0 = all CPUs), got %d", *dop)
+	}
+	flags := plan.DefaultFlags()
+	flags.DOP = *dop
+	if flags.DOP == 0 {
+		flags.DOP = runtime.NumCPU()
+	}
+	eng := sqlish.NewEngine(flags)
 	for _, arg := range flag.Args() {
 		parts := strings.SplitN(arg, "=", 2)
 		if len(parts) != 2 {

@@ -1,0 +1,3 @@
+module talign
+
+go 1.24

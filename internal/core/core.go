@@ -129,6 +129,25 @@ func (a *Algebra) GapsPlan(r, s plan.Node, theta expr.Expr) plan.Node {
 }
 
 func (a *Algebra) alignPlanMode(r, s plan.Node, theta expr.Expr, mode exec.AdjustMode) plan.Node {
+	serial := a.alignFragment(r, s, theta, mode)
+	attempt, force := a.p.ShouldParallelize(r.Rows())
+	if !attempt {
+		return serial
+	}
+	// Parallel alignment: the plane sweep is independent per left tuple, so
+	// r is hash-partitioned by the whole tuple (values and valid time), the
+	// group side is materialized once and broadcast, and each fragment runs
+	// group construction + sort + sweep on its partition.
+	shared := a.p.Shared(s)
+	ex, err := a.p.Exchange([]plan.Node{r}, [][]expr.Expr{nil}, func(parts []plan.Node) (plan.Node, error) {
+		return a.alignFragment(parts[0], shared, theta, mode), nil
+	})
+	return plan.PickParallel(serial, ex, err, force)
+}
+
+// alignFragment is the serial group-construction + plane-sweep pipeline;
+// in a parallel plan it runs once per partition of r.
+func (a *Algebra) alignFragment(r, s plan.Node, theta expr.Expr, mode exec.AdjustMode) plan.Node {
 	rl, sl := r.Schema().Len(), s.Schema().Len()
 
 	// Project the group side to (s attributes, __ts, __te): the sweep needs
@@ -208,9 +227,25 @@ func (a *Algebra) NormalizePlan(r, s plan.Node, cols []int) plan.Node {
 // NormalizePlan2 is NormalizePlan with independent column positions for the
 // grouping attributes in r (rCols) and s (sCols).
 func (a *Algebra) NormalizePlan2(r, s plan.Node, rCols, sCols []int) plan.Node {
-	rl := r.Schema().Len()
-	cols := rCols
+	points := a.splitPointsPlan(s, sCols)
+	serial := a.normalizeFragment(r, points, rCols)
+	attempt, force := a.p.ShouldParallelize(r.Rows())
+	if !attempt {
+		return serial
+	}
+	// Parallel normalization: like alignment, the splitter sweep is
+	// independent per r tuple; partition r by the whole tuple and broadcast
+	// the (much smaller) split-point relation to every fragment.
+	shared := a.p.Shared(points)
+	ex, err := a.p.Exchange([]plan.Node{r}, [][]expr.Expr{nil}, func(parts []plan.Node) (plan.Node, error) {
+		return a.normalizeFragment(parts[0], shared, rCols), nil
+	})
+	return plan.PickParallel(serial, ex, err, force)
+}
 
+// splitPointsPlan builds π_{B,Ts}(s) ∪ π_{B,Te}(s): the candidate split
+// points with their grouping attributes.
+func (a *Algebra) splitPointsPlan(s plan.Node, sCols []int) plan.Node {
 	splitPoints := func(point expr.Expr) plan.Node {
 		names := make([]string, 0, len(sCols)+1)
 		exprs := make([]expr.Expr, 0, len(sCols)+1)
@@ -225,7 +260,15 @@ func (a *Algebra) NormalizePlan2(r, s plan.Node, rCols, sCols []int) plan.Node {
 		pr.TMode = exec.TZero // split points are nontemporal values
 		return pr
 	}
-	points := a.p.SetOp(splitPoints(expr.TStart{}), splitPoints(expr.TEnd{}), exec.UnionOp)
+	return a.p.SetOp(splitPoints(expr.TStart{}), splitPoints(expr.TEnd{}), exec.UnionOp)
+}
+
+// normalizeFragment joins r with the split-point relation, sorts by
+// (r tuple, split point) and sweeps; in a parallel plan it runs once per
+// partition of r. cols are B's positions in r; the split-point relation
+// carries B first and __p last.
+func (a *Algebra) normalizeFragment(r, points plan.Node, cols []int) plan.Node {
+	rl := r.Schema().Len()
 
 	pCol := rl + len(cols) // __p position in the join row
 	conds := make([]expr.Expr, 0, len(cols)+2)

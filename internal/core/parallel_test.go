@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"talign/internal/exec"
+	"talign/internal/expr"
+	"talign/internal/oracle"
+	"talign/internal/plan"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// parallelFlags builds a configuration that forces the exchange rewrite
+// regardless of input size, with a tiny batch size to shake out batch
+// boundary bugs.
+func parallelFlags(dop, batch int) plan.Flags {
+	f := plan.DefaultFlags()
+	f.DOP = dop
+	f.ForceParallel = true
+	f.BatchSize = batch
+	return f
+}
+
+// TestParallelMatchesSerial is the randomized differential test for the
+// batched executor and the exchange layer: for random relations, every
+// temporal operator must return set-equal results under the serial plan,
+// parallel plans at several DOPs, and (where the oracle implements the
+// operator) the independent snapshot-by-snapshot oracle.
+func TestParallelMatchesSerial(t *testing.T) {
+	attrsR := []schema.Attr{{Name: "x", Type: value.KindString}, {Name: "v", Type: value.KindInt}}
+	attrsS := []schema.Attr{{Name: "x2", Type: value.KindString}, {Name: "w", Type: value.KindInt}}
+	theta := expr.Eq(expr.CI(0, value.KindString), expr.CI(2, value.KindString))
+
+	type binOp struct {
+		name   string
+		run    func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error)
+		oracle func(r, s *relation.Relation) (*relation.Relation, error)
+	}
+	ops := []binOp{
+		{"align", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.Align(r, s, theta)
+		}, nil},
+		{"normalize", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.Normalize(r, r, "x")
+		}, nil},
+		{"join", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.Join(r, s, theta)
+		}, func(r, s *relation.Relation) (*relation.Relation, error) {
+			return oracle.Join(r, s, theta)
+		}},
+		{"leftouter", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.LeftOuterJoin(r, s, theta)
+		}, func(r, s *relation.Relation) (*relation.Relation, error) {
+			return oracle.LeftOuterJoin(r, s, theta)
+		}},
+		{"fullouter", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.FullOuterJoin(r, s, theta)
+		}, func(r, s *relation.Relation) (*relation.Relation, error) {
+			return oracle.FullOuterJoin(r, s, theta)
+		}},
+		{"antijoin", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.AntiJoin(r, s, theta)
+		}, func(r, s *relation.Relation) (*relation.Relation, error) {
+			return oracle.AntiJoin(r, s, theta)
+		}},
+		{"aggregation", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.Aggregation(r, []string{"x"}, []exec.AggSpec{
+				{Func: exec.AggCount, Arg: expr.C("v"), Name: "c"},
+				{Func: exec.AggMax, Arg: expr.C("v"), Name: "m"},
+			})
+		}, func(r, s *relation.Relation) (*relation.Relation, error) {
+			return oracle.Aggregation(r, []string{"x"}, []oracle.AggSpec{
+				{Op: oracle.Count, Arg: expr.C("v"), Name: "c"},
+				{Op: oracle.Max, Arg: expr.C("v"), Name: "m"},
+			})
+		}},
+		{"union", func(a *Algebra, r, s *relation.Relation) (*relation.Relation, error) {
+			return a.Union(r, r2(s, attrsR))
+		}, func(r, s *relation.Relation) (*relation.Relation, error) {
+			return oracle.Union(r, r2(s, attrsR))
+		}},
+	}
+
+	serial := Default()
+	variants := []struct {
+		dop, batch int
+	}{
+		{2, 1},   // degenerate batches: every tuple crosses a boundary
+		{3, 2},   // odd dop, tiny batches
+		{4, 0},   // default batch size
+		{8, 512}, // more workers than data
+	}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsS...))
+		for _, op := range ops {
+			want, err := op.run(serial, r, s)
+			if err != nil {
+				t.Fatalf("seed %d %s serial: %v", seed, op.name, err)
+			}
+			if op.oracle != nil {
+				ow, err := op.oracle(r, s)
+				if err != nil {
+					t.Fatalf("seed %d %s oracle: %v", seed, op.name, err)
+				}
+				if !relation.SetEqual(want, ow) {
+					a, b := relation.Diff(want, ow)
+					t.Fatalf("seed %d %s: serial differs from oracle\nonly engine: %v\nonly oracle: %v\nr:\n%s\ns:\n%s",
+						seed, op.name, a, b, r, s)
+				}
+			}
+			for _, v := range variants {
+				par := New(parallelFlags(v.dop, v.batch))
+				got, err := op.run(par, r, s)
+				if err != nil {
+					t.Fatalf("seed %d %s dop=%d batch=%d: %v", seed, op.name, v.dop, v.batch, err)
+				}
+				if !relation.SetEqual(want, got) {
+					a, b := relation.Diff(want, got)
+					t.Fatalf("seed %d %s dop=%d batch=%d: parallel differs from serial\nonly serial: %v\nonly parallel: %v\nr:\n%s\ns:\n%s",
+						seed, op.name, v.dop, v.batch, a, b, r, s)
+				}
+			}
+		}
+	}
+}
+
+// r2 renames s's attributes to be union compatible with r's schema.
+func r2(s *relation.Relation, attrs []schema.Attr) *relation.Relation {
+	out := relation.New(schema.Schema{Attrs: attrs})
+	out.Tuples = s.Tuples
+	return out
+}
+
+// TestParallelExplainShowsExchange: a parallel plan renders Exchange and
+// Partition nodes with the configured DOP.
+func TestParallelExplainShowsExchange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := randrel.DefaultConfig(
+		schema.Attr{Name: "x", Type: value.KindString},
+		schema.Attr{Name: "v", Type: value.KindInt},
+	)
+	cfg.MaxTuples = 64
+	r := randrel.Generate(rng, cfg)
+	a := New(parallelFlags(4, 0))
+	node := a.AlignPlan(a.Planner().Scan(r, "r"), a.Planner().Scan(r, "s"), nil)
+	out := plan.Explain(node)
+	for _, want := range []string{"Exchange (hash partition, dop=4", "Partition (hash by tuple"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -87,7 +87,7 @@ func (a *Algebra) Aggregation(r *relation.Relation, groupBy []string, aggs []exe
 			boundAggs[i].Arg = arg
 		}
 	}
-	agg, err := a.p.Aggregate(norm, exprs, names, true, boundAggs)
+	agg, err := a.p.ParAggregate(norm, exprs, names, true, boundAggs)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +166,10 @@ func (a *Algebra) JoinReducePlan(r, s plan.Node, theta expr.Expr, typ exec.JoinT
 	rl, sl := r.Schema().Len(), s.Schema().Len()
 	rAligned := a.AlignPlan(r, s, theta)
 	sAligned := a.AlignPlan(s, r, swapTheta(theta, rl, sl))
-	join := a.p.Join(rAligned, sAligned, theta, typ, true)
+	// The reduction compares adjusted timestamps with equality, so T is an
+	// ordinary equi-join key — which also makes the join hash-partitionable
+	// across the exchange layer when DOP > 1.
+	join := a.p.ParJoin(rAligned, sAligned, theta, typ, true)
 	if typ == exec.AntiJoin {
 		return join, nil
 	}

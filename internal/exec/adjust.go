@@ -52,16 +52,18 @@ func (m AdjustMode) String() string {
 // (ints; ω on padded rows). For ModeNormalize, P1 evaluates to the split
 // point (ω on padded rows) and P2 is unused.
 //
-// The node is fully pipelined: each Next call pulls at most one input row
-// and emits buffered results, mirroring the paper's single-tuple-per-
-// invocation contract.
+// The node is fully pipelined: each Next call sweeps input rows until an
+// output batch fills, emitting directly into the reused batch buffer (the
+// batched analogue of the paper's single-tuple-per-invocation contract).
 type Adjust struct {
+	batching
 	Input     Iterator
 	Mode      AdjustMode
 	LeftWidth int
 	P1, P2    expr.Expr
 
 	out schema.Schema
+	in  cursor
 
 	// Sweep state (the paper's context node n).
 	cur     tuple.Tuple // current left tuple (its first LeftWidth values + T)
@@ -70,8 +72,6 @@ type Adjust struct {
 	lastP1  int64
 	lastP2  int64
 	lastSet bool
-	queue   []tuple.Tuple
-	qPos    int
 	done    bool
 }
 
@@ -106,10 +106,12 @@ func (a *Adjust) Schema() schema.Schema { return a.out }
 func (a *Adjust) Open() error {
 	a.curSet = false
 	a.lastSet = false
-	a.queue = a.queue[:0]
-	a.qPos = 0
 	a.done = false
-	return a.Input.Open()
+	if err := a.Input.Open(); err != nil {
+		return err
+	}
+	a.in.init(a.Input)
+	return nil
 }
 
 // leftPart extracts the left tuple (values and valid time) from a join row.
@@ -136,7 +138,7 @@ func (a *Adjust) emit(ts, te int64) {
 	if ts >= te {
 		return
 	}
-	a.queue = append(a.queue, a.cur.WithT(interval.Interval{Ts: ts, Te: te}))
+	a.outBuf = append(a.outBuf, a.cur.WithT(interval.Interval{Ts: ts, Te: te}))
 }
 
 // closeGroup emits the trailing gap of the current left tuple, if any.
@@ -210,23 +212,13 @@ func (a *Adjust) processRow(row tuple.Tuple) error {
 	return nil
 }
 
-func (a *Adjust) Next() (tuple.Tuple, bool, error) {
-	for {
-		if a.qPos < len(a.queue) {
-			t := a.queue[a.qPos]
-			a.qPos++
-			if a.qPos == len(a.queue) {
-				a.queue = a.queue[:0]
-				a.qPos = 0
-			}
-			return t, true, nil
-		}
-		if a.done {
-			return tuple.Tuple{}, false, nil
-		}
-		row, ok, err := a.Input.Next()
+func (a *Adjust) Next() ([]tuple.Tuple, error) {
+	a.resetOut()
+	target := a.batchCap()
+	for len(a.outBuf) < target && !a.done {
+		row, ok, err := a.in.next()
 		if err != nil {
-			return tuple.Tuple{}, false, err
+			return nil, err
 		}
 		if !ok {
 			a.closeGroup()
@@ -238,13 +230,14 @@ func (a *Adjust) Next() (tuple.Tuple, bool, error) {
 			a.startGroup(row)
 		}
 		if err := a.processRow(row); err != nil {
-			return tuple.Tuple{}, false, err
+			return nil, err
 		}
 	}
+	return a.outBuf, nil
 }
 
 func (a *Adjust) Close() error {
-	a.queue = nil
+	a.outBuf = nil
 	return a.Input.Close()
 }
 
@@ -253,6 +246,7 @@ func (a *Adjust) Close() error {
 // timestamp, and collapses exact duplicates (set semantics). The paper's
 // SQL surfaces it as SELECT ABSORB.
 type Absorb struct {
+	batching
 	Input Iterator
 
 	rows []tuple.Tuple
@@ -268,16 +262,9 @@ func (ab *Absorb) Open() error {
 	if err := ab.Input.Open(); err != nil {
 		return err
 	}
-	var all []tuple.Tuple
-	for {
-		t, ok, err := ab.Input.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		all = append(all, t)
+	all, err := drainAppend(nil, ab.Input)
+	if err != nil {
+		return err
 	}
 	// Sort value-equivalent tuples together, by Ts ascending then Te
 	// DESCENDING: a tuple is then properly contained in an earlier tuple of
@@ -320,13 +307,17 @@ func sortAbsorb(rows []tuple.Tuple) {
 	})
 }
 
-func (ab *Absorb) Next() (tuple.Tuple, bool, error) {
+func (ab *Absorb) Next() ([]tuple.Tuple, error) {
 	if ab.pos >= len(ab.rows) {
-		return tuple.Tuple{}, false, nil
+		return nil, nil
 	}
-	t := ab.rows[ab.pos]
-	ab.pos++
-	return t, true, nil
+	end := ab.pos + ab.batchCap()
+	if end > len(ab.rows) {
+		end = len(ab.rows)
+	}
+	b := ab.rows[ab.pos:end:end]
+	ab.pos = end
+	return b, nil
 }
 
 func (ab *Absorb) Close() error {

@@ -128,6 +128,7 @@ func (a *accumulator) result() value.Value {
 // aggregation over an empty input yields a single row (COUNT = 0); with
 // group columns an empty input yields no rows.
 type HashAggregate struct {
+	batching
 	Input    Iterator
 	GroupBy  []expr.Expr
 	Names    []string // names for the group columns
@@ -183,61 +184,64 @@ func (h *HashAggregate) Open() error {
 	table := make(map[uint64][]*aggGroup)
 	h.groups = h.groups[:0]
 	n := 0
+	key := make([]value.Value, len(h.GroupBy))
 	for {
-		t, ok, err := h.Input.Next()
+		batch, err := h.Input.Next()
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(batch) == 0 {
 			break
 		}
-		n++
-		env := expr.Env{Vals: t.Vals, T: t.T}
-		key := make([]value.Value, len(h.GroupBy))
-		for i, e := range h.GroupBy {
-			v, err := e.Eval(&env)
-			if err != nil {
-				return err
+		n += len(batch)
+		for bi := range batch {
+			t := batch[bi]
+			env := expr.Env{Vals: t.Vals, T: t.T}
+			for i, e := range h.GroupBy {
+				v, err := e.Eval(&env)
+				if err != nil {
+					return err
+				}
+				key[i] = v
 			}
-			key[i] = v
-		}
-		var mh maphash.Hash
-		mh.SetSeed(h.seed)
-		for _, v := range key {
-			v.Hash(&mh)
-		}
-		gt := interval.Interval{}
-		if h.GroupByT {
-			gt = t.T
-			value.NewInterval(gt).Hash(&mh)
-		}
-		hv := mh.Sum64()
-		var grp *aggGroup
-		for _, g := range table[hv] {
-			if g.t == gt && keysEqual(g.key, key) {
-				grp = g
-				break
+			var mh maphash.Hash
+			mh.SetSeed(h.seed)
+			for _, v := range key {
+				v.Hash(&mh)
 			}
-		}
-		if grp == nil {
-			grp = &aggGroup{key: key, t: gt, accs: make([]accumulator, len(h.Aggs))}
+			gt := interval.Interval{}
+			if h.GroupByT {
+				gt = t.T
+				value.NewInterval(gt).Hash(&mh)
+			}
+			hv := mh.Sum64()
+			var grp *aggGroup
+			for _, g := range table[hv] {
+				if g.t == gt && keysEqual(g.key, key) {
+					grp = g
+					break
+				}
+			}
+			if grp == nil {
+				grp = &aggGroup{key: append([]value.Value(nil), key...), t: gt, accs: make([]accumulator, len(h.Aggs))}
+				for i := range grp.accs {
+					grp.accs[i].spec = h.Aggs[i]
+				}
+				table[hv] = append(table[hv], grp)
+				h.groups = append(h.groups, grp)
+			}
+			grp.rows++
 			for i := range grp.accs {
-				grp.accs[i].spec = h.Aggs[i]
+				if h.Aggs[i].Func == AggCountStar {
+					grp.accs[i].count++
+					continue
+				}
+				v, err := h.Aggs[i].Arg.Eval(&env)
+				if err != nil {
+					return err
+				}
+				grp.accs[i].add(v)
 			}
-			table[hv] = append(table[hv], grp)
-			h.groups = append(h.groups, grp)
-		}
-		grp.rows++
-		for i := range grp.accs {
-			if h.Aggs[i].Func == AggCountStar {
-				grp.accs[i].count++
-				continue
-			}
-			v, err := h.Aggs[i].Arg.Eval(&env)
-			if err != nil {
-				return err
-			}
-			grp.accs[i].add(v)
 		}
 	}
 	if n == 0 && len(h.GroupBy) == 0 && !h.GroupByT {
@@ -262,18 +266,27 @@ func (h *HashAggregate) Open() error {
 	return nil
 }
 
-func (h *HashAggregate) Next() (tuple.Tuple, bool, error) {
+func (h *HashAggregate) Next() ([]tuple.Tuple, error) {
 	if h.pos >= len(h.groups) {
-		return tuple.Tuple{}, false, nil
+		return nil, nil
 	}
-	g := h.groups[h.pos]
-	h.pos++
-	vals := make([]value.Value, 0, len(g.key)+len(g.accs))
-	vals = append(vals, g.key...)
-	for i := range g.accs {
-		vals = append(vals, g.accs[i].result())
+	h.resetOut()
+	end := h.pos + h.batchCap()
+	if end > len(h.groups) {
+		end = len(h.groups)
 	}
-	return tuple.Tuple{Vals: vals, T: g.t}, true, nil
+	width := len(h.out.Attrs)
+	flat := make([]value.Value, (end-h.pos)*width)
+	for i, g := range h.groups[h.pos:end] {
+		vals := flat[i*width : i*width : (i+1)*width]
+		vals = append(vals, g.key...)
+		for k := range g.accs {
+			vals = append(vals, g.accs[k].result())
+		}
+		h.outBuf = append(h.outBuf, tuple.Tuple{Vals: vals, T: g.t})
+	}
+	h.pos = end
+	return h.outBuf, nil
 }
 
 func (h *HashAggregate) Close() error {

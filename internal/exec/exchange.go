@@ -1,0 +1,350 @@
+package exec
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"talign/internal/expr"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// chanDepth is the number of in-flight batches buffered per channel in the
+// exchange layer: enough to decouple producer and consumer bursts without
+// holding many batches in memory.
+const chanDepth = 4
+
+// Splitter is the partitioning half of the exchange operator pair: it
+// consumes its input stream once (in a producer goroutine) and routes every
+// tuple to one of DOP partition streams by the hash of the key expressions.
+// Tuples with equal keys always land in the same partition, which is what
+// lets a partitioned hash join, aggregation, or plane sweep run each
+// partition independently.
+//
+// Joint partitioning: splitters feeding the two sides of a join must agree
+// on the partition of equal keys, so they share a maphash seed (passed by
+// the caller). Keys == nil hashes the entire tuple (values and valid time),
+// the partitioning used for the aligner's group construction, which is
+// independent per left tuple.
+//
+// Partitions are single-use: Open starts the shared producer on first use,
+// and a Splitter cannot be re-opened after it is exhausted or closed.
+type Splitter struct {
+	batching
+	input Iterator
+	keys  []expr.Expr // nil = hash the whole tuple
+	dop   int
+	seed  maphash.Seed
+
+	launch   sync.Once
+	stop     sync.Once
+	chans    []chan []tuple.Tuple
+	done     chan struct{}
+	finished chan struct{}
+	mu       sync.Mutex
+	err      error
+	launched bool
+	// unreleased counts partitions not yet closed. It is pre-registered at
+	// construction (not incremented on Open) so that a fragment finishing
+	// fast cannot drive the count to zero while a sibling is still opening.
+	unreleased int
+}
+
+// NewSplitter builds a splitter over input with dop partitions. Callers
+// co-partitioning several inputs (e.g. the two sides of a join) must pass
+// the same seed to every splitter of the group.
+func NewSplitter(input Iterator, keys []expr.Expr, dop int, seed maphash.Seed) (*Splitter, error) {
+	if dop < 1 {
+		return nil, fmt.Errorf("exec: splitter needs dop >= 1, got %d", dop)
+	}
+	s := &Splitter{
+		input:      input,
+		keys:       keys,
+		dop:        dop,
+		seed:       seed,
+		chans:      make([]chan []tuple.Tuple, dop),
+		done:       make(chan struct{}),
+		finished:   make(chan struct{}),
+		unreleased: dop,
+	}
+	for i := range s.chans {
+		s.chans[i] = make(chan []tuple.Tuple, chanDepth)
+	}
+	return s, nil
+}
+
+// Partition returns the iterator for partition i (0 <= i < dop).
+func (s *Splitter) Partition(i int) Iterator { return &partition{s: s, idx: i} }
+
+func (s *Splitter) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *Splitter) getErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// run is the producer: it drains the input once and routes batches.
+func (s *Splitter) run() {
+	defer close(s.finished)
+	defer func() {
+		for _, ch := range s.chans {
+			close(ch)
+		}
+	}()
+	if err := s.input.Open(); err != nil {
+		s.setErr(err)
+		return
+	}
+	defer s.input.Close()
+	n := s.batchCap()
+	bufs := make([][]tuple.Tuple, s.dop)
+	for i := range bufs {
+		bufs[i] = make([]tuple.Tuple, 0, n)
+	}
+	var mh maphash.Hash
+	for {
+		batch, err := s.input.Next()
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		if len(batch) == 0 {
+			break
+		}
+		for i := range batch {
+			t := batch[i]
+			mh.SetSeed(s.seed)
+			if s.keys == nil {
+				t.Hash(&mh)
+			} else {
+				env := expr.Env{Vals: t.Vals, T: t.T}
+				for _, k := range s.keys {
+					v, err := k.Eval(&env)
+					if err != nil {
+						s.setErr(err)
+						return
+					}
+					v.Hash(&mh)
+				}
+			}
+			p := int(mh.Sum64() % uint64(s.dop))
+			bufs[p] = append(bufs[p], t)
+			if len(bufs[p]) >= n {
+				if !s.send(p, bufs[p]) {
+					return
+				}
+				bufs[p] = make([]tuple.Tuple, 0, n)
+			}
+		}
+	}
+	for p, b := range bufs {
+		if len(b) > 0 && !s.send(p, b) {
+			return
+		}
+	}
+}
+
+// send hands a batch to partition p; it reports false when the splitter
+// was shut down before the batch could be delivered.
+func (s *Splitter) send(p int, b []tuple.Tuple) bool {
+	select {
+	case s.chans[p] <- b:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// release is called once per partition Close; the last one shuts the
+// producer down (it may still be mid-send to an abandoned partition). If
+// the producer never launched — the partitions were built but a plan
+// construction error meant none was ever Opened — the last release unwinds
+// in its place: it closes the channels (freeing the drain goroutines
+// spawned by partition.Close) and the source iterator.
+func (s *Splitter) release() {
+	s.mu.Lock()
+	s.unreleased--
+	last := s.unreleased <= 0
+	s.mu.Unlock()
+	if !last {
+		return
+	}
+	s.stop.Do(func() { close(s.done) })
+	// Claim the launch slot: after this Do, either the producer is (or
+	// was) running, or it never will be.
+	s.launch.Do(func() {})
+	s.mu.Lock()
+	launched := s.launched
+	s.mu.Unlock()
+	if launched {
+		<-s.finished
+		return
+	}
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.input.Close()
+}
+
+// partition is one output stream of a Splitter.
+type partition struct {
+	s      *Splitter
+	idx    int
+	closed bool
+}
+
+func (p *partition) Schema() schema.Schema { return p.s.input.Schema() }
+
+func (p *partition) Open() error {
+	p.s.launch.Do(func() {
+		p.s.mu.Lock()
+		p.s.launched = true
+		p.s.mu.Unlock()
+		go p.s.run()
+	})
+	return nil
+}
+
+func (p *partition) Next() ([]tuple.Tuple, error) {
+	b, ok := <-p.s.chans[p.idx]
+	if !ok {
+		return nil, p.s.getErr()
+	}
+	return b, nil
+}
+
+func (p *partition) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	// Drain this partition in the background so the producer can never
+	// block on an abandoned stream while sibling partitions still consume
+	// (the channel is closed by the producer when it exits).
+	go func() {
+		for range p.s.chans[p.idx] {
+		}
+	}()
+	p.s.release()
+	return nil
+}
+
+// Exchange is the merge half of the exchange operator pair: it runs one
+// plan fragment per partition in its own worker goroutine and interleaves
+// their output batches into a single stream. Output order across partitions
+// is nondeterministic; relations are sets, and order-sensitive consumers
+// (ORDER BY, the shell's canonical printing) sort above the exchange.
+type Exchange struct {
+	Inputs []Iterator // one fragment per partition
+
+	out    schema.Schema
+	ch     chan []tuple.Tuple
+	done   chan struct{}
+	stop   sync.Once
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	err    error
+	opened bool
+}
+
+// NewExchange merges the given fragments (all must share a schema).
+func NewExchange(inputs []Iterator) (*Exchange, error) {
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("exec: exchange needs at least one input")
+	}
+	return &Exchange{Inputs: inputs, out: inputs[0].Schema()}, nil
+}
+
+func (e *Exchange) Schema() schema.Schema { return e.out }
+
+func (e *Exchange) setErr(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+	// Cancel the sibling workers: a failed fragment poisons the query.
+	e.stop.Do(func() { close(e.done) })
+}
+
+func (e *Exchange) getErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+func (e *Exchange) Open() error {
+	e.ch = make(chan []tuple.Tuple, chanDepth*len(e.Inputs))
+	e.done = make(chan struct{})
+	e.stop = sync.Once{}
+	e.opened = true
+	for _, in := range e.Inputs {
+		e.wg.Add(1)
+		go e.worker(in)
+	}
+	go func() {
+		e.wg.Wait()
+		close(e.ch)
+	}()
+	return nil
+}
+
+func (e *Exchange) worker(in Iterator) {
+	defer e.wg.Done()
+	if err := in.Open(); err != nil {
+		e.setErr(err)
+	} else {
+	loop:
+		for {
+			b, err := in.Next()
+			if err != nil {
+				e.setErr(err)
+				break
+			}
+			if len(b) == 0 {
+				break
+			}
+			// The fragment reuses its batch buffer, so hand a copy over.
+			cp := make([]tuple.Tuple, len(b))
+			copy(cp, b)
+			select {
+			case e.ch <- cp:
+			case <-e.done:
+				break loop
+			}
+		}
+	}
+	if err := in.Close(); err != nil {
+		e.setErr(err)
+	}
+}
+
+func (e *Exchange) Next() ([]tuple.Tuple, error) {
+	b, ok := <-e.ch
+	if !ok {
+		return nil, e.getErr()
+	}
+	return b, nil
+}
+
+func (e *Exchange) Close() error {
+	if !e.opened {
+		return nil
+	}
+	e.opened = false
+	e.stop.Do(func() { close(e.done) })
+	// Unblock any worker parked on a send, then wait for them to finish
+	// closing their fragments.
+	for range e.ch {
+	}
+	e.wg.Wait()
+	return e.getErr()
+}

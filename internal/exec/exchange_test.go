@@ -1,0 +1,252 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"math/rand"
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// TestSplitterExchangeRoundTrip: splitting a stream into DOP partitions and
+// merging them back must be a permutation of the input, for several DOPs
+// and batch sizes, keyed and whole-tuple partitioning alike.
+func TestSplitterExchangeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := randrel.DefaultConfig(schema.Attr{Name: "x", Type: value.KindString}, schema.Attr{Name: "v", Type: value.KindInt})
+	cfg.MaxTuples = 200
+	cfg.TimeMax = 64
+	cfg.Alphabet = 6
+	rel := randrel.Generate(rng, cfg)
+	keyVariants := [][]expr.Expr{
+		nil, // whole tuple
+		{expr.ColIdx{Idx: 0, Typ: value.KindString}},
+	}
+	for _, keys := range keyVariants {
+		for _, dop := range []int{1, 2, 3, 7} {
+			for _, batch := range []int{1, 3, 0} {
+				name := fmt.Sprintf("keys=%v/dop=%d/batch=%d", keys != nil, dop, batch)
+				sp, err := NewSplitter(NewScan(rel), keys, dop, maphash.MakeSeed())
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if batch > 0 {
+					sp.SetBatchSize(batch)
+				}
+				frags := make([]Iterator, dop)
+				for i := range frags {
+					frags[i] = sp.Partition(i)
+				}
+				ex, err := NewExchange(frags)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				got, err := Collect(ex)
+				if err != nil {
+					t.Fatalf("%s: collect: %v", name, err)
+				}
+				if !relation.SetEqual(rel, got) {
+					a, b := relation.Diff(rel, got)
+					t.Fatalf("%s: round trip lost tuples\nonly in: %v\nonly out: %v", name, a, b)
+				}
+				if got.Len() != rel.Len() {
+					t.Fatalf("%s: %d tuples in, %d out", name, rel.Len(), got.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestSplitterCoPartition: two splitters sharing a seed must route equal
+// keys to the same partition index.
+func TestSplitterCoPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := randrel.DefaultConfig(schema.Attr{Name: "x", Type: value.KindString}, schema.Attr{Name: "v", Type: value.KindInt})
+	cfg.MaxTuples = 60
+	a := randrel.Generate(rng, cfg)
+	b := randrel.Generate(rng, cfg)
+	const dop = 4
+	seed := maphash.MakeSeed()
+	key := []expr.Expr{expr.ColIdx{Idx: 0, Typ: value.KindString}}
+	drain := func(rel *relation.Relation) [dop]map[string]bool {
+		sp, err := NewSplitter(NewScan(rel), key, dop, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frags := make([]Iterator, dop)
+		for i := range frags {
+			frags[i] = sp.Partition(i)
+		}
+		var out [dop]map[string]bool
+		done := make(chan error, dop)
+		for i := range frags {
+			out[i] = map[string]bool{}
+			go func(i int) {
+				if err := frags[i].Open(); err != nil {
+					done <- err
+					return
+				}
+				defer frags[i].Close()
+				for {
+					batch, err := frags[i].Next()
+					if err != nil {
+						done <- err
+						return
+					}
+					if len(batch) == 0 {
+						done <- nil
+						return
+					}
+					for _, tu := range batch {
+						out[i][tu.Vals[0].String()] = true
+					}
+				}
+			}(i)
+		}
+		for i := 0; i < dop; i++ {
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		}
+		return out
+	}
+	pa, pb := drain(a), drain(b)
+	for i := 0; i < dop; i++ {
+		for k := range pa[i] {
+			for j := 0; j < dop; j++ {
+				if j != i && pb[j][k] {
+					t.Fatalf("key %q lands in partition %d of a but %d of b", k, i, j)
+				}
+			}
+		}
+	}
+}
+
+// errIter fails after emitting a few batches.
+type errIter struct {
+	n int
+}
+
+func (e *errIter) Schema() schema.Schema { return schema.Schema{} }
+func (e *errIter) Open() error           { return nil }
+func (e *errIter) Next() ([]tuple.Tuple, error) {
+	e.n++
+	if e.n > 2 {
+		return nil, errors.New("boom")
+	}
+	return []tuple.Tuple{{}}, nil
+}
+func (e *errIter) Close() error { return nil }
+
+// TestExchangeErrorPropagation: a failing fragment surfaces its error at
+// the merge side and cancels the siblings without deadlocking.
+func TestExchangeErrorPropagation(t *testing.T) {
+	rel := relation.New(schema.Schema{})
+	for i := 0; i < 100; i++ {
+		rel.Tuples = append(rel.Tuples, tuple.Tuple{})
+	}
+	ex, err := NewExchange([]Iterator{&errIter{}, NewScan(rel)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	var sawErr error
+	for {
+		b, err := ex.Next()
+		if err != nil {
+			sawErr = err
+			break
+		}
+		if len(b) == 0 {
+			break
+		}
+	}
+	ex.Close()
+	if sawErr == nil || sawErr.Error() != "boom" {
+		t.Fatalf("want boom error, got %v", sawErr)
+	}
+}
+
+// TestExchangeEarlyClose: abandoning an exchange mid-stream must unblock
+// the splitter producer and the workers (the test would hang otherwise).
+func TestExchangeEarlyClose(t *testing.T) {
+	rel := relation.New(schema.Schema{Attrs: []schema.Attr{{Name: "v", Type: value.KindInt}}})
+	for i := 0; i < 50_000; i++ {
+		rel.MustAppend(tuple.New(interval.New(int64(i), int64(i)+1), value.NewInt(int64(i%97))))
+	}
+	sp, err := NewSplitter(NewScan(rel), nil, 3, maphash.MakeSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.SetBatchSize(16)
+	frags := make([]Iterator, 3)
+	for i := range frags {
+		frags[i] = sp.Partition(i)
+	}
+	ex, err := NewExchange(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatalf("early close: %v", err)
+	}
+}
+
+// closeTracker records whether Close was called.
+type closeTracker struct {
+	Iterator
+	closed bool
+}
+
+func (c *closeTracker) Close() error {
+	c.closed = true
+	return c.Iterator.Close()
+}
+
+// TestSplitterAbandonedBeforeOpen: closing every partition of a splitter
+// whose producer never launched (the plan-build error path) must close the
+// source iterator and let the drain goroutines exit instead of leaking.
+func TestSplitterAbandonedBeforeOpen(t *testing.T) {
+	rel := relation.New(schema.Schema{Attrs: []schema.Attr{{Name: "v", Type: value.KindInt}}})
+	rel.MustAppend(tuple.New(interval.New(0, 1), value.NewInt(1)))
+	src := &closeTracker{Iterator: NewScan(rel)}
+	sp, err := NewSplitter(src, nil, 3, maphash.MakeSeed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]Iterator, 3)
+	for i := range parts {
+		parts[i] = sp.Partition(i)
+	}
+	// Never Open any partition — simulate ExchangeNode.Build failing after
+	// splitter construction — then close them all.
+	for _, p := range parts {
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !src.closed {
+		t.Fatal("source iterator not closed after all partitions released")
+	}
+	// The channels must be closed so the drain goroutines exit and a
+	// stray Next reports exhaustion rather than blocking.
+	if b, err := parts[0].Next(); err != nil || len(b) != 0 {
+		t.Fatalf("abandoned partition Next = (%v, %v), want empty", b, err)
+	}
+}

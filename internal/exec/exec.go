@@ -1,9 +1,16 @@
-// Package exec implements the Volcano-style query executor: pipelined
+// Package exec implements the batch-vectorized query executor: pipelined
 // iterators for scans, selections, projections, sorts, nested-loop / hash /
 // sort-merge joins (inner, left/right/full outer, semi, anti), hash
-// aggregation, set operations, duplicate elimination, and the paper's new
-// executor nodes: Adjust (the plane-sweep ExecAdjustment of Fig. 10, serving
-// both temporal alignment and temporal normalization), and Absorb (Def. 12).
+// aggregation, set operations, duplicate elimination, the paper's new
+// executor nodes — Adjust (the plane-sweep ExecAdjustment of Fig. 10,
+// serving both temporal alignment and temporal normalization) and Absorb
+// (Def. 12) — plus a hash-partitioned parallel exchange layer (Splitter /
+// Exchange) that spreads a plan fragment across worker goroutines.
+//
+// Operators exchange data batch-at-a-time: Next returns a slice of tuples
+// and an empty batch signals exhaustion. Batching amortizes the virtual
+// Next dispatch across BatchSize tuples and lets hot loops (hash-join
+// probe, the Adjust sweep) run over pre-sized buffers.
 //
 // Every tuple carries its valid-time interval T natively. Join nodes can be
 // asked to additionally match T with equality (MatchT), which is exactly the
@@ -21,18 +28,113 @@ import (
 	"talign/internal/tuple"
 )
 
-// Iterator is the Volcano operator interface. Usage: Open, repeated Next
-// until ok==false, Close. Next must not be called after it reported
-// ok==false or an error.
+// DefaultBatchSize is the number of tuples per batch when an operator's
+// BatchSize field is left zero. It is large enough to amortize dispatch
+// and small enough to keep a batch of rows cache resident.
+const DefaultBatchSize = 1024
+
+// Iterator is the batch-at-a-time (vectorized Volcano) operator interface.
+// Usage: Open, repeated Next until it returns an empty batch, Close.
+//
+// Batch ownership: the returned slice is valid only until the following
+// Next or Close call on the same iterator — operators reuse their output
+// buffers. Callers that retain tuples across calls must copy them out of
+// the batch; the tuple structs copy safely (their Vals slices are never
+// recycled). BatchSize is a target, not a hard cap: operators may return
+// shorter batches at any time and may overshoot by a bounded amount when
+// one input row expands to several output rows.
 type Iterator interface {
 	// Schema describes the output tuples' nontemporal attributes.
 	Schema() schema.Schema
 	// Open prepares the iterator (and its children) for iteration.
 	Open() error
-	// Next produces the next tuple; ok==false signals exhaustion.
-	Next() (t tuple.Tuple, ok bool, err error)
+	// Next produces the next batch of tuples; an empty batch signals
+	// exhaustion. Next must not be called again after it reported an empty
+	// batch or an error.
+	Next() ([]tuple.Tuple, error)
 	// Close releases resources; it is idempotent.
 	Close() error
+}
+
+// BatchSizer is implemented by every operator whose output batch size can
+// be configured; the plan layer uses it to plumb Flags.BatchSize down.
+type BatchSizer interface {
+	SetBatchSize(n int)
+}
+
+// batching is embedded by operators: it carries the configurable batch
+// size and the reusable output buffer.
+type batching struct {
+	// BatchSize caps (approximately) the tuples per output batch;
+	// 0 means DefaultBatchSize.
+	BatchSize int
+
+	outBuf []tuple.Tuple
+}
+
+// SetBatchSize implements BatchSizer.
+func (b *batching) SetBatchSize(n int) { b.BatchSize = n }
+
+// batchCap returns the effective batch size target.
+func (b *batching) batchCap() int {
+	if b.BatchSize > 0 {
+		return b.BatchSize
+	}
+	return DefaultBatchSize
+}
+
+// resetOut clears the output buffer, pre-sizing it on first use.
+func (b *batching) resetOut() {
+	if b.outBuf == nil {
+		b.outBuf = make([]tuple.Tuple, 0, b.batchCap())
+	}
+	b.outBuf = b.outBuf[:0]
+}
+
+// cursor adapts a child's batch stream to per-tuple pulls for the stateful
+// operators (merge join, plane sweep) whose logic is inherently
+// tuple-at-a-time. The per-tuple call is a concrete, inlineable method, so
+// the virtual Next dispatch is still paid once per batch.
+type cursor struct {
+	it    Iterator
+	batch []tuple.Tuple
+	pos   int
+}
+
+func (c *cursor) init(it Iterator) {
+	c.it = it
+	c.batch = nil
+	c.pos = 0
+}
+
+func (c *cursor) next() (tuple.Tuple, bool, error) {
+	for c.pos >= len(c.batch) {
+		b, err := c.it.Next()
+		if err != nil {
+			return tuple.Tuple{}, false, err
+		}
+		if len(b) == 0 {
+			return tuple.Tuple{}, false, nil
+		}
+		c.batch, c.pos = b, 0
+	}
+	t := c.batch[c.pos]
+	c.pos++
+	return t, true, nil
+}
+
+// drainAppend appends every remaining tuple of it (already opened) to dst.
+func drainAppend(dst []tuple.Tuple, it Iterator) ([]tuple.Tuple, error) {
+	for {
+		b, err := it.Next()
+		if err != nil {
+			return dst, err
+		}
+		if len(b) == 0 {
+			return dst, nil
+		}
+		dst = append(dst, b...)
+	}
 }
 
 // Collect drains it into a materialized relation, handling Open/Close.
@@ -42,20 +144,18 @@ func Collect(it Iterator) (*relation.Relation, error) {
 		return nil, err
 	}
 	defer it.Close()
-	for {
-		t, ok, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			return out, nil
-		}
-		out.Tuples = append(out.Tuples, t)
+	tuples, err := drainAppend(out.Tuples, it)
+	if err != nil {
+		return nil, err
 	}
+	out.Tuples = tuples
+	return out, nil
 }
 
-// Scan iterates over a materialized relation.
+// Scan iterates over a materialized relation, handing out zero-copy
+// sub-slices of the backing tuple slice as batches.
 type Scan struct {
+	batching
 	Rel *relation.Relation
 	pos int
 }
@@ -70,13 +170,17 @@ func (s *Scan) Open() error {
 	return nil
 }
 
-func (s *Scan) Next() (tuple.Tuple, bool, error) {
+func (s *Scan) Next() ([]tuple.Tuple, error) {
 	if s.pos >= len(s.Rel.Tuples) {
-		return tuple.Tuple{}, false, nil
+		return nil, nil
 	}
-	t := s.Rel.Tuples[s.pos]
-	s.pos++
-	return t, true, nil
+	end := s.pos + s.batchCap()
+	if end > len(s.Rel.Tuples) {
+		end = len(s.Rel.Tuples)
+	}
+	b := s.Rel.Tuples[s.pos:end:end]
+	s.pos = end
+	return b, nil
 }
 
 func (s *Scan) Close() error { return nil }

@@ -26,12 +26,14 @@ import (
 // Only inner and left outer joins are provided — exactly what group
 // construction needs.
 type IntervalJoin struct {
+	batching
 	Left, Right Iterator
 	Cond        expr.Expr // over Concat(left, right) with env.T = left T
 	Type        JoinType
 
 	core    joinCore
 	out     schema.Schema
+	left    cursor
 	rights  []tuple.Tuple
 	starts  []int64
 	maxDur  int64
@@ -40,6 +42,7 @@ type IntervalJoin struct {
 	curHit  bool
 	scanPos int
 	scanEnd int64
+	done    bool
 }
 
 // NewIntervalJoin builds the node.
@@ -62,17 +65,13 @@ func (j *IntervalJoin) Open() error {
 	if err := j.Right.Open(); err != nil {
 		return err
 	}
-	j.rights = j.rights[:0]
+	var err error
+	j.rights, err = drainAppend(j.rights[:0], j.Right)
+	if err != nil {
+		return err
+	}
 	j.maxDur = 0
-	for {
-		t, ok, err := j.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		j.rights = append(j.rights, t)
+	for _, t := range j.rights {
 		if d := t.T.Duration(); d > j.maxDur {
 			j.maxDur = d
 		}
@@ -84,19 +83,24 @@ func (j *IntervalJoin) Open() error {
 	for i, t := range j.rights {
 		j.starts[i] = t.T.Ts
 	}
+	j.left.init(j.Left)
 	j.curOK = false
+	j.done = false
 	return nil
 }
 
-func (j *IntervalJoin) Next() (tuple.Tuple, bool, error) {
-	for {
+func (j *IntervalJoin) Next() ([]tuple.Tuple, error) {
+	j.resetOut()
+	target := j.batchCap()
+	for len(j.outBuf) < target && !j.done {
 		if !j.curOK {
-			l, ok, err := j.Left.Next()
+			l, ok, err := j.left.next()
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !ok {
-				return tuple.Tuple{}, false, nil
+				j.done = true
+				continue
 			}
 			j.cur = l
 			j.curOK = true
@@ -114,21 +118,27 @@ func (j *IntervalJoin) Next() (tuple.Tuple, bool, error) {
 			}
 			ok, err := j.core.matches(j.Cond, j.cur, r)
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !ok {
 				continue
 			}
 			j.curHit = true
-			return j.core.combine(j.cur, r), true, nil
+			j.outBuf = append(j.outBuf, j.core.combine(j.cur, r))
+			if len(j.outBuf) >= target {
+				// Batch full mid-window: scanPos persists, the next call
+				// resumes the window scan for the same left tuple.
+				return j.outBuf, nil
+			}
 		}
 		hit := j.curHit
 		cur := j.cur
 		j.curOK = false
 		if !hit && j.Type == LeftOuterJoin {
-			return j.core.padRight(cur), true, nil
+			j.outBuf = append(j.outBuf, j.core.padRight(cur))
 		}
 	}
+	return j.outBuf, nil
 }
 
 func (j *IntervalJoin) Close() error {

@@ -80,6 +80,7 @@ func (jc *joinCore) matches(cond expr.Expr, l, r tuple.Tuple) (bool, error) {
 // materialized right input once per left tuple. It supports every join
 // type; inner-side match bookkeeping implements right/full outer.
 type NestedLoopJoin struct {
+	batching
 	Left, Right Iterator
 	Cond        expr.Expr // bound against Concat(left, right); may be nil
 	Type        JoinType
@@ -87,6 +88,7 @@ type NestedLoopJoin struct {
 
 	core       joinCore
 	out        schema.Schema
+	left       cursor
 	inner      []tuple.Tuple
 	innerMatch []bool
 	cur        tuple.Tuple
@@ -95,6 +97,7 @@ type NestedLoopJoin struct {
 	innerPos   int
 	drainPos   int // for right/full outer pad phase
 	draining   bool
+	done       bool
 }
 
 // NewNestedLoopJoin constructs the node; cond may be nil for a Cartesian
@@ -119,49 +122,51 @@ func (n *NestedLoopJoin) Open() error {
 	if err := n.Right.Open(); err != nil {
 		return err
 	}
-	n.inner = n.inner[:0]
-	for {
-		t, ok, err := n.Right.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		n.inner = append(n.inner, t)
+	var err error
+	n.inner, err = drainAppend(n.inner[:0], n.Right)
+	if err != nil {
+		return err
 	}
 	if n.Type == RightOuterJoin || n.Type == FullOuterJoin {
 		n.innerMatch = make([]bool, len(n.inner))
 	}
+	n.left.init(n.Left)
 	n.curValid = false
 	n.draining = false
 	n.drainPos = 0
+	n.done = false
 	return nil
 }
 
-func (n *NestedLoopJoin) Next() (tuple.Tuple, bool, error) {
-	for {
+func (n *NestedLoopJoin) Next() ([]tuple.Tuple, error) {
+	n.resetOut()
+	target := n.batchCap()
+	for len(n.outBuf) < target && !n.done {
 		if n.draining {
-			for n.drainPos < len(n.inner) {
+			for n.drainPos < len(n.inner) && len(n.outBuf) < target {
 				i := n.drainPos
 				n.drainPos++
 				if !n.innerMatch[i] {
-					return n.core.padLeft(n.inner[i]), true, nil
+					n.outBuf = append(n.outBuf, n.core.padLeft(n.inner[i]))
 				}
 			}
-			return tuple.Tuple{}, false, nil
+			if n.drainPos >= len(n.inner) {
+				n.done = true
+			}
+			continue
 		}
 		if !n.curValid {
-			l, ok, err := n.Left.Next()
+			l, ok, err := n.left.next()
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !ok {
 				if n.Type == RightOuterJoin || n.Type == FullOuterJoin {
 					n.draining = true
 					continue
 				}
-				return tuple.Tuple{}, false, nil
+				n.done = true
+				continue
 			}
 			n.cur = l
 			n.curValid = true
@@ -175,7 +180,7 @@ func (n *NestedLoopJoin) Next() (tuple.Tuple, bool, error) {
 			n.innerPos++
 			ok, err := n.core.matches(n.Cond, n.cur, r)
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !ok {
 				continue
@@ -187,7 +192,8 @@ func (n *NestedLoopJoin) Next() (tuple.Tuple, bool, error) {
 			switch n.Type {
 			case SemiJoin:
 				n.curValid = false
-				return n.cur, true, nil
+				n.outBuf = append(n.outBuf, n.cur)
+				disqualified = true
 			case AntiJoin:
 				// A match disqualifies the left tuple; for anti joins we
 				// stop probing immediately (this early exit is what makes
@@ -195,7 +201,12 @@ func (n *NestedLoopJoin) Next() (tuple.Tuple, bool, error) {
 				n.curValid = false
 				disqualified = true
 			default:
-				return n.core.combine(n.cur, r), true, nil
+				n.outBuf = append(n.outBuf, n.core.combine(n.cur, r))
+				if len(n.outBuf) >= target {
+					// Batch full mid-probe: innerPos persists, so the next
+					// call resumes exactly here.
+					return n.outBuf, nil
+				}
 			}
 			if disqualified {
 				break
@@ -209,12 +220,13 @@ func (n *NestedLoopJoin) Next() (tuple.Tuple, bool, error) {
 		if !n.curMatched {
 			switch n.Type {
 			case LeftOuterJoin, FullOuterJoin:
-				return n.core.padRight(n.cur), true, nil
+				n.outBuf = append(n.outBuf, n.core.padRight(n.cur))
 			case AntiJoin:
-				return n.cur, true, nil
+				n.outBuf = append(n.outBuf, n.cur)
 			}
 		}
 	}
+	return n.outBuf, nil
 }
 
 func (n *NestedLoopJoin) Close() error {

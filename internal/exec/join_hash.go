@@ -11,11 +11,12 @@ import (
 )
 
 // HashJoin is an equi-join: the right input is built into a hash table on
-// the key expressions, the left input probes it. A residual condition
-// (evaluated like NestedLoopJoin's) and optional timestamp equality filter
-// candidate pairs. ω keys never match (SQL semantics); unmatched rows
-// surface through the outer join types.
+// the key expressions, the left input probes it batch by batch. A residual
+// condition (evaluated like NestedLoopJoin's) and optional timestamp
+// equality filter candidate pairs. ω keys never match (SQL semantics);
+// unmatched rows surface through the outer join types.
 type HashJoin struct {
+	batching
 	Left, Right Iterator
 	// Keys are pairwise equality conditions: Keys[i].Left is bound against
 	// the left schema, Keys[i].Right against the right schema.
@@ -28,7 +29,7 @@ type HashJoin struct {
 	out    schema.Schema
 	seed   maphash.Seed
 	table  map[uint64][]buildRow
-	buildN int
+	left   cursor
 	cur    tuple.Tuple
 	curKey []value.Value
 	curOK  bool
@@ -38,6 +39,7 @@ type HashJoin struct {
 	drainB []buildRow
 	drainP int
 	drain  bool
+	done   bool
 }
 
 type buildRow struct {
@@ -69,39 +71,44 @@ func (h *HashJoin) Open() error {
 		return err
 	}
 	h.table = make(map[uint64][]buildRow)
-	h.buildN = 0
 	for {
-		t, ok, err := h.Right.Next()
+		batch, err := h.Right.Next()
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(batch) == 0 {
 			break
 		}
-		key, hv, nullKey, err := h.evalKey(t, false)
-		if err != nil {
-			return err
+		// Pre-size one key slab for the whole build batch.
+		flat := make([]value.Value, len(batch)*len(h.Keys))
+		for i := range batch {
+			key := flat[i*len(h.Keys) : (i+1)*len(h.Keys) : (i+1)*len(h.Keys)]
+			hv, nullKey, err := h.evalKey(batch[i], false, key)
+			if err != nil {
+				return err
+			}
+			row := buildRow{t: batch[i], key: key}
+			if nullKey {
+				// ω keys can never match; park them under a reserved bucket
+				// so right/full outer can still drain them.
+				h.table[^uint64(0)] = append(h.table[^uint64(0)], row)
+			} else {
+				h.table[hv] = append(h.table[hv], row)
+			}
 		}
-		row := buildRow{t: t, key: key}
-		if nullKey {
-			// ω keys can never match; park them under a reserved bucket so
-			// right/full outer can still drain them.
-			h.table[^uint64(0)] = append(h.table[^uint64(0)], row)
-		} else {
-			h.table[hv] = append(h.table[hv], row)
-		}
-		h.buildN++
 	}
+	h.left.init(h.Left)
 	h.curOK = false
 	h.drain = false
+	h.done = false
 	return nil
 }
 
-// evalKey computes the key values and their hash; left selects which side
-// of the EquiPairs to evaluate.
-func (h *HashJoin) evalKey(t tuple.Tuple, left bool) (key []value.Value, hash uint64, hasNull bool, err error) {
+// evalKey computes the key values into key and returns their hash; left
+// selects which side of the EquiPairs to evaluate. key must have length
+// len(h.Keys).
+func (h *HashJoin) evalKey(t tuple.Tuple, left bool, key []value.Value) (hash uint64, hasNull bool, err error) {
 	env := expr.Env{Vals: t.Vals, T: t.T}
-	key = make([]value.Value, len(h.Keys))
 	for i, k := range h.Keys {
 		e := k.Right
 		if left {
@@ -109,7 +116,7 @@ func (h *HashJoin) evalKey(t tuple.Tuple, left bool) (key []value.Value, hash ui
 		}
 		v, err := e.Eval(&env)
 		if err != nil {
-			return nil, 0, false, err
+			return 0, false, err
 		}
 		if v.IsNull() {
 			hasNull = true
@@ -121,7 +128,7 @@ func (h *HashJoin) evalKey(t tuple.Tuple, left bool) (key []value.Value, hash ui
 	for _, v := range key {
 		v.Hash(&mh)
 	}
-	return key, mh.Sum64(), hasNull, nil
+	return mh.Sum64(), hasNull, nil
 }
 
 func keysEqual(a, b []value.Value) bool {
@@ -133,36 +140,44 @@ func keysEqual(a, b []value.Value) bool {
 	return true
 }
 
-func (h *HashJoin) Next() (tuple.Tuple, bool, error) {
-	for {
+func (h *HashJoin) Next() ([]tuple.Tuple, error) {
+	h.resetOut()
+	target := h.batchCap()
+	for len(h.outBuf) < target && !h.done {
 		if h.drain {
-			for h.drainP < len(h.drainB) {
+			for h.drainP < len(h.drainB) && len(h.outBuf) < target {
 				row := h.drainB[h.drainP]
 				h.drainP++
 				if !row.matched {
-					return h.core.padLeft(row.t), true, nil
+					h.outBuf = append(h.outBuf, h.core.padLeft(row.t))
 				}
 			}
-			return tuple.Tuple{}, false, nil
+			if h.drainP >= len(h.drainB) {
+				h.done = true
+			}
+			continue
 		}
 		if !h.curOK {
-			l, ok, err := h.Left.Next()
+			l, ok, err := h.left.next()
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !ok {
 				if h.Type == RightOuterJoin || h.Type == FullOuterJoin {
 					h.startDrain()
 					continue
 				}
-				return tuple.Tuple{}, false, nil
+				h.done = true
+				continue
 			}
-			key, hv, nullKey, err := h.evalKey(l, true)
+			if h.curKey == nil {
+				h.curKey = make([]value.Value, len(h.Keys))
+			}
+			hv, nullKey, err := h.evalKey(l, true, h.curKey)
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			h.cur = l
-			h.curKey = key
 			h.curOK = true
 			h.curHit = false
 			h.bktPos = 0
@@ -181,7 +196,7 @@ func (h *HashJoin) Next() (tuple.Tuple, bool, error) {
 			}
 			ok, err := h.core.matches(h.Residual, h.cur, row.t)
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !ok {
 				continue
@@ -191,12 +206,18 @@ func (h *HashJoin) Next() (tuple.Tuple, bool, error) {
 			switch h.Type {
 			case SemiJoin:
 				h.curOK = false
-				return h.cur, true, nil
+				h.outBuf = append(h.outBuf, h.cur)
+				disqualified = true
 			case AntiJoin:
 				h.curOK = false
 				disqualified = true
 			default:
-				return h.core.combine(h.cur, row.t), true, nil
+				h.outBuf = append(h.outBuf, h.core.combine(h.cur, row.t))
+				if len(h.outBuf) >= target {
+					// Batch full mid-bucket: bktPos persists, the next call
+					// resumes with the same probe tuple.
+					return h.outBuf, nil
+				}
 			}
 			if disqualified {
 				break
@@ -209,12 +230,13 @@ func (h *HashJoin) Next() (tuple.Tuple, bool, error) {
 		if !h.curHit {
 			switch h.Type {
 			case LeftOuterJoin, FullOuterJoin:
-				return h.core.padRight(h.cur), true, nil
+				h.outBuf = append(h.outBuf, h.core.padRight(h.cur))
 			case AntiJoin:
-				return h.cur, true, nil
+				h.outBuf = append(h.outBuf, h.cur)
 			}
 		}
 	}
+	return h.outBuf, nil
 }
 
 func (h *HashJoin) startDrain() {

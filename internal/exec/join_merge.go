@@ -14,6 +14,7 @@ import (
 // nodes). It supports inner, left outer, right outer, full outer, semi and
 // anti joins with an optional residual condition; ω keys never match.
 type MergeJoin struct {
+	batching
 	Left, Right Iterator
 	Keys        []expr.EquiPair
 	Residual    expr.Expr
@@ -23,6 +24,8 @@ type MergeJoin struct {
 	core joinCore
 	out  schema.Schema
 
+	lc       cursor
+	rc       cursor
 	l        tuple.Tuple
 	lKey     []value.Value
 	lOK      bool
@@ -36,10 +39,11 @@ type MergeJoin struct {
 	rKey     []value.Value
 	rOK      bool
 	rDone    bool
-	// emitGroupUnmatched queues right rows of a finished group (for
-	// right/full outer).
+	// queue holds unmatched right rows of finished groups (for right/full
+	// outer).
 	queue []tuple.Tuple
 	qPos  int
+	done  bool
 }
 
 type mergeRow struct {
@@ -71,12 +75,15 @@ func (m *MergeJoin) Open() error {
 	if err := m.Right.Open(); err != nil {
 		return err
 	}
+	m.lc.init(m.Left)
+	m.rc.init(m.Right)
 	m.lOK, m.lDone = false, false
 	m.rOK, m.rDone = false, false
 	m.gValid = false
 	m.group = nil
 	m.queue = nil
 	m.qPos = 0
+	m.done = false
 	if err := m.advanceLeft(); err != nil {
 		return err
 	}
@@ -101,7 +108,7 @@ func (m *MergeJoin) evalKeys(t tuple.Tuple, left bool) ([]value.Value, error) {
 }
 
 func (m *MergeJoin) advanceLeft() error {
-	t, ok, err := m.Left.Next()
+	t, ok, err := m.lc.next()
 	if err != nil {
 		return err
 	}
@@ -121,7 +128,7 @@ func (m *MergeJoin) advanceLeft() error {
 }
 
 func (m *MergeJoin) advanceRightRaw() error {
-	t, ok, err := m.Right.Next()
+	t, ok, err := m.rc.next()
 	if err != nil {
 		return err
 	}
@@ -182,13 +189,17 @@ func keyHasNull(k []value.Value) bool {
 	return false
 }
 
-func (m *MergeJoin) Next() (tuple.Tuple, bool, error) {
-	for {
+func (m *MergeJoin) Next() ([]tuple.Tuple, error) {
+	m.resetOut()
+	target := m.batchCap()
+	for len(m.outBuf) < target && !m.done {
 		// Drain queued unmatched right rows first.
 		if m.qPos < len(m.queue) {
-			t := m.queue[m.qPos]
-			m.qPos++
-			return m.core.padLeft(t), true, nil
+			for m.qPos < len(m.queue) && len(m.outBuf) < target {
+				m.outBuf = append(m.outBuf, m.core.padLeft(m.queue[m.qPos]))
+				m.qPos++
+			}
+			continue
 		}
 		m.queue = m.queue[:0]
 		m.qPos = 0
@@ -203,27 +214,29 @@ func (m *MergeJoin) Next() (tuple.Tuple, bool, error) {
 				if m.Type == RightOuterJoin || m.Type == FullOuterJoin {
 					t := m.rNext
 					if err := m.advanceRightRaw(); err != nil {
-						return tuple.Tuple{}, false, err
+						return nil, err
 					}
-					return m.core.padLeft(t), true, nil
+					m.outBuf = append(m.outBuf, m.core.padLeft(t))
+					continue
 				}
 				m.rOK = false
 				m.rDone = true
 			}
-			return tuple.Tuple{}, false, nil
+			m.done = true
+			continue
 		}
 
 		// ω keys on the left never match.
 		if keyHasNull(m.lKey) {
 			t := m.l
 			if err := m.advanceLeft(); err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			switch m.Type {
 			case LeftOuterJoin, FullOuterJoin:
-				return m.core.padRight(t), true, nil
+				m.outBuf = append(m.outBuf, m.core.padRight(t))
 			case AntiJoin:
-				return t, true, nil
+				m.outBuf = append(m.outBuf, t)
 			}
 			continue
 		}
@@ -234,15 +247,19 @@ func (m *MergeJoin) Next() (tuple.Tuple, bool, error) {
 			for m.rOK && keyHasNull(m.rKey) {
 				t := m.rNext
 				if err := m.advanceRightRaw(); err != nil {
-					return tuple.Tuple{}, false, err
+					return nil, err
 				}
 				if m.Type == RightOuterJoin || m.Type == FullOuterJoin {
-					return m.core.padLeft(t), true, nil
+					m.outBuf = append(m.outBuf, m.core.padLeft(t))
+					if len(m.outBuf) >= target {
+						// Resume the ω-skip on the next call.
+						return m.outBuf, nil
+					}
 				}
 			}
 			if m.rOK {
 				if err := m.loadGroup(); err != nil {
-					return tuple.Tuple{}, false, err
+					return nil, err
 				}
 				m.gPos = 0
 			}
@@ -252,13 +269,13 @@ func (m *MergeJoin) Next() (tuple.Tuple, bool, error) {
 			// Right side exhausted: remaining lefts are unmatched.
 			t := m.l
 			if err := m.advanceLeft(); err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			switch m.Type {
 			case LeftOuterJoin, FullOuterJoin:
-				return m.core.padRight(t), true, nil
+				m.outBuf = append(m.outBuf, m.core.padRight(t))
 			case AntiJoin:
-				return t, true, nil
+				m.outBuf = append(m.outBuf, t)
 			}
 			continue
 		}
@@ -269,14 +286,14 @@ func (m *MergeJoin) Next() (tuple.Tuple, bool, error) {
 			// Left key before group: left is unmatched.
 			t, matched := m.l, m.lMatched
 			if err := m.advanceLeft(); err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !matched {
 				switch m.Type {
 				case LeftOuterJoin, FullOuterJoin:
-					return m.core.padRight(t), true, nil
+					m.outBuf = append(m.outBuf, m.core.padRight(t))
 				case AntiJoin:
-					return t, true, nil
+					m.outBuf = append(m.outBuf, t)
 				}
 			}
 		case c > 0:
@@ -284,47 +301,61 @@ func (m *MergeJoin) Next() (tuple.Tuple, bool, error) {
 			m.flushGroup()
 		default:
 			// Same key: probe remaining group rows for this left tuple.
+			semiEmitted := false
 			for m.gPos < len(m.group) {
 				row := &m.group[m.gPos]
 				m.gPos++
 				ok, err := m.core.matches(m.Residual, m.l, row.t)
 				if err != nil {
-					return tuple.Tuple{}, false, err
+					return nil, err
 				}
 				if !ok {
 					continue
 				}
 				m.lMatched = true
 				row.matched = true
-				switch m.Type {
-				case SemiJoin:
+				if m.Type == SemiJoin {
+					// Emit and advance: the next left tuple starts probing
+					// the group from the top (advanceLeft reset gPos).
 					t := m.l
 					if err := m.advanceLeft(); err != nil {
-						return tuple.Tuple{}, false, err
+						return nil, err
 					}
-					return t, true, nil
-				case AntiJoin:
+					m.outBuf = append(m.outBuf, t)
+					semiEmitted = true
+					break
+				}
+				if m.Type == AntiJoin {
 					// disqualified; skip the rest of the group
 					m.gPos = len(m.group)
-				default:
-					return m.core.combine(m.l, row.t), true, nil
+					continue
 				}
+				m.outBuf = append(m.outBuf, m.core.combine(m.l, row.t))
+				if len(m.outBuf) >= target {
+					// Batch full mid-group: gPos persists, the next call
+					// resumes probing for the same left tuple.
+					return m.outBuf, nil
+				}
+			}
+			if semiEmitted {
+				continue
 			}
 			// Group exhausted for this left tuple.
 			t, matched := m.l, m.lMatched
 			if err := m.advanceLeft(); err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
 			if !matched {
 				switch m.Type {
 				case LeftOuterJoin, FullOuterJoin:
-					return m.core.padRight(t), true, nil
+					m.outBuf = append(m.outBuf, m.core.padRight(t))
 				case AntiJoin:
-					return t, true, nil
+					m.outBuf = append(m.outBuf, t)
 				}
 			}
 		}
 	}
+	return m.outBuf, nil
 }
 
 func (m *MergeJoin) Close() error {

@@ -15,8 +15,11 @@ import (
 // against Input's schema; it is evaluated with env.T = the tuple's T, so
 // predicates over the tuple's own valid time are possible.
 type Filter struct {
+	batching
 	Input Iterator
 	Pred  expr.Expr
+
+	done bool
 }
 
 // NewFilter builds a filter node.
@@ -25,24 +28,42 @@ func NewFilter(input Iterator, pred expr.Expr) *Filter {
 }
 
 func (f *Filter) Schema() schema.Schema { return f.Input.Schema() }
-func (f *Filter) Open() error           { return f.Input.Open() }
-func (f *Filter) Close() error          { return f.Input.Close() }
 
-func (f *Filter) Next() (tuple.Tuple, bool, error) {
-	for {
-		t, ok, err := f.Input.Next()
-		if err != nil || !ok {
-			return tuple.Tuple{}, false, err
-		}
-		env := expr.Env{Vals: t.Vals, T: t.T}
-		keep, err := expr.EvalBool(f.Pred, &env)
+func (f *Filter) Open() error {
+	f.done = false
+	return f.Input.Open()
+}
+
+func (f *Filter) Close() error { return f.Input.Close() }
+
+func (f *Filter) Next() ([]tuple.Tuple, error) {
+	f.resetOut()
+	target := f.batchCap()
+	// Keep consuming input until the output batch fills: a selective
+	// predicate must not degrade downstream operators to tiny batches.
+	for len(f.outBuf) < target && !f.done {
+		in, err := f.Input.Next()
 		if err != nil {
-			return tuple.Tuple{}, false, err
+			return nil, err
 		}
-		if keep {
-			return t, true, nil
+		if len(in) == 0 {
+			// Latch exhaustion: the contract forbids calling the child's
+			// Next again after an empty batch.
+			f.done = true
+			break
+		}
+		for i := range in {
+			env := expr.Env{Vals: in[i].Vals, T: in[i].T}
+			keep, err := expr.EvalBool(f.Pred, &env)
+			if err != nil {
+				return nil, err
+			}
+			if keep {
+				f.outBuf = append(f.outBuf, in[i])
+			}
 		}
 	}
+	return f.outBuf, nil
 }
 
 // TPolicy controls what valid time a Project node assigns to its outputs.
@@ -61,11 +82,14 @@ const (
 
 // Project evaluates Exprs over each input tuple (π plus computed columns).
 type Project struct {
+	batching
 	Input Iterator
 	Exprs []expr.Expr
 	Out   schema.Schema
 	TMode TPolicy
 	TExpr expr.Expr // used when TMode == TFromExpr
+
+	done bool
 }
 
 // NewProject builds a projection. names gives the output attribute names;
@@ -94,45 +118,61 @@ func NewProjectCols(input Iterator, cols []int) *Project {
 }
 
 func (p *Project) Schema() schema.Schema { return p.Out }
-func (p *Project) Open() error           { return p.Input.Open() }
-func (p *Project) Close() error          { return p.Input.Close() }
 
-func (p *Project) Next() (tuple.Tuple, bool, error) {
-	for {
-		t, ok, err := p.Input.Next()
-		if err != nil || !ok {
-			return tuple.Tuple{}, false, err
+func (p *Project) Open() error {
+	p.done = false
+	return p.Input.Open()
+}
+
+func (p *Project) Close() error { return p.Input.Close() }
+
+func (p *Project) Next() ([]tuple.Tuple, error) {
+	p.resetOut()
+	target := p.batchCap()
+	for len(p.outBuf) < target && !p.done {
+		in, err := p.Input.Next()
+		if err != nil {
+			return nil, err
 		}
-		env := expr.Env{Vals: t.Vals, T: t.T}
-		vals := make([]value.Value, len(p.Exprs))
-		for i, e := range p.Exprs {
-			v, err := e.Eval(&env)
-			if err != nil {
-				return tuple.Tuple{}, false, err
-			}
-			vals[i] = v
+		if len(in) == 0 {
+			p.done = true
+			break
 		}
-		var ts interval.Interval
-		switch p.TMode {
-		case TKeep:
-			ts = t.T
-		case TZero:
-			ts = interval.Interval{}
-		case TFromExpr:
-			v, err := p.TExpr.Eval(&env)
-			if err != nil {
-				return tuple.Tuple{}, false, err
+		// One contiguous allocation of output values for the whole batch.
+		flat := make([]value.Value, len(in)*len(p.Exprs))
+		for i := range in {
+			env := expr.Env{Vals: in[i].Vals, T: in[i].T}
+			vals := flat[i*len(p.Exprs) : (i+1)*len(p.Exprs) : (i+1)*len(p.Exprs)]
+			for k, e := range p.Exprs {
+				v, err := e.Eval(&env)
+				if err != nil {
+					return nil, err
+				}
+				vals[k] = v
 			}
-			if v.IsNull() {
-				continue // empty or unknown period: drop the tuple
+			var ts interval.Interval
+			switch p.TMode {
+			case TKeep:
+				ts = in[i].T
+			case TZero:
+				ts = interval.Interval{}
+			case TFromExpr:
+				v, err := p.TExpr.Eval(&env)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					continue // empty or unknown period: drop the tuple
+				}
+				ts = v.Interval()
+				if !ts.Valid() {
+					continue
+				}
 			}
-			ts = v.Interval()
-			if !ts.Valid() {
-				continue
-			}
+			p.outBuf = append(p.outBuf, tuple.Tuple{Vals: vals, T: ts})
 		}
-		return tuple.Tuple{Vals: vals, T: ts}, true, nil
 	}
+	return p.outBuf, nil
 }
 
 // SortKey is one ordering term.
@@ -144,10 +184,11 @@ type SortKey struct {
 // Sort materializes its input and emits it ordered by Keys (values compare
 // with the total order of the value package; ω sorts first).
 type Sort struct {
+	batching
 	Input Iterator
 	Keys  []SortKey
 
-	rows []decorated
+	rows []tuple.Tuple
 	pos  int
 	open bool
 }
@@ -177,39 +218,51 @@ func (s *Sort) Open() error {
 	if err := s.Input.Open(); err != nil {
 		return err
 	}
-	s.rows = s.rows[:0]
+	var rows []decorated
 	for {
-		t, ok, err := s.Input.Next()
+		in, err := s.Input.Next()
 		if err != nil {
 			return err
 		}
-		if !ok {
+		if len(in) == 0 {
 			break
 		}
-		env := expr.Env{Vals: t.Vals, T: t.T}
-		keys := make([]value.Value, len(s.Keys))
-		for i, k := range s.Keys {
-			v, err := k.Expr.Eval(&env)
-			if err != nil {
-				return err
+		// Decorate the whole batch before sorting: one key slab per batch.
+		flat := make([]value.Value, len(in)*len(s.Keys))
+		for i := range in {
+			env := expr.Env{Vals: in[i].Vals, T: in[i].T}
+			keys := flat[i*len(s.Keys) : (i+1)*len(s.Keys) : (i+1)*len(s.Keys)]
+			for k := range s.Keys {
+				v, err := s.Keys[k].Expr.Eval(&env)
+				if err != nil {
+					return err
+				}
+				keys[k] = v
 			}
-			keys[i] = v
+			rows = append(rows, decorated{t: in[i], keys: keys})
 		}
-		s.rows = append(s.rows, decorated{t: t, keys: keys})
 	}
-	sortDecorated(s.rows, s.Keys)
+	sortDecorated(rows, s.Keys)
+	s.rows = s.rows[:0]
+	for i := range rows {
+		s.rows = append(s.rows, rows[i].t)
+	}
 	s.pos = 0
 	s.open = true
 	return nil
 }
 
-func (s *Sort) Next() (tuple.Tuple, bool, error) {
+func (s *Sort) Next() ([]tuple.Tuple, error) {
 	if !s.open || s.pos >= len(s.rows) {
-		return tuple.Tuple{}, false, nil
+		return nil, nil
 	}
-	t := s.rows[s.pos].t
-	s.pos++
-	return t, true, nil
+	end := s.pos + s.batchCap()
+	if end > len(s.rows) {
+		end = len(s.rows)
+	}
+	b := s.rows[s.pos:end:end]
+	s.pos = end
+	return b, nil
 }
 
 func (s *Sort) Close() error {

@@ -25,6 +25,7 @@ func (k SetOpKind) String() string {
 
 // SetOp implements UNION / INTERSECT / EXCEPT over union compatible inputs.
 type SetOp struct {
+	batching
 	Left, Right Iterator
 	Kind        SetOpKind
 
@@ -32,6 +33,7 @@ type SetOp struct {
 	seen  map[uint64][]tuple.Tuple // dedup / membership table
 	rhs   map[uint64][]tuple.Tuple // right side membership (intersect/except)
 	phase int
+	done  bool
 }
 
 // NewSetOp builds the node; it validates union compatibility.
@@ -82,64 +84,77 @@ func (s *SetOp) Open() error {
 	}
 	s.seen = make(map[uint64][]tuple.Tuple)
 	s.phase = 0
+	s.done = false
 	if s.Kind == IntersectOp || s.Kind == ExceptOp {
 		s.rhs = make(map[uint64][]tuple.Tuple)
 		for {
-			t, ok, err := s.Right.Next()
+			batch, err := s.Right.Next()
 			if err != nil {
 				return err
 			}
-			if !ok {
+			if len(batch) == 0 {
 				break
 			}
-			s.memberAdd(s.rhs, t)
+			for i := range batch {
+				s.memberAdd(s.rhs, batch[i])
+			}
 		}
 	}
 	return nil
 }
 
-func (s *SetOp) Next() (tuple.Tuple, bool, error) {
-	for {
+func (s *SetOp) Next() ([]tuple.Tuple, error) {
+	s.resetOut()
+	target := s.batchCap()
+	for len(s.outBuf) < target && !s.done {
 		switch s.phase {
 		case 0: // left input
-			t, ok, err := s.Left.Next()
+			batch, err := s.Left.Next()
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
-			if !ok {
+			if len(batch) == 0 {
 				if s.Kind == UnionOp {
 					s.phase = 1
 					continue
 				}
-				return tuple.Tuple{}, false, nil
+				s.done = true
+				break
 			}
-			switch s.Kind {
-			case UnionOp:
-				if s.memberAdd(s.seen, t) {
-					return t, true, nil
-				}
-			case IntersectOp:
-				if s.member(s.rhs, t) && s.memberAdd(s.seen, t) {
-					return t, true, nil
-				}
-			case ExceptOp:
-				if !s.member(s.rhs, t) && s.memberAdd(s.seen, t) {
-					return t, true, nil
+			for i := range batch {
+				t := batch[i]
+				switch s.Kind {
+				case UnionOp:
+					if s.memberAdd(s.seen, t) {
+						s.outBuf = append(s.outBuf, t)
+					}
+				case IntersectOp:
+					if s.member(s.rhs, t) && s.memberAdd(s.seen, t) {
+						s.outBuf = append(s.outBuf, t)
+					}
+				case ExceptOp:
+					if !s.member(s.rhs, t) && s.memberAdd(s.seen, t) {
+						s.outBuf = append(s.outBuf, t)
+					}
 				}
 			}
 		case 1: // union: right input
-			t, ok, err := s.Right.Next()
+			batch, err := s.Right.Next()
 			if err != nil {
-				return tuple.Tuple{}, false, err
+				return nil, err
 			}
-			if !ok {
-				return tuple.Tuple{}, false, nil
+			if len(batch) == 0 {
+				s.done = true
+				break
 			}
-			if s.memberAdd(s.seen, t) {
-				return t, true, nil
+			for i := range batch {
+				if s.memberAdd(s.seen, batch[i]) {
+					s.outBuf = append(s.outBuf, batch[i])
+				}
 			}
 		}
 	}
+	return s.outBuf, nil
 }
 
 func (s *SetOp) Close() error {
@@ -156,10 +171,12 @@ func (s *SetOp) Close() error {
 // Distinct removes exact duplicates (values and valid time), enforcing set
 // semantics after projections.
 type Distinct struct {
+	batching
 	Input Iterator
 
 	seed maphash.Seed
 	seen map[uint64][]tuple.Tuple
+	done bool
 }
 
 // NewDistinct builds the node.
@@ -171,32 +188,43 @@ func (d *Distinct) Schema() schema.Schema { return d.Input.Schema() }
 
 func (d *Distinct) Open() error {
 	d.seen = make(map[uint64][]tuple.Tuple)
+	d.done = false
 	return d.Input.Open()
 }
 
-func (d *Distinct) Next() (tuple.Tuple, bool, error) {
-	for {
-		t, ok, err := d.Input.Next()
-		if err != nil || !ok {
-			return tuple.Tuple{}, false, err
+func (d *Distinct) Next() ([]tuple.Tuple, error) {
+	d.resetOut()
+	target := d.batchCap()
+	for len(d.outBuf) < target && !d.done {
+		batch, err := d.Input.Next()
+		if err != nil {
+			return nil, err
 		}
-		var mh maphash.Hash
-		mh.SetSeed(d.seed)
-		t.Hash(&mh)
-		hv := mh.Sum64()
-		dup := false
-		for _, o := range d.seen[hv] {
-			if o.Equal(t) {
-				dup = true
-				break
+		if len(batch) == 0 {
+			d.done = true
+			break
+		}
+		for i := range batch {
+			t := batch[i]
+			var mh maphash.Hash
+			mh.SetSeed(d.seed)
+			t.Hash(&mh)
+			hv := mh.Sum64()
+			dup := false
+			for _, o := range d.seen[hv] {
+				if o.Equal(t) {
+					dup = true
+					break
+				}
 			}
+			if dup {
+				continue
+			}
+			d.seen[hv] = append(d.seen[hv], t)
+			d.outBuf = append(d.outBuf, t)
 		}
-		if dup {
-			continue
-		}
-		d.seen[hv] = append(d.seen[hv], t)
-		return t, true, nil
 	}
+	return d.outBuf, nil
 }
 
 func (d *Distinct) Close() error {

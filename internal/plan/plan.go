@@ -54,11 +54,52 @@ type Flags struct {
 	// reduction (Sec. 8 future work: primitives specialized per operator).
 	// Off by default for paper fidelity.
 	EnableAntiJoinRewrite bool
+	// DOP is the degree of parallelism for the exchange layer: plans whose
+	// estimated input cardinality reaches ParallelMinRows are rewritten to
+	// hash-partition work across DOP worker goroutines. 0 or 1 disables
+	// parallel execution.
+	DOP int
+	// ParallelMinRows gates the exchange rewrite: below this estimated
+	// input cardinality the startup and transfer overhead of an exchange
+	// outweighs the speedup, and above it the exchange plan still has to
+	// beat the serial plan on estimated cost. 0 (the zero value) means
+	// DefaultParallelMinRows.
+	ParallelMinRows float64
+	// ForceParallel applies the exchange rewrite unconditionally when
+	// DOP > 1, skipping the row gate, the core-count check and the cost
+	// comparison. It exists for tests and benchmarks that must exercise
+	// the parallel plans regardless of profitability.
+	ForceParallel bool
+	// BatchSize overrides the executor's DefaultBatchSize when > 0.
+	BatchSize int
 }
 
-// DefaultFlags enables every paper-faithful access path.
+// DefaultFlags enables every paper-faithful access path; parallelism stays
+// off (DOP 1) so plans remain the paper's serial pipelines unless asked.
 func DefaultFlags() Flags {
-	return Flags{EnableNestLoop: true, EnableHashJoin: true, EnableMergeJoin: true, EnableSort: true}
+	return Flags{
+		EnableNestLoop:  true,
+		EnableHashJoin:  true,
+		EnableMergeJoin: true,
+		EnableSort:      true,
+		DOP:             1,
+		ParallelMinRows: DefaultParallelMinRows,
+	}
+}
+
+// DefaultParallelMinRows is the default exchange gate: roughly where the
+// per-worker startup cost amortizes against per-tuple work on current
+// hardware.
+const DefaultParallelMinRows = 1024
+
+// applyBatch plumbs a configured batch size into a built operator.
+func applyBatch(it exec.Iterator, n int) exec.Iterator {
+	if n > 0 {
+		if bs, ok := it.(exec.BatchSizer); ok {
+			bs.SetBatchSize(n)
+		}
+	}
+	return it
 }
 
 // JoinMethod enumerates physical join strategies.
@@ -117,11 +158,13 @@ func Explain(n Node) string {
 type ScanNode struct {
 	Rel  *relation.Relation
 	Name string
+
+	batch int
 }
 
 // Scan builds a scan node; name is used by EXPLAIN.
 func (p *Planner) Scan(rel *relation.Relation, name string) *ScanNode {
-	return &ScanNode{Rel: rel, Name: name}
+	return &ScanNode{Rel: rel, Name: name, batch: p.Flags.BatchSize}
 }
 
 func (s *ScanNode) Schema() schema.Schema { return s.Rel.Schema }
@@ -131,7 +174,9 @@ func (s *ScanNode) Cost() float64 {
 	pages := math.Ceil(float64(s.Rel.Len()) / TuplesPerPage)
 	return pages*SeqPageCost + float64(s.Rel.Len())*CPUTupleCost
 }
-func (s *ScanNode) Build() (exec.Iterator, error) { return exec.NewScan(s.Rel), nil }
+func (s *ScanNode) Build() (exec.Iterator, error) {
+	return applyBatch(exec.NewScan(s.Rel), s.batch), nil
+}
 func (s *ScanNode) Label() string {
 	name := s.Name
 	if name == "" {
@@ -146,12 +191,14 @@ func (s *ScanNode) Label() string {
 type FilterNode struct {
 	Input Node
 	Pred  expr.Expr
+
+	batch int
 }
 
 // Filter builds a selection node; pred must be bound against input's
 // schema.
 func (p *Planner) Filter(input Node, pred expr.Expr) *FilterNode {
-	return &FilterNode{Input: input, Pred: pred}
+	return &FilterNode{Input: input, Pred: pred, batch: p.Flags.BatchSize}
 }
 
 func (f *FilterNode) Schema() schema.Schema { return f.Input.Schema() }
@@ -167,7 +214,7 @@ func (f *FilterNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewFilter(in, f.Pred), nil
+	return applyBatch(exec.NewFilter(in, f.Pred), f.batch), nil
 }
 func (f *FilterNode) Label() string { return "Filter " + f.Pred.String() }
 
@@ -199,7 +246,8 @@ type ProjectNode struct {
 	TMode exec.TPolicy
 	TExpr expr.Expr
 
-	out schema.Schema
+	out   schema.Schema
+	batch int
 }
 
 // Project builds a projection node.
@@ -208,7 +256,7 @@ func (p *Planner) Project(input Node, names []string, exprs []expr.Expr) *Projec
 	for i := range exprs {
 		attrs[i] = schema.Attr{Name: names[i], Type: exprs[i].Type()}
 	}
-	return &ProjectNode{Input: input, Exprs: exprs, Names: names, out: schema.Schema{Attrs: attrs}}
+	return &ProjectNode{Input: input, Exprs: exprs, Names: names, out: schema.Schema{Attrs: attrs}, batch: p.Flags.BatchSize}
 }
 
 // ProjectT builds a projection whose valid time comes from a period-typed
@@ -237,7 +285,7 @@ func (pr *ProjectNode) Build() (exec.Iterator, error) {
 	}
 	node.TMode = pr.TMode
 	node.TExpr = pr.TExpr
-	return node, nil
+	return applyBatch(node, pr.batch), nil
 }
 func (pr *ProjectNode) Label() string {
 	parts := make([]string, len(pr.Exprs))
@@ -253,11 +301,13 @@ func (pr *ProjectNode) Label() string {
 type SortNode struct {
 	Input Node
 	Keys  []exec.SortKey
+
+	batch int
 }
 
 // Sort builds a sort node.
 func (p *Planner) Sort(input Node, keys ...exec.SortKey) *SortNode {
-	return &SortNode{Input: input, Keys: keys}
+	return &SortNode{Input: input, Keys: keys, batch: p.Flags.BatchSize}
 }
 
 func (s *SortNode) Schema() schema.Schema { return s.Input.Schema() }
@@ -272,7 +322,7 @@ func (s *SortNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewSort(in, s.Keys...), nil
+	return applyBatch(exec.NewSort(in, s.Keys...), s.batch), nil
 }
 func (s *SortNode) Label() string { return fmt.Sprintf("Sort (%d keys)", len(s.Keys)) }
 
@@ -292,11 +342,12 @@ type JoinNode struct {
 	out      schema.Schema
 	cost     float64
 	rows     float64
+	batch    int
 }
 
 // Join builds a join node and selects the cheapest enabled method.
 func (p *Planner) Join(l, r Node, cond expr.Expr, typ exec.JoinType, matchT bool) *JoinNode {
-	j := &JoinNode{Left: l, Right: r, Cond: cond, Type: typ, MatchT: matchT}
+	j := &JoinNode{Left: l, Right: r, Cond: cond, Type: typ, MatchT: matchT, batch: p.Flags.BatchSize}
 	if typ == exec.SemiJoin || typ == exec.AntiJoin {
 		j.out = l.Schema()
 	} else {
@@ -385,7 +436,7 @@ func (j *JoinNode) Build() (exec.Iterator, error) {
 	}
 	switch j.Method {
 	case MethodHash:
-		return exec.NewHashJoin(l, r, j.keys, j.residual, j.Type, j.MatchT), nil
+		return applyBatch(exec.NewHashJoin(l, r, j.keys, j.residual, j.Type, j.MatchT), j.batch), nil
 	case MethodMerge:
 		lk := make([]exec.SortKey, len(j.keys))
 		rk := make([]exec.SortKey, len(j.keys))
@@ -393,9 +444,15 @@ func (j *JoinNode) Build() (exec.Iterator, error) {
 			lk[i] = exec.SortKey{Expr: k.Left}
 			rk[i] = exec.SortKey{Expr: k.Right}
 		}
-		return exec.NewMergeJoin(exec.NewSort(l, lk...), exec.NewSort(r, rk...), j.keys, j.residual, j.Type, j.MatchT)
+		ls := applyBatch(exec.NewSort(l, lk...), j.batch)
+		rs := applyBatch(exec.NewSort(r, rk...), j.batch)
+		mj, err := exec.NewMergeJoin(ls, rs, j.keys, j.residual, j.Type, j.MatchT)
+		if err != nil {
+			return nil, err
+		}
+		return applyBatch(mj, j.batch), nil
 	default:
-		return exec.NewNestedLoopJoin(l, r, j.Cond, j.Type, j.MatchT), nil
+		return applyBatch(exec.NewNestedLoopJoin(l, r, j.Cond, j.Type, j.MatchT), j.batch), nil
 	}
 }
 
@@ -420,12 +477,13 @@ type IntervalJoinNode struct {
 	Cond        expr.Expr
 	Type        exec.JoinType
 
-	out schema.Schema
+	out   schema.Schema
+	batch int
 }
 
 // IntervalJoin builds the node (inner or left outer only).
 func (p *Planner) IntervalJoin(l, r Node, cond expr.Expr, typ exec.JoinType) *IntervalJoinNode {
-	return &IntervalJoinNode{Left: l, Right: r, Cond: cond, Type: typ, out: l.Schema().Concat(r.Schema())}
+	return &IntervalJoinNode{Left: l, Right: r, Cond: cond, Type: typ, out: l.Schema().Concat(r.Schema()), batch: p.Flags.BatchSize}
 }
 
 func (j *IntervalJoinNode) Schema() schema.Schema { return j.out }
@@ -453,7 +511,11 @@ func (j *IntervalJoinNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewIntervalJoin(l, r, j.Cond, j.Type)
+	ij, err := exec.NewIntervalJoin(l, r, j.Cond, j.Type)
+	if err != nil {
+		return nil, err
+	}
+	return applyBatch(ij, j.batch), nil
 }
 func (j *IntervalJoinNode) Label() string {
 	cond := "true"
@@ -473,7 +535,8 @@ type AggNode struct {
 	GroupByT bool
 	Aggs     []exec.AggSpec
 
-	out schema.Schema
+	out   schema.Schema
+	batch int
 }
 
 // Aggregate builds an aggregation node.
@@ -482,7 +545,7 @@ func (p *Planner) Aggregate(input Node, groupBy []expr.Expr, names []string, gro
 	if err != nil {
 		return nil, err
 	}
-	return &AggNode{Input: input, GroupBy: groupBy, Names: names, GroupByT: groupByT, Aggs: aggs, out: probe.Schema()}, nil
+	return &AggNode{Input: input, GroupBy: groupBy, Names: names, GroupByT: groupByT, Aggs: aggs, out: probe.Schema(), batch: p.Flags.BatchSize}, nil
 }
 
 func (a *AggNode) Schema() schema.Schema { return a.out }
@@ -501,7 +564,11 @@ func (a *AggNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewHashAggregate(in, a.GroupBy, a.Names, a.GroupByT, a.Aggs)
+	agg, err := exec.NewHashAggregate(in, a.GroupBy, a.Names, a.GroupByT, a.Aggs)
+	if err != nil {
+		return nil, err
+	}
+	return applyBatch(agg, a.batch), nil
 }
 func (a *AggNode) Label() string {
 	return fmt.Sprintf("HashAggregate (%d group cols, byT=%v, %d aggs)", len(a.GroupBy), a.GroupByT, len(a.Aggs))
@@ -513,11 +580,13 @@ func (a *AggNode) Label() string {
 type SetOpNode struct {
 	Left, Right Node
 	Kind        exec.SetOpKind
+
+	batch int
 }
 
 // SetOp builds a set operation node.
 func (p *Planner) SetOp(l, r Node, kind exec.SetOpKind) *SetOpNode {
-	return &SetOpNode{Left: l, Right: r, Kind: kind}
+	return &SetOpNode{Left: l, Right: r, Kind: kind, batch: p.Flags.BatchSize}
 }
 
 func (s *SetOpNode) Schema() schema.Schema { return s.Left.Schema() }
@@ -544,17 +613,27 @@ func (s *SetOpNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewSetOp(l, r, s.Kind)
+	op, err := exec.NewSetOp(l, r, s.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return applyBatch(op, s.batch), nil
 }
 func (s *SetOpNode) Label() string { return "SetOp " + s.Kind.String() }
 
 // ---------------------------------------------------------------- distinct
 
 // DistinctNode removes exact duplicates.
-type DistinctNode struct{ Input Node }
+type DistinctNode struct {
+	Input Node
+
+	batch int
+}
 
 // Distinct builds a duplicate-elimination node.
-func (p *Planner) Distinct(input Node) *DistinctNode { return &DistinctNode{Input: input} }
+func (p *Planner) Distinct(input Node) *DistinctNode {
+	return &DistinctNode{Input: input, batch: p.Flags.BatchSize}
+}
 
 func (d *DistinctNode) Schema() schema.Schema { return d.Input.Schema() }
 func (d *DistinctNode) Children() []Node      { return []Node{d.Input} }
@@ -567,7 +646,7 @@ func (d *DistinctNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewDistinct(in), nil
+	return applyBatch(exec.NewDistinct(in), d.batch), nil
 }
 func (d *DistinctNode) Label() string { return "Distinct" }
 
@@ -587,7 +666,8 @@ type AdjustNode struct {
 	LeftWidth int
 	P1, P2    expr.Expr
 
-	out schema.Schema
+	out   schema.Schema
+	batch int
 }
 
 // Adjust builds the plane-sweep node over the group-construction stream.
@@ -596,7 +676,7 @@ func (p *Planner) Adjust(input Node, mode exec.AdjustMode, leftWidth int, p1, p2
 	for i := range cols {
 		cols[i] = i
 	}
-	return &AdjustNode{Input: input, Mode: mode, LeftWidth: leftWidth, P1: p1, P2: p2, out: input.Schema().Project(cols)}
+	return &AdjustNode{Input: input, Mode: mode, LeftWidth: leftWidth, P1: p1, P2: p2, out: input.Schema().Project(cols), batch: p.Flags.BatchSize}
 }
 
 func (a *AdjustNode) Schema() schema.Schema { return a.out }
@@ -619,17 +699,27 @@ func (a *AdjustNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewAdjust(in, a.Mode, a.LeftWidth, a.P1, a.P2)
+	ad, err := exec.NewAdjust(in, a.Mode, a.LeftWidth, a.P1, a.P2)
+	if err != nil {
+		return nil, err
+	}
+	return applyBatch(ad, a.batch), nil
 }
 func (a *AdjustNode) Label() string { return "Adjust " + a.Mode.String() }
 
 // ----------------------------------------------------------------- absorb
 
 // AbsorbNode is the logical α node.
-type AbsorbNode struct{ Input Node }
+type AbsorbNode struct {
+	Input Node
+
+	batch int
+}
 
 // Absorb builds the temporal-duplicate elimination node (Def. 12).
-func (p *Planner) Absorb(input Node) *AbsorbNode { return &AbsorbNode{Input: input} }
+func (p *Planner) Absorb(input Node) *AbsorbNode {
+	return &AbsorbNode{Input: input, batch: p.Flags.BatchSize}
+}
 
 func (a *AbsorbNode) Schema() schema.Schema { return a.Input.Schema() }
 func (a *AbsorbNode) Children() []Node      { return []Node{a.Input} }
@@ -643,7 +733,7 @@ func (a *AbsorbNode) Build() (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return exec.NewAbsorb(in), nil
+	return applyBatch(exec.NewAbsorb(in), a.batch), nil
 }
 func (a *AbsorbNode) Label() string { return "Absorb" }
 
