@@ -60,6 +60,7 @@ func BenchmarkFig13NormalizeJoinMethods(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			rel := incumbenN(b, v.n)
 			a := core.New(v.flags)
 			b.ResetTimer()
@@ -90,6 +91,7 @@ func BenchmarkFig14NormalizeAttrs(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			rel := incumbenN(b, v.n)
 			a := core.Default()
 			b.ResetTimer()
@@ -111,6 +113,7 @@ func BenchmarkFig14NormalizeAttrs(b *testing.B) {
 func BenchmarkFig15aO1Ddisj(b *testing.B) {
 	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
 		b.Run(st.String()+"/n=1000", func(b *testing.B) {
+			b.ReportAllocs()
 			r, s := dataset.Ddisj(1000, 1)
 			b.ResetTimer()
 			rows := 0
@@ -131,6 +134,7 @@ func BenchmarkFig15aO1Ddisj(b *testing.B) {
 func BenchmarkFig15bO1Deq(b *testing.B) {
 	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
 		b.Run(st.String()+"/n=250", func(b *testing.B) {
+			b.ReportAllocs()
 			r, s := dataset.Deq(250, 1)
 			b.ResetTimer()
 			rows := 0
@@ -151,6 +155,7 @@ func BenchmarkFig15bO1Deq(b *testing.B) {
 func BenchmarkFig15cO2Drand(b *testing.B) {
 	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
 		b.Run(st.String()+"/n=1000", func(b *testing.B) {
+			b.ReportAllocs()
 			r0, s := dataset.Drand(1000, 1)
 			r := core.MustExtend(r0, "u")
 			b.ResetTimer()
@@ -173,6 +178,7 @@ func BenchmarkFig15cO2Drand(b *testing.B) {
 func BenchmarkFig15dO3Incumben(b *testing.B) {
 	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQL} {
 		b.Run(st.String()+"/n=8000", func(b *testing.B) {
+			b.ReportAllocs()
 			r, s := dataset.SplitHalves(incumbenN(b, 8000), []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
 			b.ResetTimer()
 			rows := 0
@@ -194,6 +200,7 @@ func BenchmarkFig15dO3Incumben(b *testing.B) {
 func BenchmarkFig16aO3IncumbenNorm(b *testing.B) {
 	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQLNormalize} {
 		b.Run(st.String()+"/n=8000", func(b *testing.B) {
+			b.ReportAllocs()
 			r, s := dataset.SplitHalves(incumbenN(b, 8000), []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
 			b.ResetTimer()
 			rows := 0
@@ -215,6 +222,7 @@ func BenchmarkFig16aO3IncumbenNorm(b *testing.B) {
 func BenchmarkFig16bO3RandomNorm(b *testing.B) {
 	for _, st := range []baseline.Strategy{baseline.StrategyAlign, baseline.StrategySQLNormalize} {
 		b.Run(st.String()+"/n=8000", func(b *testing.B) {
+			b.ReportAllocs()
 			rel := dataset.RandomIncumbenLike(8000, 1)
 			r, s := dataset.SplitHalves(rel, []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
 			b.ResetTimer()
@@ -249,6 +257,7 @@ func BenchmarkAblationIntervalIndex(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name+"/n=2000", func(b *testing.B) {
+			b.ReportAllocs()
 			a := v.mk()
 			rows := 0
 			for i := 0; i < b.N; i++ {
@@ -282,6 +291,7 @@ func BenchmarkAblationAntiJoinRewrite(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name+"/n=8000", func(b *testing.B) {
+			b.ReportAllocs()
 			a := v.mk()
 			rows := 0
 			for i := 0; i < b.N; i++ {
@@ -304,6 +314,7 @@ func BenchmarkPrimitives(b *testing.B) {
 	r, s := dataset.SplitHalves(rel, []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
 	a := core.Default()
 	b.Run("align/theta=pcn", func(b *testing.B) {
+		b.ReportAllocs()
 		rows := 0
 		for i := 0; i < b.N; i++ {
 			out, err := a.Align(r, s, baseline.O3Theta())
@@ -315,6 +326,7 @@ func BenchmarkPrimitives(b *testing.B) {
 		reportRows(b, rows)
 	})
 	b.Run("normalize/B=pcn", func(b *testing.B) {
+		b.ReportAllocs()
 		rows := 0
 		for i := 0; i < b.N; i++ {
 			out, err := a.Normalize(r, r, "pcn")
@@ -326,6 +338,7 @@ func BenchmarkPrimitives(b *testing.B) {
 		reportRows(b, rows)
 	})
 	b.Run("absorb", func(b *testing.B) {
+		b.ReportAllocs()
 		aligned, err := a.Align(r, s, baseline.O3Theta())
 		if err != nil {
 			b.Fatal(err)
@@ -370,6 +383,7 @@ func BenchmarkParallelExchange(b *testing.B) {
 			flags.ForceParallel = true
 		}
 		b.Run(fmt.Sprintf("normalize-ssn/n=%d/%s", n, v.name), func(b *testing.B) {
+			b.ReportAllocs()
 			rel := incumbenN(b, n)
 			a := core.New(flags)
 			b.ResetTimer()
@@ -384,6 +398,7 @@ func BenchmarkParallelExchange(b *testing.B) {
 			reportRows(b, rows)
 		})
 		b.Run(fmt.Sprintf("align-join-o3/n=%d/%s", n, v.name), func(b *testing.B) {
+			b.ReportAllocs()
 			r, s := dataset.SplitHalves(incumbenN(b, n), []string{"ssn", "pcn"}, []string{"ssn2", "pcn2"})
 			a := core.New(flags)
 			b.ResetTimer()

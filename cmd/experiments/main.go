@@ -31,6 +31,7 @@ var (
 	sqlMax    = flag.Int("sqlmax", 2000, "largest input for standard-SQL series (quadratic)")
 	seed      = flag.Int64("seed", 1, "dataset seed")
 	dopFlag   = flag.Int("j", 1, "degree of parallelism: when > 1, parallel exchange series are added (0 = all CPUs)")
+	benchFlag = flag.String("bench", "", "write ns/op, allocs/op and rows for the Fig. 13/14 panels to this JSON file (e.g. BENCH_PR2.json) instead of printing figures; an existing 'before' section in the file is preserved")
 )
 
 // dop resolves the -j flag (0 means every CPU; negatives are rejected).
@@ -54,6 +55,13 @@ func parFlags() plan.Flags {
 
 func main() {
 	flag.Parse()
+	if *benchFlag != "" {
+		if err := runBenchPanels(*benchFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	figs := map[string]func() (benchkit.Figure, error){
 		"13a": fig13a, "13b": fig13b,
 		"14a": fig14a, "14b": fig14b,
@@ -342,4 +350,43 @@ func fig16b() (benchkit.Figure, error) {
 	}
 	fig.Series = append(fig.Series, sAlign, sNorm)
 	return fig, nil
+}
+
+// runBenchPanels measures the Fig. 13/14 panels (the benchmarks whose
+// trajectory BENCH_PR*.json tracks) with testing.Benchmark — ns/op,
+// allocs/op, B/op and output rows — and writes them as the "after"
+// section of path, preserving any committed "before" baseline.
+func runBenchPanels(path string) error {
+	normalize := func(attrs []string, flags plan.Flags, n int) func() (int, error) {
+		return func() (int, error) {
+			out, err := core.New(flags).Normalize(incumben(n), incumben(n), attrs...)
+			if err != nil {
+				return 0, err
+			}
+			return out.Len(), nil
+		}
+	}
+	panels := []struct {
+		name string
+		n    int
+		run  func() (int, error)
+	}{
+		{"fig13/normalize-ssn/merge", 8000, normalize([]string{"ssn"}, plan.Flags{EnableMergeJoin: true, EnableSort: true}, 8000)},
+		{"fig13/normalize-ssn/hash", 8000, normalize([]string{"ssn"}, plan.Flags{EnableHashJoin: true}, 8000)},
+		{"fig13/normalize-ssn/nestloop", 1000, normalize([]string{"ssn"}, plan.Flags{EnableNestLoop: true}, 1000)},
+		{"fig14/normalize-empty", 1000, normalize(nil, plan.DefaultFlags(), 1000)},
+		{"fig14/normalize-pcn", 8000, normalize([]string{"pcn"}, plan.DefaultFlags(), 8000)},
+		{"fig14/normalize-ssn", 8000, normalize([]string{"ssn"}, plan.DefaultFlags(), 8000)},
+	}
+	points := make([]benchkit.BenchPoint, 0, len(panels))
+	for _, p := range panels {
+		pt, err := benchkit.MeasureBench(p.name, p.n, p.run)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%-32s n=%-6d %12.0f ns/op %8d allocs/op %10d B/op %8d rows\n",
+			pt.Name, pt.N, pt.NsPerOp, pt.AllocsPerOp, pt.BytesPerOp, pt.Rows)
+		points = append(points, pt)
+	}
+	return benchkit.UpdateBenchFile(path, points)
 }

@@ -1,0 +1,76 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+)
+
+// BenchPoint is one testing.Benchmark measurement of a figure panel:
+// wall time, allocation profile and output cardinality per operation.
+type BenchPoint struct {
+	Name        string  `json:"name"` // e.g. "fig13/normalize-ssn/hash"
+	N           int     `json:"n"`    // input tuples
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Rows        int     `json:"rows"` // output cardinality
+}
+
+// BenchFile is the committed benchmark-trajectory format (BENCH_PR<k>.json):
+// a pre-change baseline and the current numbers for the same panels.
+type BenchFile struct {
+	Description string       `json:"description,omitempty"`
+	Before      []BenchPoint `json:"before,omitempty"`
+	After       []BenchPoint `json:"after"`
+}
+
+// MeasureBench runs fn under testing.Benchmark and folds the result into a
+// BenchPoint. fn must return the workload's output cardinality.
+func MeasureBench(name string, n int, fn func() (rows int, err error)) (BenchPoint, error) {
+	var rows int
+	var runErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := fn()
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			rows = r
+		}
+	})
+	if runErr != nil {
+		return BenchPoint{}, fmt.Errorf("benchkit: %s: %w", name, runErr)
+	}
+	return BenchPoint{
+		Name:        name,
+		N:           n,
+		Iterations:  res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		Rows:        rows,
+	}, nil
+}
+
+// UpdateBenchFile writes points as the "after" section of path, keeping an
+// existing "before" section (and description) intact so the committed file
+// documents the pre-change baseline alongside the current numbers.
+func UpdateBenchFile(path string, points []BenchPoint) error {
+	var f BenchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("benchkit: %s exists but is not a bench file: %w", path, err)
+		}
+	}
+	f.After = points
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

@@ -146,8 +146,21 @@ func (a *Algebra) alignPlanMode(r, s plan.Node, theta expr.Expr, mode exec.Adjus
 }
 
 // alignFragment is the serial group-construction + plane-sweep pipeline;
-// in a parallel plan it runs once per partition of r.
+// in a parallel plan it runs once per partition of r. By default it is a
+// single fused operator (plan.FusedAdjustNode) that probes the group side
+// and sweeps without materializing concatenated join rows; the
+// DisableFusedAdjust flag selects the paper-literal three-node chain.
 func (a *Algebra) alignFragment(r, s plan.Node, theta expr.Expr, mode exec.AdjustMode) plan.Node {
+	if !a.p.Flags.DisableFusedAdjust {
+		return a.p.FusedAlign(r, s, theta, mode)
+	}
+	return a.alignFragmentLegacy(r, s, theta, mode)
+}
+
+// alignFragmentLegacy is the classic pipeline: project the group side's
+// timestamps into columns, left outer join, sort by (r tuple, P1, P2),
+// plane-sweep.
+func (a *Algebra) alignFragmentLegacy(r, s plan.Node, theta expr.Expr, mode exec.AdjustMode) plan.Node {
 	rl, sl := r.Schema().Len(), s.Schema().Len()
 
 	// Project the group side to (s attributes, __ts, __te): the sweep needs
@@ -263,11 +276,27 @@ func (a *Algebra) splitPointsPlan(s plan.Node, sCols []int) plan.Node {
 	return a.p.SetOp(splitPoints(expr.TStart{}), splitPoints(expr.TEnd{}), exec.UnionOp)
 }
 
-// normalizeFragment joins r with the split-point relation, sorts by
-// (r tuple, split point) and sweeps; in a parallel plan it runs once per
-// partition of r. cols are B's positions in r; the split-point relation
-// carries B first and __p last.
+// normalizeFragment joins r with the split-point relation and sweeps; in
+// a parallel plan it runs once per partition of r. cols are B's positions
+// in r; the split-point relation carries B first and __p last. Like
+// alignFragment it defaults to the fused operator and keeps the classic
+// join → sort → Adjust chain behind DisableFusedAdjust.
 func (a *Algebra) normalizeFragment(r, points plan.Node, cols []int) plan.Node {
+	if !a.p.Flags.DisableFusedAdjust {
+		keys := make([]expr.EquiPair, 0, len(cols))
+		for i, c := range cols {
+			at := r.Schema().Attrs[c]
+			keys = append(keys, expr.EquiPair{
+				Left:  expr.ColIdx{Idx: c, Typ: at.Type, Name: at.Name},
+				Right: expr.ColIdx{Idx: i, Typ: at.Type, Name: points.Schema().Attrs[i].Name},
+			})
+		}
+		return a.p.FusedNormalize(r, points, keys, len(cols))
+	}
+	return a.normalizeFragmentLegacy(r, points, cols)
+}
+
+func (a *Algebra) normalizeFragmentLegacy(r, points plan.Node, cols []int) plan.Node {
 	rl := r.Schema().Len()
 
 	pCol := rl + len(cols) // __p position in the join row

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/plan"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// legacyFlags reverts to the classic join → sort → Adjust pipeline under
+// the given join-method flags.
+func legacyFlags(base plan.Flags) plan.Flags {
+	base.DisableFusedAdjust = true
+	return base
+}
+
+// methodFlags builds flag sets that force each group strategy.
+func methodFlags() map[string]plan.Flags {
+	return map[string]plan.Flags{
+		"hash":     {EnableHashJoin: true, EnableSort: true},
+		"merge":    {EnableMergeJoin: true, EnableSort: true},
+		"nestloop": {EnableNestLoop: true, EnableSort: true},
+	}
+}
+
+// TestFusedAdjustMatchesLegacy is the randomized differential test for the
+// fused group-construction → sweep operator: for random relations, ALIGN
+// and NORMALIZE under every forced group strategy must be set-equal to the
+// classic pipeline under the same flags.
+func TestFusedAdjustMatchesLegacy(t *testing.T) {
+	attrsR := []schema.Attr{{Name: "x", Type: value.KindString}, {Name: "v", Type: value.KindInt}}
+	attrsS := []schema.Attr{{Name: "x2", Type: value.KindString}, {Name: "w", Type: value.KindInt}}
+	theta := expr.Eq(expr.CI(0, value.KindString), expr.CI(2, value.KindString))
+
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsS...))
+		for name, flags := range methodFlags() {
+			fused := New(flags)
+			legacy := New(legacyFlags(flags))
+
+			check := func(op string, f func(a *Algebra) (*relation.Relation, error)) {
+				t.Helper()
+				want, err := f(legacy)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s legacy: %v", seed, op, name, err)
+				}
+				got, err := f(fused)
+				if err != nil {
+					t.Fatalf("seed %d %s/%s fused: %v", seed, op, name, err)
+				}
+				if !relation.SetEqual(want, got) {
+					a, b := relation.Diff(want, got)
+					t.Fatalf("seed %d %s/%s: fused differs from legacy\nonly legacy: %v\nonly fused: %v\nr:\n%s\ns:\n%s",
+						seed, op, name, a, b, r, s)
+				}
+			}
+			check("align-theta", func(a *Algebra) (*relation.Relation, error) { return a.Align(r, s, theta) })
+			check("align-true", func(a *Algebra) (*relation.Relation, error) { return a.Align(r, s, nil) })
+			check("normalize-x", func(a *Algebra) (*relation.Relation, error) { return a.Normalize(r, r, "x") })
+			check("normalize-all", func(a *Algebra) (*relation.Relation, error) { return a.Normalize(r, r, "x", "v") })
+			check("normalize-empty", func(a *Algebra) (*relation.Relation, error) { return a.Normalize(r, r) })
+			check("fullouter", func(a *Algebra) (*relation.Relation, error) { return a.FullOuterJoin(r, s, theta) })
+			check("antijoin", func(a *Algebra) (*relation.Relation, error) { return a.AntiJoin(r, s, theta) })
+		}
+	}
+}
+
+// TestFusedAdjustIntervalIndex differentially tests the fused
+// interval-index strategy (keyless θ) against the legacy interval-index
+// plan and the nested-loop fallback.
+func TestFusedAdjustIntervalIndex(t *testing.T) {
+	attrsR := []schema.Attr{{Name: "x", Type: value.KindString}}
+	attrsS := []schema.Attr{{Name: "y", Type: value.KindString}}
+	ivx := plan.DefaultFlags()
+	ivx.EnableIntervalIndex = true
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsS...))
+		want, err := New(legacyFlags(ivx)).Align(r, s, nil)
+		if err != nil {
+			t.Fatalf("seed %d legacy interval-index: %v", seed, err)
+		}
+		got, err := New(ivx).Align(r, s, nil)
+		if err != nil {
+			t.Fatalf("seed %d fused interval-index: %v", seed, err)
+		}
+		nl, err := Default().Align(r, s, nil)
+		if err != nil {
+			t.Fatalf("seed %d nestloop: %v", seed, err)
+		}
+		if !relation.SetEqual(want, got) || !relation.SetEqual(nl, got) {
+			t.Fatalf("seed %d: interval-index results diverge\nr:\n%s\ns:\n%s", seed, r, s)
+		}
+	}
+}
+
+// TestFusedAdjustParallel: the exchange rewrite composes with the fused
+// fragment — parallel fused plans match serial fused and serial legacy.
+func TestFusedAdjustParallel(t *testing.T) {
+	attrsR := []schema.Attr{{Name: "x", Type: value.KindString}, {Name: "v", Type: value.KindInt}}
+	theta := expr.Eq(expr.CI(0, value.KindString), expr.CI(2, value.KindString))
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		r := randrel.Generate(rng, randrel.DefaultConfig(attrsR...))
+		s := randrel.Generate(rng, randrel.DefaultConfig(attrsR...))
+		want, err := New(legacyFlags(plan.DefaultFlags())).Align(r, s, theta)
+		if err != nil {
+			t.Fatalf("seed %d legacy: %v", seed, err)
+		}
+		for _, v := range []struct{ dop, batch int }{{2, 1}, {4, 3}, {4, 0}} {
+			a := New(parallelFlags(v.dop, v.batch))
+			got, err := a.Align(r, s, theta)
+			if err != nil {
+				t.Fatalf("seed %d dop=%d: %v", seed, v.dop, err)
+			}
+			if !relation.SetEqual(want, got) {
+				x, y := relation.Diff(want, got)
+				t.Fatalf("seed %d dop=%d batch=%d: parallel fused differs\nonly legacy: %v\nonly fused: %v",
+					seed, v.dop, v.batch, x, y)
+			}
+			gotN, err := a.Normalize(r, r, "x")
+			if err != nil {
+				t.Fatalf("seed %d dop=%d normalize: %v", seed, v.dop, err)
+			}
+			wantN, err := New(legacyFlags(plan.DefaultFlags())).Normalize(r, r, "x")
+			if err != nil {
+				t.Fatalf("seed %d legacy normalize: %v", seed, err)
+			}
+			if !relation.SetEqual(wantN, gotN) {
+				t.Fatalf("seed %d dop=%d: parallel fused normalize differs", seed, v.dop)
+			}
+		}
+	}
+}
+
+// TestFusedAdjustPlanShape: EXPLAIN renders the fused node with its mode
+// and group strategy, and the legacy flag restores the classic chain.
+func TestFusedAdjustPlanShape(t *testing.T) {
+	r := relation.NewBuilder("x string", "v int").Row(0, 5, "a", 1).MustBuild()
+	s := relation.NewBuilder("y string", "w int").Row(2, 7, "a", 2).MustBuild()
+	theta, err := BindTheta(r, s, expr.Eq(expr.C("x"), expr.C("y")))
+	if err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	a := Default()
+	text := plan.Explain(a.AlignPlan(a.Planner().Scan(r, "r"), a.Planner().Scan(s, "s"), theta))
+	if !strings.Contains(text, "FusedAdjust align") {
+		t.Fatalf("fused plan missing FusedAdjust node:\n%s", text)
+	}
+	if !strings.Contains(text, "join)") {
+		t.Fatalf("fused plan label missing group strategy:\n%s", text)
+	}
+	leg := New(legacyFlags(plan.DefaultFlags()))
+	text = plan.Explain(leg.AlignPlan(leg.Planner().Scan(r, "r"), leg.Planner().Scan(s, "s"), theta))
+	if !strings.Contains(text, "Sort") || strings.Contains(text, "FusedAdjust") {
+		t.Fatalf("legacy plan should keep the classic chain:\n%s", text)
+	}
+}

@@ -2,12 +2,12 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"talign/internal/expr"
 	"talign/internal/interval"
 	"talign/internal/schema"
 	"talign/internal/tuple"
+	"talign/internal/value"
 )
 
 // AdjustMode selects between the two temporal primitives that share the
@@ -294,16 +294,20 @@ func (ab *Absorb) Open() error {
 	return nil
 }
 
+// sortAbsorb key-sorts rows by (values, Ts ascending, Te DESCENDING). The
+// comparator is a total order — ties are fully identical tuples — so a
+// non-stable key sort replaces the previous (pointlessly stable)
+// comparator sort. The Te component is bitwise complemented to descend.
 func sortAbsorb(rows []tuple.Tuple) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		x, y := rows[i], rows[j]
-		if c := x.CompareVals(y); c != 0 {
-			return c < 0
+	tuple.KeySortFunc(rows, func(t tuple.Tuple, key []byte) []byte {
+		key = t.AppendKeyVals(key)
+		key = value.AppendInt64Key(key, t.T.Ts)
+		mark := len(key)
+		key = value.AppendInt64Key(key, t.T.Te)
+		for j := mark; j < len(key); j++ {
+			key[j] ^= 0xff
 		}
-		if x.T.Ts != y.T.Ts {
-			return x.T.Ts < y.T.Ts
-		}
-		return x.T.Te > y.T.Te
+		return key
 	})
 }
 

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"hash/maphash"
 	"sort"
 
 	"talign/internal/expr"
@@ -136,16 +135,20 @@ type HashAggregate struct {
 	Aggs     []AggSpec
 
 	out    schema.Schema
-	seed   maphash.Seed
 	groups []*aggGroup
+	keyBuf []byte
+	env    expr.Env // reused eval scratch
 	pos    int
 }
 
 type aggGroup struct {
-	key  []value.Value
-	t    interval.Interval
-	accs []accumulator
-	rows int64
+	key []value.Value
+	t   interval.Interval
+	// sortKey is the group's order-preserving byte key (group values,
+	// then T): the hash-table key and the deterministic output order.
+	sortKey string
+	accs    []accumulator
+	rows    int64
 }
 
 // NewHashAggregate builds the node; names must parallel groupBy.
@@ -171,7 +174,6 @@ func NewHashAggregate(input Iterator, groupBy []expr.Expr, names []string, group
 		GroupByT: groupByT,
 		Aggs:     aggs,
 		out:      schema.Schema{Attrs: attrs},
-		seed:     maphash.MakeSeed(),
 	}, nil
 }
 
@@ -181,7 +183,11 @@ func (h *HashAggregate) Open() error {
 	if err := h.Input.Open(); err != nil {
 		return err
 	}
-	table := make(map[uint64][]*aggGroup)
+	// Groups are keyed by the order-preserving byte encoding of (group
+	// values, group T): one flat map lookup per row — no hash chains, no
+	// per-bucket value comparisons — and the same key later drives the
+	// deterministic output sort.
+	table := make(map[string]*aggGroup)
 	h.groups = h.groups[:0]
 	n := 0
 	key := make([]value.Value, len(h.GroupBy))
@@ -196,38 +202,30 @@ func (h *HashAggregate) Open() error {
 		n += len(batch)
 		for bi := range batch {
 			t := batch[bi]
-			env := expr.Env{Vals: t.Vals, T: t.T}
+			h.env = expr.Env{Vals: t.Vals, T: t.T}
+			kb := h.keyBuf[:0]
 			for i, e := range h.GroupBy {
-				v, err := e.Eval(&env)
+				v, err := e.Eval(&h.env)
 				if err != nil {
 					return err
 				}
 				key[i] = v
-			}
-			var mh maphash.Hash
-			mh.SetSeed(h.seed)
-			for _, v := range key {
-				v.Hash(&mh)
+				kb = v.AppendKey(kb)
 			}
 			gt := interval.Interval{}
 			if h.GroupByT {
 				gt = t.T
-				value.NewInterval(gt).Hash(&mh)
 			}
-			hv := mh.Sum64()
-			var grp *aggGroup
-			for _, g := range table[hv] {
-				if g.t == gt && keysEqual(g.key, key) {
-					grp = g
-					break
-				}
-			}
+			kb = value.AppendIntervalKey(kb, gt)
+			h.keyBuf = kb
+			grp := table[string(kb)] // no allocation: map lookup by []byte
 			if grp == nil {
-				grp = &aggGroup{key: append([]value.Value(nil), key...), t: gt, accs: make([]accumulator, len(h.Aggs))}
+				sortKey := string(kb)
+				grp = &aggGroup{key: append([]value.Value(nil), key...), t: gt, sortKey: sortKey, accs: make([]accumulator, len(h.Aggs))}
 				for i := range grp.accs {
 					grp.accs[i].spec = h.Aggs[i]
 				}
-				table[hv] = append(table[hv], grp)
+				table[sortKey] = grp
 				h.groups = append(h.groups, grp)
 			}
 			grp.rows++
@@ -236,7 +234,7 @@ func (h *HashAggregate) Open() error {
 					grp.accs[i].count++
 					continue
 				}
-				v, err := h.Aggs[i].Arg.Eval(&env)
+				v, err := h.Aggs[i].Arg.Eval(&h.env)
 				if err != nil {
 					return err
 				}
@@ -252,15 +250,10 @@ func (h *HashAggregate) Open() error {
 		}
 		h.groups = append(h.groups, grp)
 	}
-	// Deterministic output order.
+	// Deterministic output order: the byte keys encode exactly (group
+	// values, T), so sorting them bytewise is the canonical group order.
 	sort.Slice(h.groups, func(i, j int) bool {
-		a, b := h.groups[i], h.groups[j]
-		for k := range a.key {
-			if c := a.key[k].Compare(b.key[k]); c != 0 {
-				return c < 0
-			}
-		}
-		return a.t.Compare(b.t) < 0
+		return h.groups[i].sortKey < h.groups[j].sortKey
 	})
 	h.pos = 0
 	return nil

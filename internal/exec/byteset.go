@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"bytes"
+	"hash/maphash"
+)
+
+// byteSet is a set of encoded byte keys with amortized O(1) insert and
+// membership and no per-key allocations: keys live concatenated in one
+// arena, hash collisions chain through a flat next slice, and the map
+// carries only uint64 → int32 heads. It replaces map[string]struct{}
+// tables whose string conversion allocates once per distinct key.
+type byteSet struct {
+	seed  maphash.Seed
+	table map[uint64]int32 // hash → index+1 of the chain head
+	next  []int32          // next[i] = index+1 of the next key with the same hash
+	offs  []int32          // key i = arena[offs[i]:offs[i+1]]
+	arena []byte
+}
+
+func newByteSet(sizeHint int) *byteSet {
+	return &byteSet{
+		seed:  maphash.MakeSeed(),
+		table: make(map[uint64]int32, sizeHint),
+	}
+}
+
+func (s *byteSet) keyAt(i int32) []byte {
+	end := int32(len(s.arena))
+	if int(i+1) < len(s.offs) {
+		end = s.offs[i+1]
+	}
+	return s.arena[s.offs[i]:end]
+}
+
+func (s *byteSet) find(h uint64, key []byte) bool {
+	for j := s.table[h]; j != 0; j = s.next[j-1] {
+		if bytes.Equal(s.keyAt(j-1), key) {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports membership without inserting.
+func (s *byteSet) contains(key []byte) bool {
+	return s.find(maphash.Bytes(s.seed, key), key)
+}
+
+// insert adds key if absent and reports whether it was added.
+func (s *byteSet) insert(key []byte) bool {
+	h := maphash.Bytes(s.seed, key)
+	if s.find(h, key) {
+		return false
+	}
+	s.offs = append(s.offs, int32(len(s.arena)))
+	s.arena = append(s.arena, key...)
+	s.next = append(s.next, s.table[h])
+	s.table[h] = int32(len(s.offs)) // index+1
+	return true
+}

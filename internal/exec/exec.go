@@ -3,9 +3,17 @@
 // sort-merge joins (inner, left/right/full outer, semi, anti), hash
 // aggregation, set operations, duplicate elimination, the paper's new
 // executor nodes — Adjust (the plane-sweep ExecAdjustment of Fig. 10,
-// serving both temporal alignment and temporal normalization) and Absorb
-// (Def. 12) — plus a hash-partitioned parallel exchange layer (Splitter /
-// Exchange) that spreads a plan fragment across worker goroutines.
+// serving both temporal alignment and temporal normalization), FusedAdjust
+// (the fused group-construction → sweep operator that replaces the
+// join → sort → Adjust chain without materializing concatenated rows) and
+// Absorb (Def. 12) — plus a hash-partitioned parallel exchange layer
+// (Splitter / Exchange) that spreads a plan fragment across worker
+// goroutines.
+//
+// Sorting, grouping and set membership run over order-preserving byte
+// keys (value.AppendKey / tuple.AppendKey): comparisons are memcmp, sorts
+// are non-stable key sorts with a radix fast path (tuple.KeySort), and
+// hash tables key on the encodings instead of chaining + re-comparing.
 //
 // Operators exchange data batch-at-a-time: Next returns a slice of tuples
 // and an empty batch signals exhaustion. Batching amortizes the virtual
@@ -36,11 +44,15 @@ const DefaultBatchSize = 1024
 // Iterator is the batch-at-a-time (vectorized Volcano) operator interface.
 // Usage: Open, repeated Next until it returns an empty batch, Close.
 //
-// Batch ownership: the returned slice is valid only until the following
-// Next or Close call on the same iterator — operators reuse their output
-// buffers. Callers that retain tuples across calls must copy them out of
-// the batch; the tuple structs copy safely (their Vals slices are never
-// recycled). BatchSize is a target, not a hard cap: operators may return
+// Batch ownership contract: the returned slice is valid only until the
+// following Next or Close call on the same iterator — operators OWN their
+// output buffers and reuse them. Consumers must not retain the batch
+// slice across calls; tuples they want to keep must be copied out of the
+// batch, and the tuple structs copy safely (their Vals slices and the
+// value slabs behind them are immutable once handed out and never
+// recycled). Operator-internal scratch (expression environments, key
+// buffers, arenas) likewise lives on the operator and is reused across
+// rows. BatchSize is a target, not a hard cap: operators may return
 // shorter batches at any time and may overshoot by a bounded amount when
 // one input row expands to several output rows.
 type Iterator interface {

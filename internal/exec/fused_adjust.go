@@ -1,0 +1,517 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"hash/maphash"
+	"slices"
+	"sort"
+
+	"talign/internal/expr"
+	"talign/internal/interval"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// GroupStrategy selects how FusedAdjust finds each left tuple's group
+// members (the physical method of the group-construction join that the
+// fused node absorbs).
+type GroupStrategy uint8
+
+const (
+	// GroupHash builds a hash table over the group side's equi keys and
+	// probes it per left tuple.
+	GroupHash GroupStrategy = iota
+	// GroupMerge key-sorts both sides by their equi keys and walks the
+	// runs in lockstep.
+	GroupMerge
+	// GroupNestLoop scans the whole group side per left tuple (the
+	// paper's fallback when θ has no equi keys).
+	GroupNestLoop
+	// GroupInterval uses the sort-by-start interval index over the group
+	// side (the Sec. 8 access path; align modes only).
+	GroupInterval
+)
+
+func (g GroupStrategy) String() string {
+	return [...]string{"hash join", "merge join", "nestloop join", "interval-index join"}[g]
+}
+
+// span is one (P1, P2) pair fed into the sweep; for normalization only P1
+// (the split point) is meaningful.
+type span struct{ p1, p2 int64 }
+
+// FusedAdjust fuses the group-construction join of Sec. 6.1/6.3 with the
+// plane-sweep adjustment (Fig. 10) into a single operator. The classic
+// pipeline materializes one concatenated row per (left tuple, group
+// member) pair, sorts that stream by (left tuple, P1, P2), and has Adjust
+// slice the left prefix back out — the dominant allocation source of
+// ALIGN and NORMALIZE. The fused node never concatenates: it finds each
+// left tuple's group members (hash, merge, nested-loop or interval-index
+// strategy), reduces every member to a (P1, P2) span, sorts the small
+// per-group span buffer in place, and sweeps immediately.
+//
+//	align:     span = [max(l.Ts, r.Ts), min(l.Te, r.Te))   (overlaps only)
+//	normalize: span = [p, p] for the split point p = right[PCol],
+//	           kept only when strictly inside l's interval
+//
+// Equi keys match through order-preserving byte encodings (ω keys never
+// match). The optional Residual runs over a reused scratch concatenation
+// of the pair, with env.T = the left tuple's T. Output tuples are the
+// left tuple with an adjusted timestamp, in left-input order (or equi-key
+// order under GroupMerge); alignment and normalization consumers are
+// order-insensitive (relations are sets).
+//
+// The node assumes the left input is duplicate free (the paper's Sec. 3.1
+// relation invariant): each left row sweeps its own group.
+type FusedAdjust struct {
+	batching
+	Left, Right Iterator
+	Mode        AdjustMode
+	Strategy    GroupStrategy
+	// Keys are θ's equi conjuncts: Left bound against the left schema,
+	// Right against the group side's schema.
+	Keys []expr.EquiPair
+	// Residual is the rest of θ, bound against Concat(left, right); nil
+	// when θ was fully extracted into Keys.
+	Residual expr.Expr
+	// PCol is the group-side column holding the split point (normalize
+	// only; -1 for the align modes).
+	PCol int
+
+	out schema.Schema
+
+	rights []tuple.Tuple
+	// hash strategy: rows chain through `chain` per key hash; rkeys holds
+	// the encoded equi keys (nil for unmatchable ω keys).
+	seed  maphash.Seed
+	heads map[uint64]int32
+	chain []int32
+	// merge strategy (shares rkeys)
+	lrows    []tuple.Tuple
+	lkeys    [][]byte
+	rkeys    [][]byte
+	lpos     int
+	rlo, rhi int // current right-side equi-key run
+	// interval strategy
+	starts []int64
+	maxDur int64
+
+	lc       cursor
+	keyBuf   []byte
+	arena    []byte
+	concat   []value.Value
+	spans    []span
+	env      expr.Env // reused eval scratch: avoids a per-row heap Env
+	leftDone bool
+}
+
+// NewFusedAdjust builds the node. For the align modes pass pCol < 0; for
+// normalize, pCol must address a group-side column and the interval
+// strategy is rejected (split points are nontemporal).
+func NewFusedAdjust(l, r Iterator, mode AdjustMode, strategy GroupStrategy, keys []expr.EquiPair, residual expr.Expr, pCol int) (*FusedAdjust, error) {
+	if mode == ModeNormalize {
+		if pCol < 0 || pCol >= r.Schema().Len() {
+			return nil, fmt.Errorf("exec: fused normalize split column %d out of range for %s", pCol, r.Schema())
+		}
+		if strategy == GroupInterval {
+			return nil, fmt.Errorf("exec: fused normalize cannot use the interval-index strategy")
+		}
+	} else {
+		pCol = -1
+	}
+	if strategy == GroupInterval && len(keys) > 0 {
+		return nil, fmt.Errorf("exec: interval-index strategy requires a keyless θ")
+	}
+	if (strategy == GroupHash || strategy == GroupMerge) && len(keys) == 0 {
+		return nil, fmt.Errorf("exec: %s strategy requires equi keys", strategy)
+	}
+	return &FusedAdjust{
+		Left: l, Right: r,
+		Mode: mode, Strategy: strategy,
+		Keys: keys, Residual: residual, PCol: pCol,
+		out: l.Schema(),
+	}, nil
+}
+
+func (f *FusedAdjust) Schema() schema.Schema { return f.out }
+
+// evalKeyInto appends the encoded equi key of t (left or right side) to
+// dst; hasNull reports an ω key component (which can never match).
+func (f *FusedAdjust) evalKeyInto(dst []byte, t tuple.Tuple, left bool) (key []byte, hasNull bool, err error) {
+	f.env = expr.Env{Vals: t.Vals, T: t.T}
+	for _, k := range f.Keys {
+		e := k.Right
+		if left {
+			e = k.Left
+		}
+		v, err := e.Eval(&f.env)
+		if err != nil {
+			return dst, false, err
+		}
+		if v.IsNull() {
+			hasNull = true
+		}
+		dst = v.AppendKey(dst)
+	}
+	return dst, hasNull, nil
+}
+
+func (f *FusedAdjust) Open() error {
+	if err := f.Left.Open(); err != nil {
+		return err
+	}
+	if err := f.Right.Open(); err != nil {
+		return err
+	}
+	var err error
+	f.rights, err = drainAppend(f.rights[:0], f.Right)
+	if err != nil {
+		return err
+	}
+	f.leftDone = false
+	f.lc.init(f.Left)
+
+	switch f.Strategy {
+	case GroupHash:
+		// Encode every group row's equi key once (ω keys become nil: they
+		// can never match, and unmatched group rows never surface — the
+		// group join is a left outer join), then chain rows by key hash.
+		// Arena + flat chains: no per-row map-key allocations.
+		f.arena = f.arena[:0]
+		var err error
+		if f.rkeys, err = f.encodeKeys(f.rights, f.rkeys, false, true); err != nil {
+			return err
+		}
+		f.seed = maphash.MakeSeed()
+		f.heads = make(map[uint64]int32, len(f.rights))
+		f.chain = f.chain[:0]
+		for i := range f.rights {
+			f.chain = append(f.chain, 0)
+			if f.rkeys[i] == nil {
+				continue
+			}
+			h := maphash.Bytes(f.seed, f.rkeys[i])
+			f.chain[i] = f.heads[h]
+			f.heads[h] = int32(i) + 1
+		}
+	case GroupMerge:
+		// Materialize both sides, drop unmatchable ω-keyed group rows,
+		// and key-sort each side by its encoded equi keys; Next walks the
+		// runs in lockstep.
+		f.lrows, err = drainAppend(f.lrows[:0], f.Left)
+		if err != nil {
+			return err
+		}
+		f.arena = f.arena[:0]
+		if f.lkeys, err = f.encodeKeys(f.lrows, f.lkeys, true, false); err != nil {
+			return err
+		}
+		tuple.KeySort(f.lrows, f.lkeys)
+		kept := f.rights[:0]
+		for _, t := range f.rights {
+			kb, hasNull, err := f.evalKeyInto(f.keyBuf[:0], t, false)
+			f.keyBuf = kb
+			if err != nil {
+				return err
+			}
+			if !hasNull {
+				kept = append(kept, t)
+			}
+		}
+		f.rights = kept
+		if f.rkeys, err = f.encodeKeys(f.rights, f.rkeys, false, false); err != nil {
+			return err
+		}
+		tuple.KeySort(f.rights, f.rkeys)
+		f.lpos, f.rlo, f.rhi = 0, 0, 0
+	case GroupInterval:
+		f.maxDur = 0
+		for _, t := range f.rights {
+			if d := t.T.Duration(); d > f.maxDur {
+				f.maxDur = d
+			}
+		}
+		tuple.KeySortFunc(f.rights, func(t tuple.Tuple, key []byte) []byte {
+			return value.AppendInt64Key(key, t.T.Ts)
+		})
+		f.starts = f.starts[:0]
+		for _, t := range f.rights {
+			f.starts = append(f.starts, t.T.Ts)
+		}
+	}
+	return nil
+}
+
+// encodeKeys encodes one side's equi keys into the shared arena; with
+// nilOnNull set, rows whose key contains ω get a nil key instead.
+func (f *FusedAdjust) encodeKeys(rows []tuple.Tuple, keys [][]byte, left, nilOnNull bool) ([][]byte, error) {
+	keys = keys[:0]
+	for i := range rows {
+		start := len(f.arena)
+		kb, hasNull, err := f.evalKeyInto(f.arena, rows[i], left)
+		if err != nil {
+			return nil, err
+		}
+		if nilOnNull && hasNull {
+			keys = append(keys, nil)
+			continue
+		}
+		f.arena = kb
+		keys = append(keys, kb[start:len(kb):len(kb)])
+	}
+	return keys, nil
+}
+
+// keysMatch checks the equi keys pairwise for the strategies that did not
+// already match them structurally (nested loop). ω never matches.
+func (f *FusedAdjust) keysMatch(l, r tuple.Tuple) (bool, error) {
+	for _, k := range f.Keys {
+		f.env = expr.Env{Vals: l.Vals, T: l.T}
+		lv, err := k.Left.Eval(&f.env)
+		if err != nil {
+			return false, err
+		}
+		f.env = expr.Env{Vals: r.Vals, T: r.T}
+		rv, err := k.Right.Eval(&f.env)
+		if err != nil {
+			return false, err
+		}
+		if lv.IsNull() || rv.IsNull() || !lv.Equal(rv) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// addCandidate applies the equi keys (nested loop only), the native
+// temporal predicate and the residual to one (left, group member) pair,
+// appending its span.
+func (f *FusedAdjust) addCandidate(l, r tuple.Tuple) error {
+	var p1, p2 int64
+	if f.Mode == ModeNormalize {
+		pv := r.Vals[f.PCol]
+		if pv.IsNull() {
+			return nil
+		}
+		p := pv.Int()
+		if p <= l.T.Ts || p >= l.T.Te {
+			return nil // only points strictly inside split
+		}
+		p1, p2 = p, p
+	} else {
+		// Align modes: overlap means a non-empty intersection.
+		p1, p2 = l.T.Ts, l.T.Te
+		if r.T.Ts > p1 {
+			p1 = r.T.Ts
+		}
+		if r.T.Te < p2 {
+			p2 = r.T.Te
+		}
+		if p1 >= p2 {
+			return nil
+		}
+	}
+	if f.Strategy == GroupNestLoop && len(f.Keys) > 0 {
+		ok, err := f.keysMatch(l, r)
+		if err != nil || !ok {
+			return err
+		}
+	}
+	if f.Residual != nil {
+		f.concat = append(append(f.concat[:0], l.Vals...), r.Vals...)
+		f.env = expr.Env{Vals: f.concat, T: l.T}
+		ok, err := expr.EvalBool(f.Residual, &f.env)
+		if err != nil || !ok {
+			return err
+		}
+	}
+	f.spans = append(f.spans, span{p1: p1, p2: p2})
+	return nil
+}
+
+// sweep sorts the gathered spans and runs the Fig. 10 plane sweep for one
+// left tuple, emitting adjusted copies into outBuf.
+func (f *FusedAdjust) sweep(l tuple.Tuple) {
+	slices.SortFunc(f.spans, func(a, b span) int {
+		switch {
+		case a.p1 < b.p1:
+			return -1
+		case a.p1 > b.p1:
+			return 1
+		case a.p2 < b.p2:
+			return -1
+		case a.p2 > b.p2:
+			return 1
+		}
+		return 0
+	})
+	emit := func(ts, te int64) {
+		if ts < te {
+			f.outBuf = append(f.outBuf, l.WithT(interval.Interval{Ts: ts, Te: te}))
+		}
+	}
+	sweep := l.T.Ts
+	if f.Mode == ModeNormalize {
+		for _, sp := range f.spans {
+			if sp.p1 <= sweep {
+				continue // duplicate split point
+			}
+			emit(sweep, sp.p1)
+			sweep = sp.p1
+		}
+		emit(sweep, l.T.Te)
+		return
+	}
+	var lastP1, lastP2 int64
+	lastSet := false
+	for _, sp := range f.spans {
+		// Gap before this intersection (first block of Fig. 10).
+		if sweep < sp.p1 {
+			emit(sweep, sp.p1)
+			sweep = sp.p1
+		}
+		// The intersection itself, skipping adjacent duplicates; ModeGaps
+		// advances the sweep without emitting it.
+		if f.Mode != ModeGaps && (!lastSet || sp.p1 != lastP1 || sp.p2 != lastP2) {
+			emit(sp.p1, sp.p2)
+			lastP1, lastP2, lastSet = sp.p1, sp.p2, true
+		}
+		if sp.p2 > sweep {
+			sweep = sp.p2
+		}
+	}
+	// Trailing gap (align), or the whole interval when the group was
+	// empty — the ω-padded row of the classic pipeline.
+	emit(sweep, l.T.Te)
+}
+
+func (f *FusedAdjust) Next() ([]tuple.Tuple, error) {
+	f.resetOut()
+	target := f.batchCap()
+	for len(f.outBuf) < target && !f.leftDone {
+		var l tuple.Tuple
+		if f.Strategy == GroupMerge {
+			if f.lpos >= len(f.lrows) {
+				f.leftDone = true
+				continue
+			}
+			l = f.lrows[f.lpos]
+			f.spans = f.spans[:0]
+			if err := f.gatherMerge(); err != nil {
+				return nil, err
+			}
+			f.lpos++
+		} else {
+			var ok bool
+			var err error
+			l, ok, err = f.lc.next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				f.leftDone = true
+				continue
+			}
+			f.spans = f.spans[:0]
+			switch f.Strategy {
+			case GroupHash:
+				err = f.gatherHash(l)
+			case GroupNestLoop:
+				for i := range f.rights {
+					if err = f.addCandidate(l, f.rights[i]); err != nil {
+						break
+					}
+				}
+			case GroupInterval:
+				err = f.gatherInterval(l)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		f.sweep(l)
+	}
+	return f.outBuf, nil
+}
+
+// gatherHash fills f.spans for one left tuple under the hash strategy.
+func (f *FusedAdjust) gatherHash(l tuple.Tuple) error {
+	kb, hasNull, err := f.evalKeyInto(f.keyBuf[:0], l, true)
+	f.keyBuf = kb
+	if err != nil {
+		return err
+	}
+	if hasNull {
+		return nil // ω keys never match: empty group
+	}
+	h := maphash.Bytes(f.seed, kb)
+	for j := f.heads[h]; j != 0; j = f.chain[j-1] {
+		if bytes.Equal(f.rkeys[j-1], kb) {
+			if err := f.addCandidate(l, f.rights[j-1]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// gatherMerge collects spans for f.lrows[f.lpos], advancing the shared
+// right-run window. Both sides are sorted by encoded equi keys, so the
+// window only moves forward.
+func (f *FusedAdjust) gatherMerge() error {
+	l := f.lrows[f.lpos]
+	lk := f.lkeys[f.lpos]
+	// Position the right run at the first key >= lk.
+	if f.rlo == f.rhi || bytes.Compare(f.rkeys[f.rlo], lk) < 0 {
+		lo := f.rhi
+		for lo < len(f.rkeys) && bytes.Compare(f.rkeys[lo], lk) < 0 {
+			lo++
+		}
+		hi := lo
+		for hi < len(f.rkeys) && bytes.Equal(f.rkeys[hi], lk) {
+			hi++
+		}
+		f.rlo, f.rhi = lo, hi
+	}
+	if f.rlo < f.rhi && bytes.Equal(f.rkeys[f.rlo], lk) {
+		for i := f.rlo; i < f.rhi; i++ {
+			if err := f.addCandidate(l, f.rights[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (f *FusedAdjust) gatherInterval(l tuple.Tuple) error {
+	// Window [lower bound, Te): the only rows that can overlap l (see
+	// IntervalJoin; same index structure).
+	lo := l.T.Ts - f.maxDur
+	pos := sort.Search(len(f.starts), func(i int) bool { return f.starts[i] > lo })
+	for ; pos < len(f.rights) && f.starts[pos] < l.T.Te; pos++ {
+		if err := f.addCandidate(l, f.rights[pos]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *FusedAdjust) Close() error {
+	f.rights = nil
+	f.heads = nil
+	f.chain = nil
+	f.lrows = nil
+	f.lkeys = nil
+	f.rkeys = nil
+	f.starts = nil
+	f.arena = nil
+	f.outBuf = nil
+	err1 := f.Left.Close()
+	err2 := f.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -7,6 +7,7 @@ import (
 	"talign/internal/expr"
 	"talign/internal/schema"
 	"talign/internal/tuple"
+	"talign/internal/value"
 )
 
 // IntervalJoin is the Sec. 8 "future work" access path: a sort-based
@@ -76,8 +77,10 @@ func (j *IntervalJoin) Open() error {
 			j.maxDur = d
 		}
 	}
-	sort.SliceStable(j.rights, func(a, b int) bool {
-		return j.rights[a].T.Ts < j.rights[b].T.Ts
+	// Key sort by (Ts, full tuple key): ordered by interval start with a
+	// deterministic total tie break.
+	tuple.KeySortFunc(j.rights, func(t tuple.Tuple, key []byte) []byte {
+		return t.AppendKey(value.AppendInt64Key(key, t.T.Ts))
 	})
 	j.starts = make([]int64, len(j.rights))
 	for i, t := range j.rights {

@@ -36,8 +36,10 @@ type joinCore struct {
 	// determines null-extension for outer joins.
 	matchT bool
 	// scratch avoids re-allocating the concatenated row for every
-	// candidate pair in the inner loops.
+	// candidate pair in the inner loops; env is the matching reused
+	// evaluation environment.
 	scratch []value.Value
+	env     expr.Env
 }
 
 // combine builds an output tuple from a matched pair. The output valid time
@@ -72,8 +74,8 @@ func (jc *joinCore) matches(cond expr.Expr, l, r tuple.Tuple) (bool, error) {
 	jc.scratch = jc.scratch[:0]
 	jc.scratch = append(jc.scratch, l.Vals...)
 	jc.scratch = append(jc.scratch, r.Vals...)
-	env := expr.Env{Vals: jc.scratch, T: l.T}
-	return expr.EvalBool(cond, &env)
+	jc.env = expr.Env{Vals: jc.scratch, T: l.T}
+	return expr.EvalBool(cond, &jc.env)
 }
 
 // NestedLoopJoin evaluates an arbitrary join condition by scanning the

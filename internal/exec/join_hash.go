@@ -2,7 +2,6 @@ package exec
 
 import (
 	"hash/maphash"
-	"sort"
 
 	"talign/internal/expr"
 	"talign/internal/schema"
@@ -39,6 +38,7 @@ type HashJoin struct {
 	drainB []buildRow
 	drainP int
 	drain  bool
+	env    expr.Env // reused eval scratch
 	done   bool
 }
 
@@ -108,13 +108,13 @@ func (h *HashJoin) Open() error {
 // selects which side of the EquiPairs to evaluate. key must have length
 // len(h.Keys).
 func (h *HashJoin) evalKey(t tuple.Tuple, left bool, key []value.Value) (hash uint64, hasNull bool, err error) {
-	env := expr.Env{Vals: t.Vals, T: t.T}
+	h.env = expr.Env{Vals: t.Vals, T: t.T}
 	for i, k := range h.Keys {
 		e := k.Right
 		if left {
 			e = k.Left
 		}
-		v, err := e.Eval(&env)
+		v, err := e.Eval(&h.env)
 		if err != nil {
 			return 0, false, err
 		}
@@ -253,8 +253,8 @@ func (h *HashJoin) startDrain() {
 }
 
 func sortBuildRows(rows []buildRow) {
-	sort.Slice(rows, func(i, j int) bool {
-		return rows[i].t.Compare(rows[j].t) < 0
+	tuple.KeySortFunc(rows, func(r buildRow, key []byte) []byte {
+		return r.t.AppendKey(key)
 	})
 }
 

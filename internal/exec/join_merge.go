@@ -43,6 +43,7 @@ type MergeJoin struct {
 	// outer).
 	queue []tuple.Tuple
 	qPos  int
+	env   expr.Env // reused eval scratch
 	done  bool
 }
 
@@ -90,21 +91,23 @@ func (m *MergeJoin) Open() error {
 	return m.advanceRightRaw()
 }
 
-func (m *MergeJoin) evalKeys(t tuple.Tuple, left bool) ([]value.Value, error) {
-	env := expr.Env{Vals: t.Vals, T: t.T}
-	key := make([]value.Value, len(m.Keys))
-	for i, k := range m.Keys {
+// evalKeys evaluates one side's key expressions into the reused dst
+// buffer (no per-row allocation).
+func (m *MergeJoin) evalKeys(t tuple.Tuple, left bool, dst []value.Value) ([]value.Value, error) {
+	m.env = expr.Env{Vals: t.Vals, T: t.T}
+	dst = dst[:0]
+	for _, k := range m.Keys {
 		e := k.Right
 		if left {
 			e = k.Left
 		}
-		v, err := e.Eval(&env)
+		v, err := e.Eval(&m.env)
 		if err != nil {
 			return nil, err
 		}
-		key[i] = v
+		dst = append(dst, v)
 	}
-	return key, nil
+	return dst, nil
 }
 
 func (m *MergeJoin) advanceLeft() error {
@@ -117,7 +120,7 @@ func (m *MergeJoin) advanceLeft() error {
 		m.lDone = true
 		return nil
 	}
-	key, err := m.evalKeys(t, true)
+	key, err := m.evalKeys(t, true, m.lKey)
 	if err != nil {
 		return err
 	}
@@ -137,7 +140,7 @@ func (m *MergeJoin) advanceRightRaw() error {
 		m.rDone = true
 		return nil
 	}
-	key, err := m.evalKeys(t, false)
+	key, err := m.evalKeys(t, false, m.rKey)
 	if err != nil {
 		return err
 	}
@@ -148,7 +151,8 @@ func (m *MergeJoin) advanceRightRaw() error {
 // loadGroup pulls the full run of right tuples sharing m.rNext's key.
 func (m *MergeJoin) loadGroup() error {
 	m.group = m.group[:0]
-	m.gKey = m.rKey
+	// Copy: m.rKey's buffer is overwritten by the advances below.
+	m.gKey = append(m.gKey[:0], m.rKey...)
 	for m.rOK && compareKeys(m.rKey, m.gKey) == 0 {
 		m.group = append(m.group, mergeRow{t: m.rNext})
 		if err := m.advanceRightRaw(); err != nil {

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sort"
 
 	"talign/internal/expr"
 	"talign/internal/interval"
@@ -19,6 +18,7 @@ type Filter struct {
 	Input Iterator
 	Pred  expr.Expr
 
+	env  expr.Env // reused eval scratch
 	done bool
 }
 
@@ -53,8 +53,8 @@ func (f *Filter) Next() ([]tuple.Tuple, error) {
 			break
 		}
 		for i := range in {
-			env := expr.Env{Vals: in[i].Vals, T: in[i].T}
-			keep, err := expr.EvalBool(f.Pred, &env)
+			f.env = expr.Env{Vals: in[i].Vals, T: in[i].T}
+			keep, err := expr.EvalBool(f.Pred, &f.env)
 			if err != nil {
 				return nil, err
 			}
@@ -89,6 +89,7 @@ type Project struct {
 	TMode TPolicy
 	TExpr expr.Expr // used when TMode == TFromExpr
 
+	env  expr.Env // reused eval scratch
 	done bool
 }
 
@@ -141,10 +142,10 @@ func (p *Project) Next() ([]tuple.Tuple, error) {
 		// One contiguous allocation of output values for the whole batch.
 		flat := make([]value.Value, len(in)*len(p.Exprs))
 		for i := range in {
-			env := expr.Env{Vals: in[i].Vals, T: in[i].T}
+			p.env = expr.Env{Vals: in[i].Vals, T: in[i].T}
 			vals := flat[i*len(p.Exprs) : (i+1)*len(p.Exprs) : (i+1)*len(p.Exprs)]
 			for k, e := range p.Exprs {
-				v, err := e.Eval(&env)
+				v, err := e.Eval(&p.env)
 				if err != nil {
 					return nil, err
 				}
@@ -157,7 +158,7 @@ func (p *Project) Next() ([]tuple.Tuple, error) {
 			case TZero:
 				ts = interval.Interval{}
 			case TFromExpr:
-				v, err := p.TExpr.Eval(&env)
+				v, err := p.TExpr.Eval(&p.env)
 				if err != nil {
 					return nil, err
 				}
@@ -182,20 +183,22 @@ type SortKey struct {
 }
 
 // Sort materializes its input and emits it ordered by Keys (values compare
-// with the total order of the value package; ω sorts first).
+// with the total order of the value package; ω sorts first). Rows are
+// decorated with order-preserving byte keys — sort terms first (DESC terms
+// bitwise complemented), then the full tuple key as a deterministic tie
+// break — and sorted bytewise, with a radix fast path for fixed-width
+// schemas. The sort is not stable; the tie break makes the order total.
 type Sort struct {
 	batching
 	Input Iterator
 	Keys  []SortKey
 
-	rows []tuple.Tuple
-	pos  int
-	open bool
-}
-
-type decorated struct {
-	t    tuple.Tuple
-	keys []value.Value
+	rows  []tuple.Tuple
+	keys  [][]byte
+	arena []byte
+	env   expr.Env // reused eval scratch
+	pos   int
+	open  bool
 }
 
 // NewSort builds a sort node.
@@ -218,35 +221,36 @@ func (s *Sort) Open() error {
 	if err := s.Input.Open(); err != nil {
 		return err
 	}
-	var rows []decorated
-	for {
-		in, err := s.Input.Next()
-		if err != nil {
-			return err
-		}
-		if len(in) == 0 {
-			break
-		}
-		// Decorate the whole batch before sorting: one key slab per batch.
-		flat := make([]value.Value, len(in)*len(s.Keys))
-		for i := range in {
-			env := expr.Env{Vals: in[i].Vals, T: in[i].T}
-			keys := flat[i*len(s.Keys) : (i+1)*len(s.Keys) : (i+1)*len(s.Keys)]
-			for k := range s.Keys {
-				v, err := s.Keys[k].Expr.Eval(&env)
-				if err != nil {
-					return err
-				}
-				keys[k] = v
-			}
-			rows = append(rows, decorated{t: in[i], keys: keys})
-		}
+	rows, err := drainAppend(s.rows[:0], s.Input)
+	if err != nil {
+		return err
 	}
-	sortDecorated(rows, s.Keys)
-	s.rows = s.rows[:0]
+	// Encode one byte key per row into a shared arena; the arena and key
+	// slice are reused across Opens.
+	arena := s.arena[:0]
+	keys := s.keys[:0]
 	for i := range rows {
-		s.rows = append(s.rows, rows[i].t)
+		s.env = expr.Env{Vals: rows[i].Vals, T: rows[i].T}
+		start := len(arena)
+		for k := range s.Keys {
+			v, err := s.Keys[k].Expr.Eval(&s.env)
+			if err != nil {
+				return err
+			}
+			mark := len(arena)
+			arena = v.AppendKey(arena)
+			if s.Keys[k].Desc {
+				for j := mark; j < len(arena); j++ {
+					arena[j] ^= 0xff
+				}
+			}
+		}
+		// Total tie break keeps output deterministic.
+		arena = rows[i].AppendKey(arena)
+		keys = append(keys, arena[start:len(arena):len(arena)])
 	}
+	tuple.KeySort(rows, keys)
+	s.rows, s.keys, s.arena = rows, keys, arena
 	s.pos = 0
 	s.open = true
 	return nil
@@ -267,24 +271,8 @@ func (s *Sort) Next() ([]tuple.Tuple, error) {
 
 func (s *Sort) Close() error {
 	s.rows = nil
+	s.keys = nil
+	s.arena = nil
 	s.open = false
 	return s.Input.Close()
-}
-
-func sortDecorated(rows []decorated, keys []SortKey) {
-	sort.SliceStable(rows, func(x, y int) bool {
-		a, b := rows[x], rows[y]
-		for i := range keys {
-			c := a.keys[i].Compare(b.keys[i])
-			if c == 0 {
-				continue
-			}
-			if keys[i].Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		// Total tie-break keeps output deterministic.
-		return a.t.Compare(b.t) < 0
-	})
 }

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"hash/maphash"
 
 	"talign/internal/schema"
 	"talign/internal/tuple"
@@ -23,17 +22,21 @@ func (k SetOpKind) String() string {
 	return [...]string{"union", "intersect", "except"}[k]
 }
 
-// SetOp implements UNION / INTERSECT / EXCEPT over union compatible inputs.
+// SetOp implements UNION / INTERSECT / EXCEPT over union compatible
+// inputs. Membership uses the order-preserving tuple key encoding: byte
+// keys are bitwise equal exactly when tuples are Equal, so an
+// arena-backed byte-key set replaces hash chains, per-candidate tuple
+// comparisons and per-key string allocations.
 type SetOp struct {
 	batching
 	Left, Right Iterator
 	Kind        SetOpKind
 
-	seed  maphash.Seed
-	seen  map[uint64][]tuple.Tuple // dedup / membership table
-	rhs   map[uint64][]tuple.Tuple // right side membership (intersect/except)
-	phase int
-	done  bool
+	seen   *byteSet // dedup / membership table
+	rhs    *byteSet // right side membership (intersect/except)
+	keyBuf []byte
+	phase  int
+	done   bool
 }
 
 // NewSetOp builds the node; it validates union compatibility.
@@ -41,38 +44,24 @@ func NewSetOp(l, r Iterator, kind SetOpKind) (*SetOp, error) {
 	if !l.Schema().UnionCompatible(r.Schema()) {
 		return nil, fmt.Errorf("exec: %s arguments not union compatible: %s vs %s", kind, l.Schema(), r.Schema())
 	}
-	return &SetOp{Left: l, Right: r, Kind: kind, seed: maphash.MakeSeed()}, nil
+	return &SetOp{Left: l, Right: r, Kind: kind}, nil
 }
 
 func (s *SetOp) Schema() schema.Schema { return s.Left.Schema() }
 
-func (s *SetOp) hash(t tuple.Tuple) uint64 {
-	var mh maphash.Hash
-	mh.SetSeed(s.seed)
-	t.Hash(&mh)
-	return mh.Sum64()
+// key encodes t into the reused buffer; valid until the next call.
+func (s *SetOp) key(t tuple.Tuple) []byte {
+	s.keyBuf = t.AppendKey(s.keyBuf[:0])
+	return s.keyBuf
 }
 
 // memberAdd inserts t into m if absent; it reports whether t was added.
-func (s *SetOp) memberAdd(m map[uint64][]tuple.Tuple, t tuple.Tuple) bool {
-	hv := s.hash(t)
-	for _, o := range m[hv] {
-		if o.Equal(t) {
-			return false
-		}
-	}
-	m[hv] = append(m[hv], t)
-	return true
+func (s *SetOp) memberAdd(m *byteSet, t tuple.Tuple) bool {
+	return m.insert(s.key(t))
 }
 
-func (s *SetOp) member(m map[uint64][]tuple.Tuple, t tuple.Tuple) bool {
-	hv := s.hash(t)
-	for _, o := range m[hv] {
-		if o.Equal(t) {
-			return true
-		}
-	}
-	return false
+func (s *SetOp) member(m *byteSet, t tuple.Tuple) bool {
+	return m.contains(s.key(t))
 }
 
 func (s *SetOp) Open() error {
@@ -82,11 +71,11 @@ func (s *SetOp) Open() error {
 	if err := s.Right.Open(); err != nil {
 		return err
 	}
-	s.seen = make(map[uint64][]tuple.Tuple)
+	s.seen = newByteSet(0)
 	s.phase = 0
 	s.done = false
 	if s.Kind == IntersectOp || s.Kind == ExceptOp {
-		s.rhs = make(map[uint64][]tuple.Tuple)
+		s.rhs = newByteSet(0)
 		for {
 			batch, err := s.Right.Next()
 			if err != nil {
@@ -168,26 +157,27 @@ func (s *SetOp) Close() error {
 	return err2
 }
 
-// Distinct removes exact duplicates (values and valid time), enforcing set
-// semantics after projections.
+// Distinct removes exact duplicates (values and valid time), enforcing
+// set semantics after projections. Like SetOp it keys a byte-key set
+// with the order-preserving tuple encoding instead of hash chains.
 type Distinct struct {
 	batching
 	Input Iterator
 
-	seed maphash.Seed
-	seen map[uint64][]tuple.Tuple
-	done bool
+	seen   *byteSet
+	keyBuf []byte
+	done   bool
 }
 
 // NewDistinct builds the node.
 func NewDistinct(input Iterator) *Distinct {
-	return &Distinct{Input: input, seed: maphash.MakeSeed()}
+	return &Distinct{Input: input}
 }
 
 func (d *Distinct) Schema() schema.Schema { return d.Input.Schema() }
 
 func (d *Distinct) Open() error {
-	d.seen = make(map[uint64][]tuple.Tuple)
+	d.seen = newByteSet(0)
 	d.done = false
 	return d.Input.Open()
 }
@@ -205,23 +195,10 @@ func (d *Distinct) Next() ([]tuple.Tuple, error) {
 			break
 		}
 		for i := range batch {
-			t := batch[i]
-			var mh maphash.Hash
-			mh.SetSeed(d.seed)
-			t.Hash(&mh)
-			hv := mh.Sum64()
-			dup := false
-			for _, o := range d.seen[hv] {
-				if o.Equal(t) {
-					dup = true
-					break
-				}
+			d.keyBuf = batch[i].AppendKey(d.keyBuf[:0])
+			if d.seen.insert(d.keyBuf) {
+				d.outBuf = append(d.outBuf, batch[i])
 			}
-			if dup {
-				continue
-			}
-			d.seen[hv] = append(d.seen[hv], t)
-			d.outBuf = append(d.outBuf, t)
 		}
 	}
 	return d.outBuf, nil

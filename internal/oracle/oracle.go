@@ -14,6 +14,7 @@ package oracle
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -72,7 +73,7 @@ func boundaries(rels ...*relation.Relation) []int64 {
 	for p := range set {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,148 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"talign/internal/exec"
+	"talign/internal/expr"
+	"talign/internal/schema"
+)
+
+// FusedAdjustNode is the logical node for the fused group-construction →
+// plane-sweep pipeline: it replaces the (join → sort → Adjust) chain of
+// the classic ALIGN/NORMALIZE plans with a single operator that never
+// materializes concatenated join rows. The group strategy (hash, merge,
+// nested loop, interval index) is chosen at construction exactly like
+// JoinNode's method — candidate costs plus DisableCost for disabled
+// paths — so the planner flags that steer Fig. 13's join-method series
+// steer the fused node the same way.
+type FusedAdjustNode struct {
+	Left, Right Node
+	Mode        exec.AdjustMode
+	Strategy    exec.GroupStrategy
+	Keys        []expr.EquiPair
+	Residual    expr.Expr
+	PCol        int
+
+	out   schema.Schema
+	cost  float64
+	batch int
+}
+
+// FusedAlign builds the fused aligner for r Φ_θ s (modes align or gaps).
+// theta is bound against Concat(r, s) and may be nil.
+func (p *Planner) FusedAlign(r, s Node, theta expr.Expr, mode exec.AdjustMode) *FusedAdjustNode {
+	var keys []expr.EquiPair
+	var residual expr.Expr
+	if theta != nil {
+		keys, residual = expr.SplitJoinCondition(theta, r.Schema().Len())
+	}
+	n := &FusedAdjustNode{
+		Left: r, Right: s, Mode: mode,
+		Keys: keys, Residual: residual, PCol: -1,
+		out: r.Schema(), batch: p.Flags.BatchSize,
+	}
+	n.choose(p.Flags)
+	return n
+}
+
+// FusedNormalize builds the fused splitter N_B(r; points): keys equate
+// r's grouping attributes with the point relation's leading columns, and
+// pCol is the split-point column in the point relation.
+func (p *Planner) FusedNormalize(r, points Node, keys []expr.EquiPair, pCol int) *FusedAdjustNode {
+	n := &FusedAdjustNode{
+		Left: r, Right: points, Mode: exec.ModeNormalize,
+		Keys: keys, PCol: pCol,
+		out: r.Schema(), batch: p.Flags.BatchSize,
+	}
+	n.choose(p.Flags)
+	return n
+}
+
+// choose picks the group strategy with JoinNode's cost candidates, plus
+// the interval index (align only, keyless θ) which — matching the classic
+// plan's behaviour — wins whenever its flag is on and θ has no equi keys.
+func (n *FusedAdjustNode) choose(flags Flags) {
+	lr, rr := math.Max(n.Left.Rows(), 1), math.Max(n.Right.Rows(), 1)
+	base := n.Left.Cost() + n.Right.Cost()
+
+	if len(n.Keys) == 0 && n.Mode != exec.ModeNormalize && flags.EnableIntervalIndex {
+		n.Strategy = exec.GroupInterval
+		n.cost = base +
+			2*CPUOperatorCost*rr*math.Log2(rr+1) +
+			lr*CPUOperatorCost*math.Log2(rr+1) +
+			lr*3*CPUOperatorCost
+		return
+	}
+
+	nlCost := base + lr*rr*CPUOperatorCost + rr*CPUTupleCost
+	if !flags.EnableNestLoop {
+		nlCost += DisableCost
+	}
+	best, bestCost := exec.GroupNestLoop, nlCost
+
+	if len(n.Keys) > 0 {
+		hashCost := base + rr*(CPUOperatorCost+CPUTupleCost) + lr*CPUOperatorCost*2
+		if !flags.EnableHashJoin {
+			hashCost += DisableCost
+		}
+		if hashCost < bestCost {
+			best, bestCost = exec.GroupHash, hashCost
+		}
+		mergeCost := base +
+			2*CPUOperatorCost*lr*math.Log2(lr+1) +
+			2*CPUOperatorCost*rr*math.Log2(rr+1) +
+			(lr+rr)*CPUOperatorCost
+		if !flags.EnableMergeJoin {
+			mergeCost += DisableCost
+		}
+		if mergeCost < bestCost {
+			best, bestCost = exec.GroupMerge, mergeCost
+		}
+	}
+	n.Strategy = best
+	// The sweep itself: the paper's Sec. 6.2/6.3 per-row adjustment cost.
+	n.cost = bestCost + 2*CPUOperatorCost*n.Rows()
+}
+
+func (n *FusedAdjustNode) Schema() schema.Schema { return n.out }
+func (n *FusedAdjustNode) Children() []Node      { return []Node{n.Left, n.Right} }
+
+// Rows follows the paper's estimates (Sec. 6.2/6.3): alignment emits ~3
+// rows per group-join row, normalization ~2, with the group join scaled
+// by its key selectivity like JoinNode.
+func (n *FusedAdjustNode) Rows() float64 {
+	lr, rr := math.Max(n.Left.Rows(), 1), math.Max(n.Right.Rows(), 1)
+	sel := RangeSelectivity
+	if len(n.Keys) > 0 {
+		sel = math.Pow(EqSelectivity, float64(len(n.Keys))) * 2
+	}
+	joinRows := math.Max(lr*rr*sel, lr) // left outer: at least one row per left tuple
+	if n.Mode == exec.ModeNormalize {
+		return 2 * joinRows
+	}
+	return 3 * joinRows
+}
+
+func (n *FusedAdjustNode) Cost() float64 { return n.cost }
+
+func (n *FusedAdjustNode) Build() (exec.Iterator, error) {
+	l, err := n.Left.Build()
+	if err != nil {
+		return nil, err
+	}
+	r, err := n.Right.Build()
+	if err != nil {
+		return nil, err
+	}
+	fa, err := exec.NewFusedAdjust(l, r, n.Mode, n.Strategy, n.Keys, n.Residual, n.PCol)
+	if err != nil {
+		return nil, err
+	}
+	return applyBatch(fa, n.batch), nil
+}
+
+func (n *FusedAdjustNode) Label() string {
+	return fmt.Sprintf("FusedAdjust %s (%s)", n.Mode, n.Strategy)
+}

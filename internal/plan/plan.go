@@ -54,6 +54,13 @@ type Flags struct {
 	// reduction (Sec. 8 future work: primitives specialized per operator).
 	// Off by default for paper fidelity.
 	EnableAntiJoinRewrite bool
+	// DisableFusedAdjust reverts ALIGN/NORMALIZE to the classic
+	// three-node pipeline (group-construction join → sort → Adjust)
+	// instead of the fused group-construction → plane-sweep operator.
+	// The fused node is the default (zero value) because it eliminates
+	// the per-pair concatenated-row allocation and the sort of the join
+	// output; the legacy path remains for differential testing.
+	DisableFusedAdjust bool
 	// DOP is the degree of parallelism for the exchange layer: plans whose
 	// estimated input cardinality reaches ParallelMinRows are rewritten to
 	// hash-partition work across DOP worker goroutines. 0 or 1 disables

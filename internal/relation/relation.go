@@ -6,6 +6,7 @@ package relation
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -131,7 +132,7 @@ func (r *Relation) ActiveDomain() []int64 {
 	for p := range set {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -154,11 +155,11 @@ func (r *Relation) Span() (interval.Interval, bool) {
 }
 
 // SortCanonical sorts tuples into the canonical total order (values, then
-// timestamp) in place and returns the relation for chaining.
+// timestamp) in place and returns the relation for chaining. The sort is
+// key-based (order-preserving byte encodings) and not stable; Compare is
+// total, so equal tuples are interchangeable.
 func (r *Relation) SortCanonical() *Relation {
-	sort.SliceStable(r.Tuples, func(i, j int) bool {
-		return r.Tuples[i].Compare(r.Tuples[j]) < 0
-	})
+	tuple.SortByKey(r.Tuples)
 	return r
 }
 

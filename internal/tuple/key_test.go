@@ -1,0 +1,159 @@
+package tuple
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"talign/internal/interval"
+	"talign/internal/value"
+)
+
+func randTuple(rng *rand.Rand, arity int) Tuple {
+	vals := make([]value.Value, arity)
+	for i := range vals {
+		switch rng.Intn(6) {
+		case 0:
+			vals[i] = value.Null
+		case 1:
+			vals[i] = value.NewBool(rng.Intn(2) == 0)
+		case 2:
+			vals[i] = value.NewInt(int64(rng.Intn(8) - 4))
+		case 3:
+			vals[i] = value.NewFloat(float64(rng.Intn(8)-4) + 0.5*float64(rng.Intn(2)))
+		case 4:
+			vals[i] = value.NewString(string(rune('a' + rng.Intn(3))))
+		default:
+			ts := int64(rng.Intn(8))
+			vals[i] = value.NewInterval(interval.Interval{Ts: ts, Te: ts + 1})
+		}
+	}
+	ts := int64(rng.Intn(16) - 8)
+	return Tuple{Vals: vals, T: interval.Interval{Ts: ts, Te: ts + 1 + int64(rng.Intn(8))}}
+}
+
+// TestTupleKeyMatchesCompare: for equal-arity tuples, bytes.Compare over
+// AppendKey equals Tuple.Compare, and AppendKeyVals equals CompareVals.
+func TestTupleKeyMatchesCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for arity := 0; arity <= 4; arity++ {
+		for i := 0; i < 3000; i++ {
+			a, b := randTuple(rng, arity), randTuple(rng, arity)
+			ka, kb := a.AppendKey(nil), b.AppendKey(nil)
+			if got, want := bytes.Compare(ka, kb), a.Compare(b); got != want {
+				t.Fatalf("arity %d: key order %d, Compare %d for %v vs %v", arity, got, want, a, b)
+			}
+			va, vb := a.AppendKeyVals(nil), b.AppendKeyVals(nil)
+			if got, want := bytes.Compare(va, vb), a.CompareVals(b); got != want {
+				t.Fatalf("arity %d: vals key order %d, CompareVals %d for %v vs %v", arity, got, want, a, b)
+			}
+		}
+	}
+}
+
+// TestSortByKey checks SortByKey against the comparator reference.
+func TestSortByKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{0, 1, 2, 17, 100, 1000} {
+		rows := make([]Tuple, n)
+		for i := range rows {
+			rows[i] = randTuple(rng, 3)
+		}
+		want := append([]Tuple(nil), rows...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i].Compare(want[j]) < 0 })
+		SortByKey(rows)
+		for i := range rows {
+			if rows[i].Compare(want[i]) != 0 {
+				t.Fatalf("n=%d: position %d differs: %v vs %v", n, i, rows[i], want[i])
+			}
+		}
+	}
+}
+
+// TestKeySortRadixVsComparison forces both paths over identical
+// fixed-width inputs (ints only → uniform key length → radix) and checks
+// them against each other.
+func TestKeySortRadixVsComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{radixMinLen, 1000, 5000} {
+		rows := make([]Tuple, n)
+		for i := range rows {
+			v := int64(rng.Intn(64) - 32)
+			if rng.Intn(8) == 0 {
+				v = rng.Int63() - rng.Int63() // spread across all bytes
+			}
+			ts := int64(rng.Intn(32))
+			rows[i] = Tuple{Vals: []value.Value{value.NewInt(v), value.NewInt(int64(i % 7))},
+				T: interval.Interval{Ts: ts, Te: ts + 1}}
+		}
+		keys := make([][]byte, n)
+		for i := range rows {
+			keys[i] = rows[i].AppendKey(nil)
+		}
+		if uniformKeyLen(keys) == 0 {
+			t.Fatal("expected uniform key length for int-only schema")
+		}
+		ref := append([]Tuple(nil), rows...)
+		sort.SliceStable(ref, func(i, j int) bool { return ref[i].Compare(ref[j]) < 0 })
+		KeySort(rows, keys)
+		for i := 1; i < n; i++ {
+			if bytes.Compare(keys[i-1], keys[i]) > 0 {
+				t.Fatalf("keys out of order at %d", i)
+			}
+		}
+		for i := range rows {
+			if rows[i].Compare(ref[i]) != 0 {
+				t.Fatalf("n=%d: radix sort misplaced row %d", n, i)
+			}
+		}
+	}
+}
+
+// TestKeySortVariableWidth covers the comparison path with string keys of
+// different lengths.
+func TestKeySortVariableWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 500
+	rows := make([]Tuple, n)
+	keys := make([][]byte, n)
+	for i := range rows {
+		s := make([]byte, rng.Intn(5))
+		for j := range s {
+			s[j] = byte(rng.Intn(3) * 127) // includes 0x00 and 0xfe
+		}
+		rows[i] = Tuple{Vals: []value.Value{value.NewString(string(s))},
+			T: interval.Interval{Ts: 0, Te: 1}}
+		keys[i] = rows[i].AppendKey(nil)
+	}
+	ref := append([]Tuple(nil), rows...)
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].Compare(ref[j]) < 0 })
+	KeySort(rows, keys)
+	for i := range rows {
+		if rows[i].Compare(ref[i]) != 0 {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+// TestKeySortNaNAndOmega: rows containing ω, NaN and ±Inf sort
+// identically through keys and through Compare.
+func TestKeySortNaNAndOmega(t *testing.T) {
+	mk := func(f float64) Tuple {
+		return Tuple{Vals: []value.Value{value.NewFloat(f)}, T: interval.Interval{Ts: 0, Te: 1}}
+	}
+	rows := []Tuple{
+		mk(1), {Vals: []value.Value{value.Null}, T: interval.Interval{Ts: 0, Te: 1}},
+		mk(math.Inf(1)), mk(math.NaN()), mk(math.Inf(-1)), mk(-0.0), mk(0),
+	}
+	SortByKey(rows)
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Compare(rows[i]) > 0 {
+			t.Fatalf("rows out of order at %d: %v > %v", i, rows[i-1], rows[i])
+		}
+	}
+	if !rows[0].Vals[0].IsNull() {
+		t.Fatalf("ω must sort first, got %v", rows[0])
+	}
+}

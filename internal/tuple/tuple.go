@@ -53,45 +53,39 @@ func (t Tuple) Equal(o Tuple) bool {
 	return t.T == o.T && t.ValsEqual(o)
 }
 
-// Compare orders tuples by nontemporal values, then by timestamp; the total
-// order drives sorting, merging and set operations.
-func (t Tuple) Compare(o Tuple) int {
-	n := len(t.Vals)
-	if len(o.Vals) < n {
-		n = len(o.Vals)
+// compareVals lexicographically orders two value vectors; a strict prefix
+// sorts first (shared by Compare and CompareVals).
+func compareVals(a, b []value.Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
 	}
 	for i := 0; i < n; i++ {
-		if c := t.Vals[i].Compare(o.Vals[i]); c != 0 {
+		if c := a[i].Compare(b[i]); c != 0 {
 			return c
 		}
 	}
 	switch {
-	case len(t.Vals) < len(o.Vals):
+	case len(a) < len(b):
 		return -1
-	case len(t.Vals) > len(o.Vals):
+	case len(a) > len(b):
 		return 1
+	}
+	return 0
+}
+
+// Compare orders tuples by nontemporal values, then by timestamp; the total
+// order drives sorting, merging and set operations.
+func (t Tuple) Compare(o Tuple) int {
+	if c := compareVals(t.Vals, o.Vals); c != 0 {
+		return c
 	}
 	return t.T.Compare(o.T)
 }
 
 // CompareVals orders tuples by nontemporal values only.
 func (t Tuple) CompareVals(o Tuple) int {
-	n := len(t.Vals)
-	if len(o.Vals) < n {
-		n = len(o.Vals)
-	}
-	for i := 0; i < n; i++ {
-		if c := t.Vals[i].Compare(o.Vals[i]); c != 0 {
-			return c
-		}
-	}
-	switch {
-	case len(t.Vals) < len(o.Vals):
-		return -1
-	case len(t.Vals) > len(o.Vals):
-		return 1
-	}
-	return 0
+	return compareVals(t.Vals, o.Vals)
 }
 
 // HashVals mixes the nontemporal values at the given positions into h; a nil

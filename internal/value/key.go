@@ -1,0 +1,163 @@
+// Order-preserving key encoding: every Value maps to a []byte whose
+// bytes.Compare order is exactly Compare's order, across kinds. Sorting,
+// grouping and set operations encode once and then work on flat bytes
+// (memcmp instead of polymorphic comparisons), the technique popularized
+// by ordered key-value stores.
+//
+// Layout: one kind tag (matching rank order: ω < bool < numeric < string
+// < interval), then a kind-specific payload:
+//
+//	ω        0x01
+//	bool     0x02 · 0x00/0x01
+//	numeric  0x03 · region · payload       (ints and floats share one space)
+//	string   0x04 · escaped bytes · 0x00 0x01
+//	interval 0x05 · Ts (biased BE) · Te (biased BE)
+//
+// Numeric regions keep int64 and float64 in one exact order without ever
+// rounding an int64 through float64:
+//
+//	0x00 NaN                    (empty payload; sorts first, like Compare)
+//	0x01 -Inf                   (empty payload)
+//	0x02 finite f < -2^63       (8B monotone float bits)
+//	0x04 value in [-2^63, 2^63) (8B biased floor + 8B fraction payload)
+//	0x06 finite f ≥ 2^63        (8B monotone float bits)
+//	0x07 +Inf                   (empty payload)
+//
+// In the middle region an int64 i encodes as (i, 0), and a float f as
+// (floor(f), payload) where the payload is 0 when f is an exact integer
+// and the monotone bit pattern of f otherwise (always nonzero). floor and
+// the int64 conversion are exact, and within one floor the float's own
+// bits order its fractional part, so no lossy arithmetic is involved.
+// This is what makes int 2^53+1 sort after float 2^53 even though
+// float64(2^53+1) == 2^53.
+//
+// Every encoding is self-delimiting (fixed width per tag/region, strings
+// terminated), so concatenated encodings of value sequences of equal
+// arity compare exactly like the sequences. Mixed-arity sequences are NOT
+// comparable through concatenated keys; all sort sites operate within one
+// schema, where arity is fixed.
+package value
+
+import (
+	"math"
+
+	"talign/internal/interval"
+)
+
+// Kind tags, in rank() order.
+const (
+	keyTagNull     byte = 0x01
+	keyTagBool     byte = 0x02
+	keyTagNum      byte = 0x03
+	keyTagString   byte = 0x04
+	keyTagInterval byte = 0x05
+)
+
+// Numeric region bytes.
+const (
+	numNaN    byte = 0x00
+	numNegInf byte = 0x01
+	numNegBig byte = 0x02
+	numMid    byte = 0x04
+	numPosBig byte = 0x06
+	numPosInf byte = 0x07
+)
+
+// String escaping: 0x00 bytes are escaped so the terminator (0x00 0x01)
+// sorts before any continuation, making "a" < "a\x00..." < "ab".
+const (
+	strTerm1  byte = 0x00
+	strTerm2  byte = 0x01
+	strEscape byte = 0xff
+)
+
+// AppendKey appends the order-preserving encoding of v to dst and returns
+// the extended slice. For all values a, b:
+//
+//	bytes.Compare(a.AppendKey(nil), b.AppendKey(nil)) == a.Compare(b)
+func (v Value) AppendKey(dst []byte) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, keyTagNull)
+	case KindBool:
+		return append(dst, keyTagBool, byte(v.i))
+	case KindInt:
+		return appendNumKeyInt(append(dst, keyTagNum), v.i)
+	case KindFloat:
+		return appendNumKeyFloat(append(dst, keyTagNum), v.f)
+	case KindString:
+		dst = append(dst, keyTagString)
+		s := v.s
+		for i := 0; i < len(s); i++ {
+			if c := s[i]; c == 0x00 {
+				dst = append(dst, 0x00, strEscape)
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		return append(dst, strTerm1, strTerm2)
+	case KindInterval:
+		dst = append(dst, keyTagInterval)
+		dst = AppendInt64Key(dst, v.i)
+		return AppendInt64Key(dst, v.j)
+	}
+	return append(dst, 0xff) // unreachable
+}
+
+// AppendInt64Key appends x in a form whose unsigned byte order matches
+// signed int64 order (sign-bit bias, big endian).
+func AppendInt64Key(dst []byte, x int64) []byte {
+	return appendUint64(dst, uint64(x)^(1<<63))
+}
+
+// AppendIntervalKey appends iv as (Ts, Te), matching interval.Compare.
+func AppendIntervalKey(dst []byte, iv interval.Interval) []byte {
+	dst = AppendInt64Key(dst, iv.Ts)
+	return AppendInt64Key(dst, iv.Te)
+}
+
+func appendUint64(dst []byte, u uint64) []byte {
+	return append(dst,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+func appendNumKeyInt(dst []byte, i int64) []byte {
+	dst = AppendInt64Key(append(dst, numMid), i)
+	return appendUint64(dst, 0)
+}
+
+func appendNumKeyFloat(dst []byte, f float64) []byte {
+	switch {
+	case math.IsNaN(f):
+		return append(dst, numNaN)
+	case math.IsInf(f, -1):
+		return append(dst, numNegInf)
+	case math.IsInf(f, 1):
+		return append(dst, numPosInf)
+	case f >= two63:
+		return appendUint64(append(dst, numPosBig), floatOrderKey(f))
+	case f < -two63:
+		return appendUint64(append(dst, numNegBig), floatOrderKey(f))
+	}
+	ff := math.Floor(f)
+	dst = AppendInt64Key(append(dst, numMid), int64(ff))
+	if f == ff {
+		// Normalizes integral floats (and -0.0) to the int encoding: the
+		// floor itself is the smallest element of [floor, floor+1).
+		return appendUint64(dst, 0)
+	}
+	return appendUint64(dst, floatOrderKey(f))
+}
+
+// floatOrderKey maps a non-NaN float to a uint64 that ascends with the
+// value: negative floats complement all bits, non-negative ones set the
+// sign bit. The result is nonzero for every non-integer float, so it
+// never collides with the integer payload 0 within a floor.
+func floatOrderKey(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b
+	}
+	return b | (1 << 63)
+}

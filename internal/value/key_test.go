@@ -1,0 +1,195 @@
+package value
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"talign/internal/interval"
+)
+
+// keyEdgeValues are the hand-picked corners of every kind's domain.
+func keyEdgeValues() []Value {
+	floats := []float64{
+		math.NaN(), math.Inf(-1), math.Inf(1),
+		-math.MaxFloat64, math.MaxFloat64,
+		-two63 * 2, two63 * 2, // finite, outside int64 range
+		-two63, -two63 + 1024, two63 - 1024,
+		-0.0, 0.0, math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		-1.5, -1, -0.5, 0.5, 1, 1.5, 2.5,
+		float64(1 << 53), float64(1<<53) + 2,
+		1e-300, 1e300, -1e300,
+	}
+	ints := []int64{
+		math.MinInt64, math.MinInt64 + 1, -(1 << 53) - 1, -(1 << 53),
+		-2, -1, 0, 1, 2, 1 << 53, (1 << 53) + 1,
+		math.MaxInt64 - 1, math.MaxInt64,
+	}
+	strs := []string{
+		"", "\x00", "\x00\x00", "\x00a", "a", "a\x00", "a\x00b", "ab",
+		"a\xff", "\xff", "\xff\x00", "b", "ω",
+	}
+	ivs := []interval.Interval{
+		{}, {Ts: 0, Te: 1}, {Ts: -5, Te: 3}, {Ts: -5, Te: 7},
+		{Ts: interval.TimeMin, Te: interval.TimeMax},
+	}
+	out := []Value{Null, NewBool(false), NewBool(true)}
+	for _, f := range floats {
+		out = append(out, NewFloat(f))
+	}
+	for _, i := range ints {
+		out = append(out, NewInt(i))
+	}
+	for _, s := range strs {
+		out = append(out, NewString(s))
+	}
+	for _, iv := range ivs {
+		out = append(out, Value{kind: KindInterval, i: iv.Ts, j: iv.Te})
+	}
+	return out
+}
+
+func randValue(rng *rand.Rand) Value {
+	switch rng.Intn(6) {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(rng.Intn(2) == 0)
+	case 2:
+		if rng.Intn(4) == 0 {
+			return NewInt(rng.Int63() - rng.Int63())
+		}
+		return NewInt(int64(rng.Intn(64) - 32))
+	case 3:
+		switch rng.Intn(8) {
+		case 0:
+			return NewFloat(math.Float64frombits(rng.Uint64()))
+		case 1:
+			return NewFloat(float64(rng.Intn(64) - 32))
+		default:
+			return NewFloat((rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(40)-20)))
+		}
+	case 4:
+		n := rng.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(rng.Intn(4) * 85) // 0x00, 0x55, 0xaa, 0xff
+		}
+		return NewString(string(b))
+	default:
+		ts := int64(rng.Intn(32) - 16)
+		return NewInterval(interval.Interval{Ts: ts, Te: ts + 1 + int64(rng.Intn(8))})
+	}
+}
+
+// checkKeyOrder asserts the central property: bytes.Compare over encodings
+// equals Compare over values.
+func checkKeyOrder(t *testing.T, a, b Value) {
+	t.Helper()
+	ka := a.AppendKey(nil)
+	kb := b.AppendKey(nil)
+	if got, want := bytes.Compare(ka, kb), a.Compare(b); got != want {
+		t.Fatalf("bytes.Compare(enc(%v), enc(%v)) = %d, Compare = %d\nka=%x\nkb=%x",
+			a, b, got, want, ka, kb)
+	}
+}
+
+// TestKeyOrderEdgeCases covers every pair of the edge-case values,
+// including NaN, ±Inf, -0.0, ω, integers beyond 2^53, strings with
+// 0x00/0xff bytes and zero-ish intervals.
+func TestKeyOrderEdgeCases(t *testing.T) {
+	vals := keyEdgeValues()
+	for _, a := range vals {
+		for _, b := range vals {
+			checkKeyOrder(t, a, b)
+		}
+	}
+}
+
+// TestKeyOrderRandom is the property test over random values of every
+// kind, mixed across kinds.
+func TestKeyOrderRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20000; i++ {
+		checkKeyOrder(t, randValue(rng), randValue(rng))
+	}
+}
+
+// TestKeyOrderRandomVsEdges crosses random values with the edge cases.
+func TestKeyOrderRandomVsEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	edges := keyEdgeValues()
+	for i := 0; i < 4000; i++ {
+		v := randValue(rng)
+		for _, e := range edges {
+			checkKeyOrder(t, v, e)
+			checkKeyOrder(t, e, v)
+		}
+	}
+}
+
+// TestCompareIsTotalOrder spot-checks antisymmetry and transitivity of
+// Compare itself on the edge set (the property the encoding relies on).
+func TestCompareIsTotalOrder(t *testing.T) {
+	vals := keyEdgeValues()
+	for _, a := range vals {
+		for _, b := range vals {
+			if a.Compare(b) != -b.Compare(a) {
+				t.Fatalf("Compare(%v,%v) not antisymmetric", a, b)
+			}
+			for _, c := range vals {
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Fatalf("Compare not transitive on %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareNumericExactness pins the cases the old lossy int→float cast
+// got wrong or intransitive.
+func TestCompareNumericExactness(t *testing.T) {
+	big := int64(1 << 53)
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(big + 1), NewFloat(float64(big)), 1},
+		{NewFloat(float64(big)), NewInt(big + 1), -1},
+		{NewInt(big), NewFloat(float64(big)), 0},
+		{NewInt(math.MaxInt64), NewFloat(two63), -1},
+		{NewInt(math.MinInt64), NewFloat(-two63), 0},
+		{NewFloat(math.NaN()), NewFloat(math.Inf(-1)), -1},
+		{NewFloat(math.NaN()), NewInt(math.MinInt64), -1},
+		{NewFloat(math.NaN()), NewFloat(math.NaN()), 0},
+		{NewFloat(-0.0), NewFloat(0.0), 0},
+		{NewFloat(-0.0), NewInt(0), 0},
+		{NewFloat(math.Inf(1)), NewInt(math.MaxInt64), 1},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		checkKeyOrder(t, c.a, c.b)
+	}
+}
+
+// FuzzKeyOrder lets the fuzzer search for order violations between an
+// int64/float64/string triple interpreted as three values.
+func FuzzKeyOrder(f *testing.F) {
+	f.Add(int64(0), 0.0, "")
+	f.Add(int64(1<<53+1), float64(1<<53), "\x00")
+	f.Add(int64(-1), math.Inf(-1), "a\x00b")
+	f.Fuzz(func(t *testing.T, i int64, fl float64, s string) {
+		vals := []Value{NewInt(i), NewFloat(fl), NewString(s)}
+		for _, a := range vals {
+			for _, b := range vals {
+				ka, kb := a.AppendKey(nil), b.AppendKey(nil)
+				if bytes.Compare(ka, kb) != a.Compare(b) {
+					t.Fatalf("order mismatch: %v vs %v", a, b)
+				}
+			}
+		}
+	})
+}

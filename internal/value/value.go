@@ -138,7 +138,12 @@ func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
 
 // Compare imposes a total order used for sorting, grouping and set
 // operations: ω sorts first and equals itself; then bool < int/float <
-// string < interval across kinds; numeric kinds compare by value.
+// string < interval across kinds; numeric kinds compare by exact numeric
+// value (int vs float comparisons do not round through float64, so the
+// order stays transitive for integers beyond 2^53). Among floats, NaN
+// sorts before every other value and equals itself, and -0.0 equals 0.0 —
+// the refinements that make Compare a genuine total order, which the
+// order-preserving key encoding (AppendKey) depends on.
 func (v Value) Compare(o Value) int {
 	vr, or := v.rank(), o.rank()
 	if vr != or {
@@ -156,12 +161,12 @@ func (v Value) Compare(o Value) int {
 		return cmpInt64(v.i, o.i)
 	case KindInt:
 		if o.kind == KindFloat {
-			return cmpFloat64(float64(v.i), o.f)
+			return cmpIntFloat(v.i, o.f)
 		}
 		return cmpInt64(v.i, o.i)
 	case KindFloat:
 		if o.kind == KindInt {
-			return cmpFloat64(v.f, float64(o.i))
+			return -cmpIntFloat(o.i, v.f)
 		}
 		return cmpFloat64(v.f, o.f)
 	case KindString:
@@ -212,7 +217,7 @@ func (v Value) Hash(h *maphash.Hash) {
 		h.WriteByte(2)
 		writeUint64(h, uint64(v.i))
 	case KindFloat:
-		if f := v.f; f == float64(int64(f)) {
+		if f := v.f; f >= -two63 && f < two63 && f == float64(int64(f)) {
 			// Integral float hashes like the equal int.
 			h.WriteByte(2)
 			writeUint64(h, uint64(int64(f)))
@@ -263,12 +268,50 @@ func cmpInt64(a, b int64) int {
 	return 0
 }
 
+// cmpFloat64 totally orders float64: NaN first (NaN == NaN), then the
+// usual order; -0.0 == 0.0.
 func cmpFloat64(a, b float64) int {
 	switch {
 	case a < b:
 		return -1
 	case a > b:
 		return 1
+	case a == b:
+		return 0
+	}
+	// At least one NaN.
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	}
+	return 1
+}
+
+// two63 is 2^63 as a float64 (exactly representable).
+const two63 = float64(1 << 63)
+
+// cmpIntFloat exactly compares an int64 with a float64 under the total
+// order of cmpFloat64 (NaN first). It never rounds i through float64, so
+// integers that differ only beyond 2^53 still compare correctly.
+func cmpIntFloat(i int64, f float64) int {
+	switch {
+	case math.IsNaN(f):
+		return 1 // NaN sorts before every integer
+	case f >= two63:
+		return -1 // covers +Inf
+	case f < -two63:
+		return 1 // covers -Inf
+	}
+	// f is finite with floor(f) representable as int64.
+	ff := math.Floor(f)
+	if fi := int64(ff); i != fi {
+		return cmpInt64(i, fi)
+	}
+	if f > ff {
+		return -1 // i == floor(f) < f
 	}
 	return 0
 }
