@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// client speaks talignd's HTTP/JSON protocol: every statement entered in
+// the shell is POSTed to /query and the response is rendered like a local
+// result. EXPLAIN responses print the server's plan.
+type client struct {
+	base string
+	http *http.Client
+}
+
+// newClient normalizes the base URL ("host:port" gains "http://").
+func newClient(base string) *client {
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// queryResponse mirrors the server's /query JSON shape.
+type queryResponse struct {
+	Columns  []string `json:"columns"`
+	Rows     [][]any  `json:"rows"`
+	RowCount int      `json:"row_count"`
+	Plan     string   `json:"plan"`
+	Error    string   `json:"error"`
+}
+
+// run sends one statement and prints the result.
+func (c *client) run(sql string) {
+	body, err := json.Marshal(map[string]any{"sql": sql})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	resp, err := c.http.Post(c.base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	var out queryResponse
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber() // int64 cells survive exactly; float64 would round 2^53+
+	if err := dec.Decode(&out); err != nil {
+		fmt.Fprintf(os.Stderr, "error: bad response: %v\n", err)
+		return
+	}
+	if out.Error != "" {
+		fmt.Fprintf(os.Stderr, "error: %s\n", out.Error)
+		return
+	}
+	if out.Plan != "" {
+		fmt.Print(out.Plan)
+		return
+	}
+	fmt.Println(strings.Join(out.Columns, "\t"))
+	for _, row := range out.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = renderCell(v)
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", out.RowCount)
+}
+
+// renderCell formats one JSON cell the way the local shell prints values.
+func renderCell(v any) string {
+	switch x := v.(type) {
+	case nil:
+		return "ω"
+	case json.Number:
+		return x.String()
+	case string:
+		return x
+	}
+	return fmt.Sprint(v)
+}
+
+// ping checks the server is reachable before starting the shell.
+func (c *client) ping() error {
+	resp, err := c.http.Get(c.base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz returned %s", resp.Status)
+	}
+	return nil
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	talign [-q query] [-j dop] [name=file.csv ...]
+//	talign [-q query] [-j dop] [-connect host:port] [name=file.csv ...]
 //
 // Without -q, talign reads statements from stdin, one per line (or
 // semicolon-terminated blocks). The CSV layout is documented in package
@@ -14,6 +14,11 @@
 // the parallel exchange layer: large joins, aggregations, ALIGN and
 // NORMALIZE are hash-partitioned across that many worker goroutines
 // (-j 0 uses all CPUs); EXPLAIN shows the Exchange nodes.
+//
+// With -connect, talign becomes a client of a running talignd server:
+// statements are sent over its HTTP/JSON protocol instead of executing
+// in-process, and the catalog lives on the server (name=file.csv
+// arguments are rejected).
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"strings"
 
 	"talign/internal/csvio"
+	"talign/internal/dataset"
 	"talign/internal/plan"
 	"talign/internal/relation"
 	"talign/internal/sqlish"
@@ -34,35 +40,59 @@ func main() {
 	query := flag.String("q", "", "run a single query and exit")
 	demo := flag.Bool("demo", false, "preload the paper's hotel example relations r and p")
 	dop := flag.Int("j", 1, "degree of parallelism for the exchange layer (0 = all CPUs)")
+	connect := flag.String("connect", "", "connect to a talignd server (host:port or URL) instead of executing locally")
 	flag.Parse()
 
 	if *dop < 0 {
 		fatalf("-j must be >= 0 (0 = all CPUs), got %d", *dop)
 	}
-	flags := plan.DefaultFlags()
-	flags.DOP = *dop
-	if flags.DOP == 0 {
-		flags.DOP = runtime.NumCPU()
-	}
-	eng := sqlish.NewEngine(flags)
-	for _, arg := range flag.Args() {
-		parts := strings.SplitN(arg, "=", 2)
-		if len(parts) != 2 {
-			fatalf("argument %q is not name=file.csv", arg)
+
+	// Client mode: statements go to a talignd server.
+	var exec func(sql string)
+	if *connect != "" {
+		if len(flag.Args()) > 0 {
+			fatalf("-connect uses the server's catalog; load CSVs on the talignd side")
 		}
-		rel, err := csvio.ReadFile(parts[1])
-		if err != nil {
-			fatalf("loading %s: %v", parts[1], err)
+		if *demo {
+			fatalf("-connect uses the server's catalog; start talignd with -demo instead")
 		}
-		eng.Register(parts[0], rel)
-		fmt.Printf("loaded %s: %d tuples, schema %s\n", parts[0], rel.Len(), rel.Schema)
-	}
-	if *demo {
-		loadDemo(eng)
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "j" {
+				fatalf("-connect executes on the server; set parallelism with talignd -j")
+			}
+		})
+		cl := newClient(*connect)
+		if err := cl.ping(); err != nil {
+			fatalf("cannot reach talignd at %s: %v", *connect, err)
+		}
+		exec = cl.run
+	} else {
+		flags := plan.DefaultFlags()
+		flags.DOP = *dop
+		if flags.DOP == 0 {
+			flags.DOP = runtime.NumCPU()
+		}
+		eng := sqlish.NewEngine(flags)
+		for _, arg := range flag.Args() {
+			parts := strings.SplitN(arg, "=", 2)
+			if len(parts) != 2 {
+				fatalf("argument %q is not name=file.csv", arg)
+			}
+			rel, err := csvio.ReadFile(parts[1])
+			if err != nil {
+				fatalf("loading %s: %v", parts[1], err)
+			}
+			eng.Register(parts[0], rel)
+			fmt.Printf("loaded %s: %d tuples, schema %s\n", parts[0], rel.Len(), rel.Schema)
+		}
+		if *demo {
+			loadDemo(eng)
+		}
+		exec = func(sql string) { run(eng, sql) }
 	}
 
 	if *query != "" {
-		run(eng, *query)
+		exec(*query)
 		return
 	}
 
@@ -94,7 +124,7 @@ func main() {
 			if strings.TrimSpace(stmt) == "" {
 				continue
 			}
-			run(eng, stmt)
+			exec(stmt)
 		}
 	}
 }
@@ -132,18 +162,9 @@ func printRelation(rel *relation.Relation) {
 }
 
 func loadDemo(eng *sqlish.Engine) {
-	eng.Register("r", relation.NewBuilder("n string").
-		Row(0, 7, "Ann").
-		Row(1, 5, "Joe").
-		Row(7, 11, "Ann").
-		MustBuild())
-	eng.Register("p", relation.NewBuilder("a int", "mn int", "mx int").
-		Row(0, 5, 50, 1, 2).
-		Row(0, 5, 40, 3, 7).
-		Row(0, 12, 30, 8, 12).
-		Row(9, 12, 50, 1, 2).
-		Row(9, 12, 40, 3, 7).
-		MustBuild())
+	r, p := dataset.Demo()
+	eng.Register("r", r)
+	eng.Register("p", p)
 	fmt.Println("demo relations loaded: r(n), p(a, mn, mx) — months since 2012/1")
 }
 

@@ -1,0 +1,96 @@
+// Command talignd is the long-lived temporal-alignment query server: it
+// loads interval-timestamped relations from CSV files, then serves the
+// temporal SQL dialect over HTTP/JSON with prepared statements, an LRU
+// plan cache keyed on the catalog version, and an admission gate bounding
+// the total in-flight degree of parallelism.
+//
+// Usage:
+//
+//	talignd [-addr :7411] [-j dop] [-cache n] [-max-dop n] [-demo] [name=file.csv ...]
+//
+// Endpoints:
+//
+//	POST /query    {"sql": "SELECT ...", "params": [...]}
+//	               {"session": "s1", "stmt": "q1", "params": [...]}
+//	POST /prepare  {"session": "s1", "name": "q1", "sql": "... $1 ..."}
+//	GET  /explain  ?sql=... (or ?session=s1&stmt=q1)
+//	GET  /healthz
+//
+// Example:
+//
+//	talignd -demo &
+//	curl -s localhost:7411/query -d '{"sql": "SELECT * FROM r WHERE a >= $1", "params": [40]}'
+//
+// cmd/talign's -connect flag speaks this protocol as an interactive client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+	"strings"
+
+	"talign/internal/csvio"
+	"talign/internal/dataset"
+	"talign/internal/plan"
+	"talign/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7411", "listen address")
+	dop := flag.Int("j", 1, "degree of parallelism per query (0 = all CPUs)")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "prepared-plan cache capacity")
+	maxDOP := flag.Int("max-dop", 0, "total in-flight DOP across queries (0 = 4x CPUs)")
+	demo := flag.Bool("demo", false, "preload the paper's hotel example relations r and p")
+	flag.Parse()
+
+	if *dop < 0 {
+		fatalf("-j must be >= 0 (0 = all CPUs), got %d", *dop)
+	}
+	flags := plan.DefaultFlags()
+	flags.DOP = *dop
+	if flags.DOP == 0 {
+		flags.DOP = runtime.NumCPU()
+	}
+	if *maxDOP == 0 {
+		*maxDOP = 4 * runtime.NumCPU()
+	}
+
+	srv := server.New(server.Config{Flags: flags, CacheSize: *cacheSize, MaxDOP: *maxDOP})
+	for _, arg := range flag.Args() {
+		parts := strings.SplitN(arg, "=", 2)
+		if len(parts) != 2 {
+			fatalf("argument %q is not name=file.csv", arg)
+		}
+		rel, err := csvio.ReadFile(parts[1])
+		if err != nil {
+			fatalf("loading %s: %v", parts[1], err)
+		}
+		srv.Catalog().Register(parts[0], rel)
+		fmt.Printf("loaded %s: %d tuples, schema %s\n", parts[0], rel.Len(), rel.Schema)
+	}
+	if *demo {
+		loadDemo(srv)
+	}
+
+	fmt.Printf("talignd listening on %s (dop=%d, cache=%d, max in-flight dop=%d)\n",
+		*addr, flags.DOP, *cacheSize, *maxDOP)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatalf("talignd: %v", err)
+	}
+}
+
+// loadDemo registers the paper's running hotel example (Example 1).
+func loadDemo(srv *server.Server) {
+	r, p := dataset.Demo()
+	srv.Catalog().Register("r", r)
+	srv.Catalog().Register("p", p)
+	fmt.Println("demo relations loaded: r(n), p(a, mn, mx) — months since 2012/1")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+package main
+
+// Example runs the full quickstart walkthrough and pins its output, so
+// `go test ./examples/quickstart` fails whenever the documented behaviour
+// drifts — the example IS the test.
+func Example() {
+	run()
+	// Output:
+	// Reservations R:
+	// (n string) T
+	//   (Ann) [0, 7)
+	//   (Joe) [1, 5)
+	//   (Ann) [7, 11)
+	//
+	// Prices P:
+	// (a int, mn int, mx int) T
+	//   (50, 1, 2) [0, 5)
+	//   (40, 3, 7) [0, 5)
+	//   (30, 8, 12) [0, 12)
+	//   (50, 1, 2) [9, 12)
+	//   (40, 3, 7) [9, 12)
+	//
+	// Q1 — fixed-price periods and periods to negotiate (ω):
+	// (n string, u period, a int, mn int, mx int) T
+	//   (Ann, [0, 7), ω, ω, ω) [5, 7)
+	//   (Ann, [0, 7), 40, 3, 7) [0, 5)
+	//   (Ann, [7, 11), ω, ω, ω) [7, 9)
+	//   (Ann, [7, 11), 40, 3, 7) [9, 11)
+	//   (Joe, [1, 5), 40, 3, 7) [1, 5)
+	//
+	// Q2 — average reservation duration over time:
+	// (avg_duration float) T
+	//   (4) [7, 11)
+	//   (5.5) [1, 5)
+	//   (7) [0, 1)
+	//   (7) [5, 7)
+	//
+	// Q1 via SQL (ALIGN + ABSORB):
+	// (n string, a int, mn int, mx int) T
+	//   (Ann, ω, ω, ω) [5, 7)
+	//   (Ann, ω, ω, ω) [7, 9)
+	//   (Ann, 40, 3, 7) [0, 5)
+	//   (Ann, 40, 3, 7) [9, 11)
+	//   (Joe, 40, 3, 7) [1, 5)
+	//
+	// Prepared with 1 parameter(s); a >= 40:
+	// (a int, mn int, mx int) T
+	//   (40, 3, 7) [0, 5)
+	//   (40, 3, 7) [9, 12)
+	//   (50, 1, 2) [0, 5)
+	//   (50, 1, 2) [9, 12)
+}

@@ -1,8 +1,11 @@
 // The quickstart example replays the paper's running hotel scenario
 // (Example 1, Fig. 1): reservations R, price categories P, the temporal
 // left outer join Q1 with a predicate over the reservations' original
-// timestamps (extended snapshot reducibility), and the temporal
-// aggregation Q2. It shows both the algebra API and the SQL dialect.
+// timestamps (extended snapshot reducibility), the temporal aggregation
+// Q2, and a prepared statement with a $1 placeholder. It shows the
+// algebra API, the SQL dialect and the staged Prepare/Execute pipeline.
+// The whole walkthrough also runs as an Example test (example_test.go),
+// so `go test ./examples/quickstart` keeps this document honest.
 package main
 
 import (
@@ -14,9 +17,13 @@ import (
 	"talign/internal/plan"
 	"talign/internal/relation"
 	"talign/internal/sqlish"
+	"talign/internal/value"
 )
 
-func main() {
+func main() { run() }
+
+// run executes the walkthrough, printing each step.
+func run() {
 	// Months since 2012/1: [0, 7) is [2012/1, 2012/8).
 	reservations := relation.NewBuilder("n string").
 		Row(0, 7, "Ann").
@@ -71,4 +78,19 @@ func main() {
 		ON DUR(Us, Ue) BETWEEN y.mn AND y.mx AND x.Ts = y.Ts AND x.Te = y.Te`)
 	fmt.Println("\nQ1 via SQL (ALIGN + ABSORB):")
 	fmt.Print(sqlQ1.SortCanonical())
+
+	// Prepared statements: $N placeholders are planned once and bound per
+	// execution — the path cmd/talignd serves over HTTP.
+	cat := sqlish.MapCatalog{}
+	cat.Register("p", prices)
+	prep, err := sqlish.Prepare("SELECT a, mn, mx FROM p WHERE a >= $1", cat, plan.DefaultFlags())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nPrepared with %d parameter(s); a >= 40:\n", prep.NumParams)
+	byPrice, err := prep.Execute(value.NewInt(40))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(byPrice.SortCanonical())
 }

@@ -1,0 +1,24 @@
+package dataset
+
+import "talign/internal/relation"
+
+// Demo returns the paper's running hotel example (Example 1, Fig. 1):
+// room reservations r(n) and price categories p(a, mn, mx) over months
+// since 2012/1. Both binaries (talign -demo, talignd -demo) and the CI
+// smoke test load exactly this catalog, so the worked examples in
+// docs/SQL.md and README.md stay reproducible against it.
+func Demo() (r, p *relation.Relation) {
+	r = relation.NewBuilder("n string").
+		Row(0, 7, "Ann").
+		Row(1, 5, "Joe").
+		Row(7, 11, "Ann").
+		MustBuild()
+	p = relation.NewBuilder("a int", "mn int", "mx int").
+		Row(0, 5, 50, 1, 2).   // short term, winter
+		Row(0, 5, 40, 3, 7).   // long term, winter
+		Row(0, 12, 30, 8, 12). // permanent
+		Row(9, 12, 50, 1, 2).  // short term, next winter
+		Row(9, 12, 40, 3, 7).  // long term, next winter
+		MustBuild()
+	return r, p
+}

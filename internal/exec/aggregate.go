@@ -14,6 +14,8 @@ import (
 // AggFunc enumerates the aggregate functions.
 type AggFunc uint8
 
+// The aggregate functions: COUNT(*) counts rows, the rest apply to one
+// argument expression with ω-skipping SQL semantics.
 const (
 	AggCountStar AggFunc = iota
 	AggCount
@@ -23,6 +25,7 @@ const (
 	AggMax
 )
 
+// String renders the SQL spelling of the function.
 func (f AggFunc) String() string {
 	return [...]string{"COUNT(*)", "COUNT", "SUM", "AVG", "MIN", "MAX"}[f]
 }

@@ -10,6 +10,7 @@ import (
 // JoinType enumerates join flavours. Semi and Anti emit left tuples only.
 type JoinType uint8
 
+// The join flavours; outer joins pad the unmatched side with ω.
 const (
 	InnerJoin JoinType = iota
 	LeftOuterJoin
@@ -19,6 +20,7 @@ const (
 	AntiJoin
 )
 
+// String renders the flavour for EXPLAIN labels.
 func (j JoinType) String() string {
 	return [...]string{"inner", "left outer", "right outer", "full outer", "semi", "anti"}[j]
 }

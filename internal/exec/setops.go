@@ -12,12 +12,14 @@ import (
 // normalization is exactly the paper's equality-only comparison).
 type SetOpKind uint8
 
+// The set operations of Table 2's reductions.
 const (
 	UnionOp SetOpKind = iota
 	IntersectOp
 	ExceptOp
 )
 
+// String renders the operation for EXPLAIN labels.
 func (k SetOpKind) String() string {
 	return [...]string{"union", "intersect", "except"}[k]
 }

@@ -41,11 +41,17 @@ type Expr interface {
 // Const is a literal value.
 type Const struct{ V value.Value }
 
-// Bool, Int, Float, Str build literal expressions.
-func Bool(b bool) Expr     { return Const{value.NewBool(b)} }
-func Int(i int64) Expr     { return Const{value.NewInt(i)} }
+// Bool builds a boolean literal expression.
+func Bool(b bool) Expr { return Const{value.NewBool(b)} }
+
+// Int builds an integer literal expression.
+func Int(i int64) Expr { return Const{value.NewInt(i)} }
+
+// Float builds a float literal expression.
 func Float(f float64) Expr { return Const{value.NewFloat(f)} }
-func Str(s string) Expr    { return Const{value.NewString(s)} }
+
+// Str builds a string literal expression.
+func Str(s string) Expr { return Const{value.NewString(s)} }
 
 // Null is the ω literal.
 var Null Expr = Const{value.Null}
@@ -143,6 +149,7 @@ func (TPeriod) String() string { return "T" }
 // CmpOp enumerates comparison operators.
 type CmpOp uint8
 
+// The comparison operators, in SQL spelling order (=, <>, <, <=, >, >=).
 const (
 	EQ CmpOp = iota
 	NE
@@ -162,12 +169,22 @@ type Cmp struct {
 	L, R Expr
 }
 
-// Eq, Ne, Lt, Le, Gt, Ge build comparisons.
+// Eq builds l = r.
 func Eq(l, r Expr) Expr { return Cmp{EQ, l, r} }
+
+// Ne builds l <> r.
 func Ne(l, r Expr) Expr { return Cmp{NE, l, r} }
+
+// Lt builds l < r.
 func Lt(l, r Expr) Expr { return Cmp{LT, l, r} }
+
+// Le builds l <= r.
 func Le(l, r Expr) Expr { return Cmp{LE, l, r} }
+
+// Gt builds l > r.
 func Gt(l, r Expr) Expr { return Cmp{GT, l, r} }
+
+// Ge builds l >= r.
 func Ge(l, r Expr) Expr { return Cmp{GE, l, r} }
 
 func (c Cmp) Bind(s schema.Schema) (Expr, error) {
@@ -221,6 +238,7 @@ func (c Cmp) String() string {
 // BoolOp enumerates boolean connectives.
 type BoolOp uint8
 
+// The boolean connectives.
 const (
 	AndOp BoolOp = iota
 	OrOp
@@ -232,9 +250,11 @@ type Logic struct {
 	L, R Expr
 }
 
-// And and Or build connectives over one or more operands.
+// And folds the operands into a conjunction (empty AND is TRUE).
 func And(es ...Expr) Expr { return fold(AndOp, es) }
-func Or(es ...Expr) Expr  { return fold(OrOp, es) }
+
+// Or folds the operands into a disjunction (empty OR is FALSE).
+func Or(es ...Expr) Expr { return fold(OrOp, es) }
 
 func fold(op BoolOp, es []Expr) Expr {
 	if len(es) == 0 {
@@ -386,6 +406,7 @@ func (b Between) String() string {
 // ArithOp enumerates arithmetic operators.
 type ArithOp uint8
 
+// The arithmetic operators (+, -, *, /, %).
 const (
 	AddOp ArithOp = iota
 	SubOp
@@ -403,11 +424,19 @@ type Arith struct {
 	L, R Expr
 }
 
-// Add, Sub, Mul, Div, Mod build arithmetic expressions.
+// Add builds l + r.
 func Add(l, r Expr) Expr { return Arith{AddOp, l, r} }
+
+// Sub builds l - r.
 func Sub(l, r Expr) Expr { return Arith{SubOp, l, r} }
+
+// Mul builds l * r.
 func Mul(l, r Expr) Expr { return Arith{MulOp, l, r} }
+
+// Div builds l / r (division by zero yields ω).
 func Div(l, r Expr) Expr { return Arith{DivOp, l, r} }
+
+// Mod builds l % r over integers (zero modulus yields ω).
 func Mod(l, r Expr) Expr { return Arith{ModOp, l, r} }
 
 func (a Arith) Bind(s schema.Schema) (Expr, error) {

@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+
+	"talign/internal/expr"
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+// ExecCtx carries one execution's runtime state down through Build: the
+// bound parameter values for $N placeholders and the per-execution
+// materialization memo for SharedNode subtrees. Plans themselves stay
+// immutable — a prepared plan can be Built concurrently by many goroutines,
+// each with its own ExecCtx — which is what makes the server's plan cache
+// safe to share.
+type ExecCtx struct {
+	// Params are the values bound to $1..$N, in order.
+	Params []value.Value
+
+	mu     sync.Mutex
+	shared map[*SharedNode]*relation.Relation
+}
+
+// NewExecCtx returns an execution context binding params to $1..$N.
+func NewExecCtx(params ...value.Value) *ExecCtx {
+	return &ExecCtx{Params: params}
+}
+
+// bind substitutes this execution's parameter values into e. A nil context
+// (or a context without parameters) returns e unchanged, so plans built
+// outside the prepared-statement path pay nothing.
+func (c *ExecCtx) bind(e expr.Expr) expr.Expr {
+	if c == nil || len(c.Params) == 0 {
+		return e
+	}
+	return expr.BindParams(e, c.Params)
+}
+
+// bindAll is bind over a slice; the input slice is never mutated (the plan
+// owns it and stays immutable).
+func (c *ExecCtx) bindAll(es []expr.Expr) []expr.Expr {
+	if c == nil || len(c.Params) == 0 || len(es) == 0 {
+		return es
+	}
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = c.bind(e)
+	}
+	return out
+}
+
+// sharedGet returns the memoized materialization of n for this execution,
+// computing it with fn on first use. With a nil receiver there is no memo
+// and fn runs every time.
+func (c *ExecCtx) sharedGet(n *SharedNode, fn func() (*relation.Relation, error)) (*relation.Relation, error) {
+	if c == nil {
+		return fn()
+	}
+	c.mu.Lock()
+	if rel, ok := c.shared[n]; ok {
+		c.mu.Unlock()
+		return rel, nil
+	}
+	c.mu.Unlock()
+	rel, err := fn()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.shared == nil {
+		c.shared = make(map[*SharedNode]*relation.Relation)
+	}
+	if prev, ok := c.shared[n]; ok {
+		rel = prev // another builder of the same ctx won the race
+	} else {
+		c.shared[n] = rel
+	}
+	c.mu.Unlock()
+	return rel, nil
+}
+
+// CheckParams verifies that params supplies every placeholder a plan
+// needs: exactly nparams values (the statement's highest $N index).
+func CheckParams(nparams int, params []value.Value) error {
+	if len(params) != nparams {
+		return fmt.Errorf("plan: statement wants %d parameter(s), got %d", nparams, len(params))
+	}
+	return nil
+}

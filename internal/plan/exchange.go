@@ -5,7 +5,6 @@ import (
 	"hash/maphash"
 	"math"
 	"runtime"
-	"sync"
 
 	"talign/internal/exec"
 	"talign/internal/expr"
@@ -121,7 +120,7 @@ func (e *ExchangeNode) Label() string {
 	return fmt.Sprintf("Exchange (hash partition, dop=%d, %d sources)", e.DOP, len(e.Sources))
 }
 
-func (e *ExchangeNode) Build() (exec.Iterator, error) {
+func (e *ExchangeNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	// One shared seed per exchange: co-partitioned sources must agree on
 	// where a key lands.
 	seed := maphash.MakeSeed()
@@ -133,12 +132,12 @@ func (e *ExchangeNode) Build() (exec.Iterator, error) {
 		}
 	}
 	for si, src := range e.Sources {
-		it, err := src.Build()
+		it, err := src.Build(ctx)
 		if err != nil {
 			cleanup()
 			return nil, err
 		}
-		sp, err := exec.NewSplitter(it, e.Keys[si], e.DOP, seed)
+		sp, err := exec.NewSplitter(it, ctx.bindAll(e.Keys[si]), e.DOP, seed)
 		if err != nil {
 			cleanup()
 			return nil, err
@@ -167,7 +166,7 @@ func (e *ExchangeNode) Build() (exec.Iterator, error) {
 			cleanup()
 			return nil, err
 		}
-		frags[i], err = fn.Build()
+		frags[i], err = fn.Build(ctx)
 		if err != nil {
 			cleanup()
 			return nil, err
@@ -192,7 +191,7 @@ func (l *partitionLeaf) Cost() float64 {
 	// source rows would be billed twice.
 	return l.src.Cost() / float64(l.dop)
 }
-func (l *partitionLeaf) Build() (exec.Iterator, error) {
+func (l *partitionLeaf) Build(*ExecCtx) (exec.Iterator, error) {
 	return nil, fmt.Errorf("plan: partition leaf is a template node and cannot be built")
 }
 func (l *partitionLeaf) Label() string {
@@ -214,7 +213,7 @@ func (l *builtLeaf) Schema() schema.Schema { return l.sch }
 func (l *builtLeaf) Children() []Node      { return nil }
 func (l *builtLeaf) Rows() float64         { return l.rows }
 func (l *builtLeaf) Cost() float64         { return l.rows * CPUTupleCost }
-func (l *builtLeaf) Build() (exec.Iterator, error) {
+func (l *builtLeaf) Build(*ExecCtx) (exec.Iterator, error) {
 	if l.it == nil {
 		return nil, fmt.Errorf("plan: partition iterator already consumed")
 	}
@@ -224,17 +223,18 @@ func (l *builtLeaf) Build() (exec.Iterator, error) {
 }
 func (l *builtLeaf) Label() string { return "PartitionSource" }
 
-// SharedNode materializes its input once at build time and hands every
-// subsequent Build a fresh scan over the cached result. It is the
-// broadcast side of a parallel fragment: DOP fragments each scan the same
-// materialized relation instead of re-executing the subtree.
+// SharedNode materializes its input once per execution and hands every
+// other Build in the same execution a fresh scan over the cached result.
+// It serves two roles: the broadcast side of a parallel fragment (DOP
+// fragments each scan the same materialized relation instead of
+// re-executing the subtree) and WITH-clause bodies referenced from several
+// places in a statement. The memo lives on the ExecCtx, not the node, so a
+// cached plan re-executed with different parameters (or concurrently)
+// re-materializes per execution instead of serving stale rows.
 type SharedNode struct {
 	Input Node
 
 	batch int
-	once  sync.Once
-	rel   *relation.Relation
-	err   error
 }
 
 // Shared wraps input for reuse across exchange fragments.
@@ -253,22 +253,42 @@ func (s *SharedNode) Cost() float64 {
 	return s.Input.Cost() + s.Input.Rows()*CPUTupleCost
 }
 
-func (s *SharedNode) Build() (exec.Iterator, error) {
-	s.once.Do(func() {
-		it, err := s.Input.Build()
+func (s *SharedNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	rel, err := ctx.sharedGet(s, func() (*relation.Relation, error) {
+		it, err := s.Input.Build(ctx)
 		if err != nil {
-			s.err = err
-			return
+			return nil, err
 		}
-		s.rel, s.err = exec.Collect(it)
+		return exec.Collect(it)
 	})
-	if s.err != nil {
-		return nil, s.err
+	if err != nil {
+		return nil, err
 	}
-	return applyBatch(exec.NewScan(s.rel), s.batch), nil
+	return applyBatch(exec.NewScan(rel), s.batch), nil
 }
 
 func (s *SharedNode) Label() string { return "Materialize (shared)" }
+
+// MaxDOP reports the widest exchange in a plan: the maximum number of
+// worker goroutines one execution can occupy (1 for fully serial plans,
+// even when planned under DOP > 1 — the cost model may have kept every
+// operator serial). The server's admission gate charges this weight per
+// query, so serial plans cost 1 unit regardless of the session's DOP
+// setting.
+func MaxDOP(n Node) int {
+	max := 1
+	var walk func(Node)
+	walk = func(n Node) {
+		if e, ok := n.(*ExchangeNode); ok && e.DOP > max {
+			max = e.DOP
+		}
+		for _, c := range n.Children() {
+			walk(c)
+		}
+	}
+	walk(n)
+	return max
+}
 
 // ShouldParallelize reports whether the planner should attempt an exchange
 // rewrite for an input of the given estimated cardinality. force means the

@@ -127,16 +127,16 @@ func (n *FusedAdjustNode) Rows() float64 {
 
 func (n *FusedAdjustNode) Cost() float64 { return n.cost }
 
-func (n *FusedAdjustNode) Build() (exec.Iterator, error) {
-	l, err := n.Left.Build()
+func (n *FusedAdjustNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	l, err := n.Left.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.Right.Build()
+	r, err := n.Right.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	fa, err := exec.NewFusedAdjust(l, r, n.Mode, n.Strategy, n.Keys, n.Residual, n.PCol)
+	fa, err := exec.NewFusedAdjust(l, r, n.Mode, n.Strategy, bindPairs(ctx, n.Keys), ctx.bind(n.Residual), n.PCol)
 	if err != nil {
 		return nil, err
 	}

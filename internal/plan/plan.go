@@ -21,6 +21,7 @@ import (
 	"talign/internal/expr"
 	"talign/internal/relation"
 	"talign/internal/schema"
+	"talign/internal/value"
 )
 
 // Cost model constants, PostgreSQL-flavoured.
@@ -99,6 +100,23 @@ func DefaultFlags() Flags {
 // hardware.
 const DefaultParallelMinRows = 1024
 
+// Fingerprint renders the flags as a short stable string. Every field that
+// can change plan shape or method choice participates, which makes the
+// fingerprint a sound plan-cache key component: two flag sets with equal
+// fingerprints always plan a statement identically.
+func (f Flags) Fingerprint() string {
+	b := func(v bool) byte {
+		if v {
+			return '1'
+		}
+		return '0'
+	}
+	return fmt.Sprintf("nl%c,hj%c,mj%c,so%c,ii%c,aj%c,fa%c,dop%d,pmr%g,fp%c,bs%d",
+		b(f.EnableNestLoop), b(f.EnableHashJoin), b(f.EnableMergeJoin), b(f.EnableSort),
+		b(f.EnableIntervalIndex), b(f.EnableAntiJoinRewrite), b(f.DisableFusedAdjust),
+		f.DOP, f.ParallelMinRows, b(f.ForceParallel), f.BatchSize)
+}
+
 // applyBatch plumbs a configured batch size into a built operator.
 func applyBatch(it exec.Iterator, n int) exec.Iterator {
 	if n > 0 {
@@ -112,12 +130,14 @@ func applyBatch(it exec.Iterator, n int) exec.Iterator {
 // JoinMethod enumerates physical join strategies.
 type JoinMethod uint8
 
+// The physical join strategies the cost model chooses among.
 const (
 	MethodNestLoop JoinMethod = iota
 	MethodHash
 	MethodMerge
 )
 
+// String renders the method for EXPLAIN labels.
 func (m JoinMethod) String() string {
 	return [...]string{"nestloop", "hash", "merge"}[m]
 }
@@ -130,8 +150,11 @@ type Node interface {
 	Rows() float64
 	// Cost is the estimated total cost (children included).
 	Cost() float64
-	// Build instantiates the executor subtree.
-	Build() (exec.Iterator, error)
+	// Build instantiates the executor subtree for one execution. Plans are
+	// immutable and may be Built concurrently; per-execution state (bound
+	// $N parameters, shared materializations) travels in ctx, which may be
+	// nil for parameterless one-shot plans.
+	Build(ctx *ExecCtx) (exec.Iterator, error)
 	// Label describes the node for EXPLAIN.
 	Label() string
 }
@@ -181,7 +204,7 @@ func (s *ScanNode) Cost() float64 {
 	pages := math.Ceil(float64(s.Rel.Len()) / TuplesPerPage)
 	return pages*SeqPageCost + float64(s.Rel.Len())*CPUTupleCost
 }
-func (s *ScanNode) Build() (exec.Iterator, error) {
+func (s *ScanNode) Build(*ExecCtx) (exec.Iterator, error) {
 	return applyBatch(exec.NewScan(s.Rel), s.batch), nil
 }
 func (s *ScanNode) Label() string {
@@ -216,12 +239,12 @@ func (f *FilterNode) Rows() float64 {
 func (f *FilterNode) Cost() float64 {
 	return f.Input.Cost() + f.Input.Rows()*CPUOperatorCost
 }
-func (f *FilterNode) Build() (exec.Iterator, error) {
-	in, err := f.Input.Build()
+func (f *FilterNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := f.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(exec.NewFilter(in, f.Pred), f.batch), nil
+	return applyBatch(exec.NewFilter(in, ctx.bind(f.Pred)), f.batch), nil
 }
 func (f *FilterNode) Label() string { return "Filter " + f.Pred.String() }
 
@@ -281,17 +304,17 @@ func (pr *ProjectNode) Rows() float64         { return pr.Input.Rows() }
 func (pr *ProjectNode) Cost() float64 {
 	return pr.Input.Cost() + pr.Input.Rows()*CPUOperatorCost*float64(len(pr.Exprs))
 }
-func (pr *ProjectNode) Build() (exec.Iterator, error) {
-	in, err := pr.Input.Build()
+func (pr *ProjectNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := pr.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	node, err := exec.NewProject(in, pr.Names, pr.Exprs)
+	node, err := exec.NewProject(in, pr.Names, ctx.bindAll(pr.Exprs))
 	if err != nil {
 		return nil, err
 	}
 	node.TMode = pr.TMode
-	node.TExpr = pr.TExpr
+	node.TExpr = ctx.bind(pr.TExpr)
 	return applyBatch(node, pr.batch), nil
 }
 func (pr *ProjectNode) Label() string {
@@ -324,12 +347,36 @@ func (s *SortNode) Cost() float64 {
 	n := math.Max(s.Input.Rows(), 2)
 	return s.Input.Cost() + 2*CPUOperatorCost*n*math.Log2(n)
 }
-func (s *SortNode) Build() (exec.Iterator, error) {
-	in, err := s.Input.Build()
+func (s *SortNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := s.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(exec.NewSort(in, s.Keys...), s.batch), nil
+	return applyBatch(exec.NewSort(in, bindKeys(ctx, s.Keys)...), s.batch), nil
+}
+
+// bindKeys substitutes ctx's parameters into sort-key expressions.
+func bindKeys(ctx *ExecCtx, keys []exec.SortKey) []exec.SortKey {
+	if ctx == nil || len(ctx.Params) == 0 || len(keys) == 0 {
+		return keys
+	}
+	out := make([]exec.SortKey, len(keys))
+	for i, k := range keys {
+		out[i] = exec.SortKey{Expr: ctx.bind(k.Expr), Desc: k.Desc}
+	}
+	return out
+}
+
+// bindPairs substitutes ctx's parameters into equi-join pairs.
+func bindPairs(ctx *ExecCtx, pairs []expr.EquiPair) []expr.EquiPair {
+	if ctx == nil || len(ctx.Params) == 0 || len(pairs) == 0 {
+		return pairs
+	}
+	out := make([]expr.EquiPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = expr.EquiPair{Left: ctx.bind(p.Left), Right: ctx.bind(p.Right)}
+	}
+	return out
 }
 func (s *SortNode) Label() string { return fmt.Sprintf("Sort (%d keys)", len(s.Keys)) }
 
@@ -432,34 +479,36 @@ func (j *JoinNode) Children() []Node      { return []Node{j.Left, j.Right} }
 func (j *JoinNode) Rows() float64         { return j.rows }
 func (j *JoinNode) Cost() float64         { return j.cost }
 
-func (j *JoinNode) Build() (exec.Iterator, error) {
-	l, err := j.Left.Build()
+func (j *JoinNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	l, err := j.Left.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := j.Right.Build()
+	r, err := j.Right.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
+	keys := bindPairs(ctx, j.keys)
+	residual := ctx.bind(j.residual)
 	switch j.Method {
 	case MethodHash:
-		return applyBatch(exec.NewHashJoin(l, r, j.keys, j.residual, j.Type, j.MatchT), j.batch), nil
+		return applyBatch(exec.NewHashJoin(l, r, keys, residual, j.Type, j.MatchT), j.batch), nil
 	case MethodMerge:
-		lk := make([]exec.SortKey, len(j.keys))
-		rk := make([]exec.SortKey, len(j.keys))
-		for i, k := range j.keys {
+		lk := make([]exec.SortKey, len(keys))
+		rk := make([]exec.SortKey, len(keys))
+		for i, k := range keys {
 			lk[i] = exec.SortKey{Expr: k.Left}
 			rk[i] = exec.SortKey{Expr: k.Right}
 		}
 		ls := applyBatch(exec.NewSort(l, lk...), j.batch)
 		rs := applyBatch(exec.NewSort(r, rk...), j.batch)
-		mj, err := exec.NewMergeJoin(ls, rs, j.keys, j.residual, j.Type, j.MatchT)
+		mj, err := exec.NewMergeJoin(ls, rs, keys, residual, j.Type, j.MatchT)
 		if err != nil {
 			return nil, err
 		}
 		return applyBatch(mj, j.batch), nil
 	default:
-		return applyBatch(exec.NewNestedLoopJoin(l, r, j.Cond, j.Type, j.MatchT), j.batch), nil
+		return applyBatch(exec.NewNestedLoopJoin(l, r, ctx.bind(j.Cond), j.Type, j.MatchT), j.batch), nil
 	}
 }
 
@@ -509,16 +558,16 @@ func (j *IntervalJoinNode) Cost() float64 {
 		lr*CPUOperatorCost*math.Log2(rr) + // binary search per outer tuple
 		j.Rows()*CPUOperatorCost // window scan
 }
-func (j *IntervalJoinNode) Build() (exec.Iterator, error) {
-	l, err := j.Left.Build()
+func (j *IntervalJoinNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	l, err := j.Left.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := j.Right.Build()
+	r, err := j.Right.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	ij, err := exec.NewIntervalJoin(l, r, j.Cond, j.Type)
+	ij, err := exec.NewIntervalJoin(l, r, ctx.bind(j.Cond), j.Type)
 	if err != nil {
 		return nil, err
 	}
@@ -566,12 +615,20 @@ func (a *AggNode) Rows() float64 {
 func (a *AggNode) Cost() float64 {
 	return a.Input.Cost() + a.Input.Rows()*CPUOperatorCost*float64(1+len(a.Aggs))
 }
-func (a *AggNode) Build() (exec.Iterator, error) {
-	in, err := a.Input.Build()
+func (a *AggNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := a.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	agg, err := exec.NewHashAggregate(in, a.GroupBy, a.Names, a.GroupByT, a.Aggs)
+	aggs := a.Aggs
+	if ctx != nil && len(ctx.Params) > 0 {
+		aggs = make([]exec.AggSpec, len(a.Aggs))
+		for i, sp := range a.Aggs {
+			sp.Arg = ctx.bind(sp.Arg)
+			aggs[i] = sp
+		}
+	}
+	agg, err := exec.NewHashAggregate(in, ctx.bindAll(a.GroupBy), a.Names, a.GroupByT, aggs)
 	if err != nil {
 		return nil, err
 	}
@@ -611,12 +668,12 @@ func (s *SetOpNode) Rows() float64 {
 func (s *SetOpNode) Cost() float64 {
 	return s.Left.Cost() + s.Right.Cost() + (s.Left.Rows()+s.Right.Rows())*CPUOperatorCost
 }
-func (s *SetOpNode) Build() (exec.Iterator, error) {
-	l, err := s.Left.Build()
+func (s *SetOpNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	l, err := s.Left.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	r, err := s.Right.Build()
+	r, err := s.Right.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -648,8 +705,8 @@ func (d *DistinctNode) Rows() float64         { return math.Max(1, d.Input.Rows(
 func (d *DistinctNode) Cost() float64 {
 	return d.Input.Cost() + d.Input.Rows()*CPUOperatorCost
 }
-func (d *DistinctNode) Build() (exec.Iterator, error) {
-	in, err := d.Input.Build()
+func (d *DistinctNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := d.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -701,12 +758,12 @@ func (a *AdjustNode) Cost() float64 {
 	}
 	return a.Input.Cost() + CPUOperatorCost*a.Input.Rows()*numCols
 }
-func (a *AdjustNode) Build() (exec.Iterator, error) {
-	in, err := a.Input.Build()
+func (a *AdjustNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := a.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	ad, err := exec.NewAdjust(in, a.Mode, a.LeftWidth, a.P1, a.P2)
+	ad, err := exec.NewAdjust(in, a.Mode, a.LeftWidth, ctx.bind(a.P1), ctx.bind(a.P2))
 	if err != nil {
 		return nil, err
 	}
@@ -735,8 +792,8 @@ func (a *AbsorbNode) Cost() float64 {
 	n := math.Max(a.Input.Rows(), 2)
 	return a.Input.Cost() + 2*CPUOperatorCost*n*math.Log2(n)
 }
-func (a *AbsorbNode) Build() (exec.Iterator, error) {
-	in, err := a.Input.Build()
+func (a *AbsorbNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := a.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -744,9 +801,22 @@ func (a *AbsorbNode) Build() (exec.Iterator, error) {
 }
 func (a *AbsorbNode) Label() string { return "Absorb" }
 
-// Run builds and drains a plan into a relation.
+// Run builds and drains a parameterless plan into a relation. It still
+// allocates an ExecCtx: SharedNode memoization is per-context, so a nil
+// context would re-materialize broadcast subtrees once per fragment.
 func Run(n Node) (*relation.Relation, error) {
-	it, err := n.Build()
+	return RunCtx(n, NewExecCtx())
+}
+
+// RunParams builds and drains a plan with the given $1..$N parameter
+// values bound.
+func RunParams(n Node, params ...value.Value) (*relation.Relation, error) {
+	return RunCtx(n, NewExecCtx(params...))
+}
+
+// RunCtx builds and drains a plan under an explicit execution context.
+func RunCtx(n Node, ctx *ExecCtx) (*relation.Relation, error) {
+	it, err := n.Build(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"talign/internal/plan"
+	"talign/internal/relation"
+	"talign/internal/sqlish"
+	"talign/internal/value"
+)
+
+func demoServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	s.Catalog().Register("r", relation.NewBuilder("n string").
+		Row(0, 7, "Ann").
+		Row(1, 5, "Joe").
+		Row(7, 11, "Ann").
+		MustBuild())
+	s.Catalog().Register("p", relation.NewBuilder("a int", "mn int", "mx int").
+		Row(0, 5, 50, 1, 2).
+		Row(0, 5, 40, 3, 7).
+		Row(0, 12, 30, 8, 12).
+		Row(9, 12, 50, 1, 2).
+		Row(9, 12, 40, 3, 7).
+		MustBuild())
+	return s
+}
+
+// TestPreparedPlansExactlyOnce is the acceptance check: a prepared
+// statement executed twice plans exactly once.
+func TestPreparedPlansExactlyOnce(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags()})
+	if _, err := s.Prepare("s1", "q", "SELECT a FROM p WHERE a >= $1"); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		res, err := s.Query("s1", "q", "", []value.Value{value.NewInt(40)})
+		if err != nil {
+			t.Fatalf("Query #%d: %v", i+1, err)
+		}
+		if res.Rel.Len() != 4 {
+			t.Fatalf("Query #%d: %d rows, want 4", i+1, res.Rel.Len())
+		}
+		if !res.CacheHit {
+			t.Fatalf("Query #%d missed the plan cache", i+1)
+		}
+	}
+	st := s.CacheStats()
+	if st.Plans != 1 {
+		t.Fatalf("planned %d times, want exactly 1 (hits=%d misses=%d)", st.Plans, st.Hits, st.Misses)
+	}
+	if st.Hits != 2 {
+		t.Fatalf("cache hits = %d, want 2", st.Hits)
+	}
+}
+
+// TestCacheInvalidationOnCatalogChange: re-registering a relation bumps
+// the catalog version, so the next execution re-plans against fresh data
+// instead of serving the stale snapshot.
+func TestCacheInvalidationOnCatalogChange(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags()})
+	if _, err := s.Prepare("s1", "q", "SELECT n FROM r"); err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	res, err := s.Query("s1", "q", "", nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.Rel.Len() != 3 {
+		t.Fatalf("got %d rows, want 3", res.Rel.Len())
+	}
+
+	v := s.Catalog().Version()
+	s.Catalog().Register("r", relation.NewBuilder("n string").Row(0, 2, "Zoe").MustBuild())
+	if got := s.Catalog().Version(); got != v+1 {
+		t.Fatalf("version = %d, want %d", got, v+1)
+	}
+
+	before := s.CacheStats().Plans
+	res, err = s.Query("s1", "q", "", nil)
+	if err != nil {
+		t.Fatalf("Query after catalog change: %v", err)
+	}
+	if res.CacheHit {
+		t.Fatalf("stale plan served from cache after catalog change")
+	}
+	if res.Rel.Len() != 1 || res.Rel.Tuples[0].Vals[0].Str() != "Zoe" {
+		t.Fatalf("stale data after catalog change:\n%s", res.Rel)
+	}
+	if got := s.CacheStats().Plans; got != before+1 {
+		t.Fatalf("planned %d times after change, want %d", got, before+1)
+	}
+
+	// The same key now hits again.
+	res, err = s.Query("s1", "q", "", nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.CacheHit {
+		t.Fatalf("re-planned entry not cached")
+	}
+}
+
+// TestCacheNormalization: formatting variants of one statement share a
+// cache entry.
+func TestCacheNormalization(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags()})
+	if _, err := s.Query("", "", "SELECT n FROM r WHERE n = 'Ann'", nil); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	res, err := s.Query("", "", "select   N from R where n='Ann'", nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.CacheHit {
+		t.Fatalf("formatting variant missed the cache")
+	}
+	if st := s.CacheStats(); st.Plans != 1 {
+		t.Fatalf("planned %d times, want 1", st.Plans)
+	}
+}
+
+// TestCacheFlagsKeying: the same SQL under different planner flags must
+// not share plans.
+func TestCacheFlagsKeying(t *testing.T) {
+	f1 := plan.DefaultFlags()
+	f2 := plan.DefaultFlags()
+	f2.EnableHashJoin = false
+	if f1.Fingerprint() == f2.Fingerprint() {
+		t.Fatalf("distinct flags share a fingerprint %q", f1.Fingerprint())
+	}
+	c := NewPlanCache(8)
+	cat := sqlish.MapCatalog{}
+	cat.Register("r", relation.NewBuilder("n string").Row(0, 1, "x").MustBuild())
+	for _, f := range []plan.Flags{f1, f2} {
+		flags := f
+		_, hit, err := c.GetOrPrepare(cacheKey{sql: "select n from r", flags: flags.Fingerprint()},
+			func() (*sqlish.Prepared, error) { return sqlish.Prepare("select n from r", cat, flags) })
+		if err != nil {
+			t.Fatalf("GetOrPrepare: %v", err)
+		}
+		if hit {
+			t.Fatalf("flags %q wrongly shared a plan", flags.Fingerprint())
+		}
+	}
+	if st := c.Stats(); st.Plans != 2 || st.Size != 2 {
+		t.Fatalf("stats = %+v, want 2 plans, 2 entries", st)
+	}
+}
+
+// TestCacheLRUEviction: the least recently used entry is evicted at
+// capacity.
+func TestCacheLRUEviction(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags(), CacheSize: 2})
+	queries := []string{
+		"SELECT n FROM r",
+		"SELECT a FROM p",
+		"SELECT mn FROM p",
+	}
+	for _, q := range queries {
+		if _, err := s.Query("", "", q, nil); err != nil {
+			t.Fatalf("Query(%s): %v", q, err)
+		}
+	}
+	st := s.CacheStats()
+	if st.Size != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want size 2, evictions 1", st)
+	}
+	// queries[0] was evicted; queries[2] is still cached.
+	res, err := s.Query("", "", queries[2], nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.CacheHit {
+		t.Fatalf("most recent entry evicted")
+	}
+	res, err = s.Query("", "", queries[0], nil)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if res.CacheHit {
+		t.Fatalf("oldest entry survived eviction")
+	}
+}
+
+func TestGate(t *testing.T) {
+	g := NewGate(3)
+	if got := g.Acquire(2); got != 2 {
+		t.Fatalf("Acquire(2) = %d", got)
+	}
+	// A request wider than capacity is clamped, not deadlocked.
+	done := make(chan int)
+	go func() { done <- g.Acquire(5) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case w := <-done:
+		t.Fatalf("Acquire(5) succeeded at %d units with 2/3 in use", w)
+	default:
+	}
+	g.Release(2)
+	if w := <-done; w != 3 {
+		t.Fatalf("clamped acquire = %d, want 3", w)
+	}
+	st := g.Stats()
+	if st.InUse != 3 || st.Capacity != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	g.Release(3)
+	if st := g.Stats(); st.InUse != 0 {
+		t.Fatalf("in use after release = %d", st.InUse)
+	}
+
+	// FIFO: a narrow arrival must not overtake a queued wide waiter.
+	g.Acquire(1)
+	wide := make(chan struct{})
+	go func() { g.Acquire(3); close(wide) }()
+	for g.Stats().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	narrow := make(chan struct{})
+	go func() { g.Acquire(1); close(narrow) }()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-narrow:
+		t.Fatalf("narrow acquisition overtook the queued wide waiter")
+	default:
+	}
+	g.Release(1) // wide (3) admitted first, then narrow still waits
+	<-wide
+	select {
+	case <-narrow:
+		t.Fatalf("narrow admitted while wide holds full capacity")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Release(3)
+	<-narrow
+	g.Release(1)
+	if st := g.Stats(); st.InUse != 0 || st.Waiting != 0 {
+		t.Fatalf("gate not drained: %+v", st)
+	}
+
+	// Unlimited gate is a no-op.
+	u := NewGate(0)
+	if w := u.Acquire(100); w != 0 {
+		t.Fatalf("unlimited Acquire = %d", w)
+	}
+	u.Release(0)
+}

@@ -1,0 +1,105 @@
+package server
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"talign/internal/relation"
+)
+
+// Catalog is the server's thread-safe relation registry. It is
+// copy-on-write: readers take an immutable Snapshot (a plain map shared by
+// reference, never mutated after publication) without blocking writers,
+// and every write replaces the map wholesale and bumps a version counter.
+// The version is part of every plan-cache key, which is how catalog
+// changes invalidate cached plans without any cache traversal.
+type Catalog struct {
+	mu      sync.RWMutex
+	version uint64
+	rels    map[string]*relation.Relation
+}
+
+// NewCatalog returns an empty catalog at version 0.
+func NewCatalog() *Catalog {
+	return &Catalog{rels: map[string]*relation.Relation{}}
+}
+
+// Register adds (or replaces) a named relation and bumps the catalog
+// version. The relation must not be mutated after registration: snapshots
+// and cached plans keep referencing it.
+func (c *Catalog) Register(name string, rel *relation.Relation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	next := make(map[string]*relation.Relation, len(c.rels)+1)
+	for k, v := range c.rels {
+		next[k] = v
+	}
+	next[strings.ToLower(name)] = rel
+	c.rels = next
+	c.version++
+}
+
+// Drop removes a named relation, reporting whether it existed; dropping
+// bumps the version only when something changed.
+func (c *Catalog) Drop(name string) bool {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.rels[key]; !ok {
+		return false
+	}
+	next := make(map[string]*relation.Relation, len(c.rels)-1)
+	for k, v := range c.rels {
+		if k != key {
+			next[k] = v
+		}
+	}
+	c.rels = next
+	c.version++
+	return true
+}
+
+// Version returns the current catalog version.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// Snapshot returns an immutable view of the catalog at its current
+// version. Snapshots implement sqlish.Catalog and stay valid (and
+// consistent) however the catalog changes afterwards.
+func (c *Catalog) Snapshot() Snapshot {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return Snapshot{Version: c.version, rels: c.rels}
+}
+
+// Snapshot is one immutable catalog version: the map is shared, never
+// mutated, and safe for concurrent lookups.
+type Snapshot struct {
+	// Version identifies the catalog state this snapshot captured.
+	Version uint64
+
+	rels map[string]*relation.Relation
+}
+
+// Lookup implements sqlish.Catalog.
+func (s Snapshot) Lookup(name string) (*relation.Relation, bool) {
+	rel, ok := s.rels[strings.ToLower(name)]
+	return rel, ok
+}
+
+// Names returns the sorted table names in the snapshot.
+func (s Snapshot) Names() []string {
+	out := make([]string, 0, len(s.rels))
+	for k := range s.rels {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered relations.
+func (s Snapshot) Len() int { return len(s.rels) }

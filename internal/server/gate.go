@@ -1,0 +1,99 @@
+package server
+
+import "sync"
+
+// Gate is the admission controller: a weighted FIFO semaphore bounding
+// the total in-flight degree of parallelism across all queries. Every
+// query acquires a weight equal to the parallelism its plan can actually
+// use (1 for serial plans), so N serial queries and one DOP-N parallel
+// query consume the same budget and a burst of parallel queries queues
+// instead of oversubscribing the machine with worker goroutines.
+//
+// Admission is strictly first-come-first-served: a wide waiter at the
+// head of the queue blocks later narrow arrivals until it is admitted,
+// which is what prevents a steady stream of cheap queries from starving
+// an expensive one indefinitely.
+type Gate struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	waiters  []*gateWaiter
+}
+
+// gateWaiter is one queued acquisition; ch closes on admission.
+type gateWaiter struct {
+	w  int
+	ch chan struct{}
+}
+
+// NewGate returns a gate admitting up to capacity units of in-flight DOP;
+// capacity <= 0 means unlimited.
+func NewGate(capacity int) *Gate {
+	return &Gate{capacity: capacity}
+}
+
+// Acquire blocks until w units are available and claims them. Weights
+// above the gate's capacity are clamped to it, so a single over-wide
+// query waits for an idle gate rather than deadlocking. Acquire returns
+// the weight actually claimed, which must be passed to Release.
+func (g *Gate) Acquire(w int) int {
+	if g.capacity <= 0 {
+		return 0 // unlimited: nothing to claim
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > g.capacity {
+		w = g.capacity
+	}
+	g.mu.Lock()
+	if len(g.waiters) == 0 && g.inUse+w <= g.capacity {
+		g.inUse += w
+		g.mu.Unlock()
+		return w
+	}
+	wt := &gateWaiter{w: w, ch: make(chan struct{})}
+	g.waiters = append(g.waiters, wt)
+	g.mu.Unlock()
+	<-wt.ch
+	return w
+}
+
+// Release returns w units claimed by Acquire and admits queued waiters
+// in FIFO order as far as the freed capacity reaches.
+func (g *Gate) Release(w int) {
+	if g.capacity <= 0 || w <= 0 {
+		return
+	}
+	g.mu.Lock()
+	g.inUse -= w
+	if g.inUse < 0 {
+		g.inUse = 0
+	}
+	for len(g.waiters) > 0 {
+		head := g.waiters[0]
+		if g.inUse+head.w > g.capacity {
+			break // strict FIFO: the head blocks the line
+		}
+		g.inUse += head.w
+		g.waiters = g.waiters[1:]
+		close(head.ch)
+	}
+	g.mu.Unlock()
+}
+
+// GateStats is a point-in-time view of the gate.
+type GateStats struct {
+	// Capacity is the admission budget (0 = unlimited); InUse the claimed
+	// units; Waiting the queued acquisitions.
+	Capacity int `json:"capacity"`
+	InUse    int `json:"in_use"`
+	Waiting  int `json:"waiting"`
+}
+
+// Stats returns the current gate counters.
+func (g *Gate) Stats() GateStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return GateStats{Capacity: g.capacity, InUse: g.inUse, Waiting: len(g.waiters)}
+}

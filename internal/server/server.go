@@ -1,0 +1,441 @@
+// Package server implements talignd's concurrent query-serving layer on
+// top of the sqlish Parse → Analyze → Plan → Execute pipeline: a
+// copy-on-write catalog with a version counter, an LRU cache of prepared
+// plans keyed on normalized SQL + catalog version + planner flags, named
+// prepared statements with $N placeholders scoped to sessions, an
+// admission gate bounding the total in-flight degree of parallelism, and
+// an HTTP/JSON front end (POST /query, POST /prepare, GET /explain,
+// GET /healthz).
+//
+// The layering invariant the whole package leans on: a sqlish.Prepared is
+// immutable and its Execute builds a fresh executor tree per call, so one
+// cached plan serves any number of concurrent executions; all mutable
+// state (catalog map, cache LRU list, sessions, gate) is owned here and
+// guarded explicitly.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"talign/internal/plan"
+	"talign/internal/relation"
+	"talign/internal/sqlish"
+	"talign/internal/value"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Flags are the planner flags every statement is planned under (the
+	// fingerprint participates in plan-cache keys).
+	Flags plan.Flags
+	// CacheSize is the prepared-plan cache capacity (DefaultCacheSize when
+	// zero).
+	CacheSize int
+	// MaxDOP bounds the total in-flight degree of parallelism across
+	// concurrent queries; 0 means unlimited.
+	MaxDOP int
+}
+
+// Server is the concurrent query server: it owns the catalog, the plan
+// cache, the session table and the admission gate. All methods are safe
+// for concurrent use.
+type Server struct {
+	flags   plan.Flags
+	flagsFP string
+	catalog *Catalog
+	cache   *PlanCache
+	gate    *Gate
+	sess    sessions
+	start   time.Time
+
+	queries atomic.Uint64
+	errors  atomic.Uint64
+}
+
+// New creates a server with an empty catalog.
+func New(cfg Config) *Server {
+	return &Server{
+		flags:   cfg.Flags,
+		flagsFP: cfg.Flags.Fingerprint(),
+		catalog: NewCatalog(),
+		cache:   NewPlanCache(cfg.CacheSize),
+		gate:    NewGate(cfg.MaxDOP),
+		start:   time.Now(),
+	}
+}
+
+// Catalog exposes the server's relation registry (for loading data).
+func (s *Server) Catalog() *Catalog { return s.catalog }
+
+// CacheStats exposes the plan-cache counters (tests and /healthz).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// plan resolves SQL text to a cached (or freshly prepared) plan against
+// the current catalog snapshot. The second result reports a cache hit.
+func (s *Server) plan(norm string) (*sqlish.Prepared, bool, error) {
+	snap := s.catalog.Snapshot()
+	key := cacheKey{sql: norm, version: snap.Version, flags: s.flagsFP}
+	return s.cache.GetOrPrepare(key, func() (*sqlish.Prepared, error) {
+		return sqlish.Prepare(norm, snap, s.flags)
+	})
+}
+
+// Prepare parses, plans and caches sql, then registers it under name in
+// the session. The returned plan carries the statement's parameter count
+// and result schema.
+func (s *Server) Prepare(sessionID, name, sql string) (*sqlish.Prepared, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("server: prepared statement needs a name")
+	}
+	norm, err := sqlish.Normalize(sql)
+	if err != nil {
+		return nil, err
+	}
+	prep, _, err := s.plan(norm)
+	if err != nil {
+		return nil, err
+	}
+	s.sess.get(sessionID).setStmt(name, norm)
+	return prep, nil
+}
+
+// Result is one query's outcome: either a relation or (for EXPLAIN) a
+// plan rendering, plus whether the plan came out of the cache.
+type Result struct {
+	// Rel holds the result rows (nil for EXPLAIN statements).
+	Rel *relation.Relation
+	// Plan holds the EXPLAIN rendering (empty for ordinary statements).
+	Plan string
+	// CacheHit reports whether the plan was served from the cache.
+	CacheHit bool
+}
+
+// Query executes ad-hoc SQL (stmtName == "") or a session's named
+// prepared statement, binding params to $1..$N. Execution is admitted
+// through the DOP gate.
+func (s *Server) Query(sessionID, stmtName, sql string, params []value.Value) (Result, error) {
+	s.queries.Add(1)
+	res, err := s.query(sessionID, stmtName, sql, params)
+	if err != nil {
+		s.errors.Add(1)
+	}
+	return res, err
+}
+
+func (s *Server) query(sessionID, stmtName, sql string, params []value.Value) (Result, error) {
+	var norm string
+	var err error
+	switch {
+	case stmtName != "" && sql != "":
+		return Result{}, fmt.Errorf("server: request must set either sql or stmt, not both")
+	case stmtName != "":
+		info, lerr := s.sess.get(sessionID).stmt(stmtName)
+		if lerr != nil {
+			return Result{}, lerr
+		}
+		norm = info.norm
+	case strings.TrimSpace(sql) != "":
+		norm, err = sqlish.Normalize(sql)
+		if err != nil {
+			return Result{}, err
+		}
+	default:
+		return Result{}, fmt.Errorf("server: request has neither sql nor stmt")
+	}
+	prep, hit, err := s.plan(norm)
+	if err != nil {
+		return Result{}, err
+	}
+	if prep.IsExplain() {
+		return Result{Plan: prep.Explain(), CacheHit: hit}, nil
+	}
+	// Charge the plan's actual width, not the configured DOP: a serial
+	// plan (the cost model kept every operator unpartitioned) costs one
+	// unit, so cheap queries never queue behind the parallel budget.
+	claimed := s.gate.Acquire(prep.MaxDOP())
+	defer s.gate.Release(claimed)
+	rel, err := prep.Execute(params...)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Rel: rel, CacheHit: hit}, nil
+}
+
+// Explain plans the statement (through the cache) and renders its plan,
+// for ad-hoc SQL or a named prepared statement.
+func (s *Server) Explain(sessionID, stmtName, sql string) (string, error) {
+	var norm string
+	var err error
+	if stmtName != "" {
+		info, lerr := s.sess.get(sessionID).stmt(stmtName)
+		if lerr != nil {
+			return "", lerr
+		}
+		norm = info.norm
+	} else {
+		norm, err = sqlish.Normalize(sql)
+		if err != nil {
+			return "", err
+		}
+	}
+	prep, _, err := s.plan(norm)
+	if err != nil {
+		return "", err
+	}
+	return prep.Explain(), nil
+}
+
+// ------------------------------------------------------------------ HTTP
+
+// Handler returns the HTTP front end:
+//
+//	POST /query    {"sql": "...", "params": [...]} or
+//	               {"session": "s", "stmt": "name", "params": [...]}
+//	POST /prepare  {"session": "s", "name": "q1", "sql": "... $1 ..."}
+//	GET  /explain  ?sql=... | ?session=s&stmt=name     (text/plain)
+//	GET  /healthz  liveness + catalog/cache/gate statistics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /prepare", s.handlePrepare)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// queryRequest is the POST /query and POST /prepare body.
+type queryRequest struct {
+	// Session scopes prepared statements; empty means DefaultSessionID.
+	Session string `json:"session,omitempty"`
+	// Name names the statement being prepared (POST /prepare only).
+	Name string `json:"name,omitempty"`
+	// Stmt executes a previously prepared statement by name.
+	Stmt string `json:"stmt,omitempty"`
+	// SQL is the ad-hoc statement text.
+	SQL string `json:"sql,omitempty"`
+	// Params bind $1..$N in order: JSON null, booleans, numbers (integers
+	// stay int64, anything with a fraction becomes float) and strings.
+	Params []any `json:"params,omitempty"`
+}
+
+// queryResponse is the POST /query result. Columns and Types list the
+// visible attributes followed by the valid-time bounds "ts" and "te";
+// each row is the matching array of values.
+type queryResponse struct {
+	Columns  []string `json:"columns,omitempty"`
+	Types    []string `json:"types,omitempty"`
+	Rows     [][]any  `json:"rows,omitempty"`
+	RowCount int      `json:"row_count"`
+	Plan     string   `json:"plan,omitempty"`
+	CacheHit bool     `json:"cache_hit"`
+}
+
+// prepareResponse is the POST /prepare result.
+type prepareResponse struct {
+	Session string   `json:"session"`
+	Name    string   `json:"name"`
+	Params  int      `json:"params"`
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, params, err := decodeRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.Query(req.Session, req.Stmt, req.SQL, params)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if res.Plan != "" {
+		writeJSON(w, queryResponse{Plan: res.Plan, CacheHit: res.CacheHit})
+		return
+	}
+	writeJSON(w, encodeRelation(res.Rel, res.CacheHit))
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	req, _, err := decodeRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	prep, err := s.Prepare(req.Session, req.Name, req.SQL)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	cols, types := schemaColumns(prep)
+	sessionID := req.Session
+	if sessionID == "" {
+		sessionID = DefaultSessionID
+	}
+	writeJSON(w, prepareResponse{
+		Session: sessionID,
+		Name:    req.Name,
+		Params:  prep.NumParams,
+		Columns: cols,
+		Types:   types,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	text, err := s.Explain(q.Get("session"), q.Get("stmt"), q.Get("sql"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, text)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.catalog.Snapshot()
+	writeJSON(w, map[string]any{
+		"ok":       true,
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+		"queries":  s.queries.Load(),
+		"errors":   s.errors.Load(),
+		"sessions": s.sess.count(),
+		"catalog": map[string]any{
+			"version": snap.Version,
+			"tables":  snap.Names(),
+		},
+		"cache": s.cache.Stats(),
+		"gate":  s.gate.Stats(),
+	})
+}
+
+// decodeRequest parses a JSON request body, converting params with
+// json.Number semantics so integers survive exactly.
+func decodeRequest(r *http.Request) (queryRequest, []value.Value, error) {
+	var req queryRequest
+	dec := json.NewDecoder(r.Body)
+	dec.UseNumber()
+	if err := dec.Decode(&req); err != nil {
+		return req, nil, fmt.Errorf("server: bad request body: %v", err)
+	}
+	params := make([]value.Value, len(req.Params))
+	for i, p := range req.Params {
+		v, err := paramValue(p)
+		if err != nil {
+			return req, nil, fmt.Errorf("server: param $%d: %v", i+1, err)
+		}
+		params[i] = v
+	}
+	return req, params, nil
+}
+
+// paramValue converts one decoded JSON parameter to an engine value.
+func paramValue(x any) (value.Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.NewBool(t), nil
+	case string:
+		return value.NewString(t), nil
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return value.NewInt(i), nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return value.Null, fmt.Errorf("bad number %q", t.String())
+		}
+		return value.NewFloat(f), nil
+	}
+	return value.Null, fmt.Errorf("unsupported JSON type %T (use null, bool, number or string)", x)
+}
+
+// jsonValue converts an engine value to its JSON representation; periods
+// render as their "[ts, te)" string form, and non-finite floats as strings
+// (JSON has no NaN/Inf).
+func jsonValue(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.Bool()
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Sprint(f)
+		}
+		return f
+	case value.KindString:
+		return v.Str()
+	case value.KindInterval:
+		return v.Interval().String()
+	}
+	return v.String()
+}
+
+// encodeRelation renders a result relation as a queryResponse.
+func encodeRelation(rel *relation.Relation, cacheHit bool) queryResponse {
+	cols := make([]string, 0, rel.Schema.Len()+2)
+	types := make([]string, 0, rel.Schema.Len()+2)
+	for _, at := range rel.Schema.Attrs {
+		cols = append(cols, at.Name)
+		types = append(types, at.Type.String())
+	}
+	cols = append(cols, "ts", "te")
+	types = append(types, "int", "int")
+	rows := make([][]any, rel.Len())
+	for i, t := range rel.Tuples {
+		row := make([]any, 0, len(t.Vals)+2)
+		for _, v := range t.Vals {
+			row = append(row, jsonValue(v))
+		}
+		row = append(row, t.T.Ts, t.T.Te)
+		rows[i] = row
+	}
+	return queryResponse{
+		Columns:  cols,
+		Types:    types,
+		Rows:     rows,
+		RowCount: rel.Len(),
+		CacheHit: cacheHit,
+	}
+}
+
+// schemaColumns lists a prepared statement's result columns and types.
+func schemaColumns(prep *sqlish.Prepared) (cols, types []string) {
+	sch := prep.Schema()
+	for _, at := range sch.Attrs {
+		cols = append(cols, at.Name)
+		types = append(types, at.Type.String())
+	}
+	cols = append(cols, "ts", "te")
+	types = append(types, "int", "int")
+	return cols, types
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are sent; nothing more to do than note it in the log-less
+		// world of this server.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

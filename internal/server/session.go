@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Session is per-client state: a namespace of named prepared statements.
+// A session stores only statement text and metadata — the plans themselves
+// live in the shared PlanCache keyed by catalog version, so a statement
+// prepared before a catalog change transparently re-plans on its next
+// execution (and LRU eviction can never break a session, only cost a
+// re-plan).
+type Session struct {
+	// ID names the session (client-chosen).
+	ID string
+
+	mu    sync.Mutex
+	stmts map[string]*stmtInfo
+}
+
+// stmtInfo is one named prepared statement: only the normalized text is
+// stored — it is the plan-cache key component, and everything else
+// (param count, schema) lives on the cached Prepared and may legitimately
+// change when a catalog bump forces a re-plan.
+type stmtInfo struct {
+	norm string
+}
+
+// setStmt registers (or replaces) a named statement.
+func (s *Session) setStmt(name, norm string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stmts[name] = &stmtInfo{norm: norm}
+}
+
+// stmt looks up a named statement.
+func (s *Session) stmt(name string) (*stmtInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.stmts[name]
+	if !ok {
+		return nil, fmt.Errorf("server: session %q has no prepared statement %q", s.ID, name)
+	}
+	return info, nil
+}
+
+// StmtCount returns the number of prepared statements in the session.
+func (s *Session) StmtCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.stmts)
+}
+
+// sessions is the server's session table.
+type sessions struct {
+	mu sync.Mutex
+	m  map[string]*Session
+}
+
+// DefaultSessionID is used when a request names no session.
+const DefaultSessionID = "default"
+
+// get returns the session with the given id, creating it on first use; an
+// empty id maps to DefaultSessionID.
+func (t *sessions) get(id string) *Session {
+	if id == "" {
+		id = DefaultSessionID
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.m == nil {
+		t.m = map[string]*Session{}
+	}
+	s, ok := t.m[id]
+	if !ok {
+		s = &Session{ID: id, stmts: map[string]*stmtInfo{}}
+		t.m[id] = s
+	}
+	return s
+}
+
+// count returns the number of live sessions.
+func (t *sessions) count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}

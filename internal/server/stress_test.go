@@ -1,0 +1,184 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"talign/internal/plan"
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+// stressQueries are the mixed workload: a value filter, a temporal
+// normalization, a temporal aggregation and an ALIGN join, each with a
+// $1 placeholder, plus one parameterless statement.
+var stressQueries = []struct {
+	sql     string
+	nparams int
+}{
+	{"SELECT a, mn, mx FROM p WHERE a >= $1", 1},
+	{"SELECT n, Ts, Te FROM (r a NORMALIZE r b USING (n)) x", 0},
+	{"SELECT n, COUNT(*) c, Ts, Te FROM (r a NORMALIZE r b USING ()) x GROUP BY n, Ts, Te HAVING COUNT(*) >= $1", 1},
+	{`WITH r2 AS (SELECT Ts Us, Te Ue, * FROM r)
+	  SELECT n, Us, Ue, x.Ts, x.Te FROM (r2 ALIGN p ON DUR(Us, Ue) BETWEEN mn AND mx AND a >= $1) x`, 1},
+	{"SELECT a FROM p WHERE a BETWEEN $1 AND 50 ORDER BY a", 1},
+}
+
+// stressParams is the binding domain for $1.
+var stressParams = []int64{0, 1, 2, 30, 40, 50}
+
+// TestConcurrentServerMatchesSerial fires N goroutines of mixed prepared
+// and ad-hoc executions at one server and diffs every result against the
+// serial execution of the same statement with the same binding. Run with
+// -race this is the acceptance check for the concurrent serving layer:
+// shared cached plans, the COW catalog and the admission gate must not
+// corrupt results under contention.
+func TestConcurrentServerMatchesSerial(t *testing.T) {
+	flags := plan.DefaultFlags()
+	s := demoServer(t, Config{Flags: flags, MaxDOP: 4})
+
+	// Serial oracle: every (query, param) combination executed on a
+	// single-goroutine engine before any concurrency starts.
+	serial := map[string]*relation.Relation{}
+	for qi, q := range stressQueries {
+		for _, p := range bindings(q.nparams) {
+			res, err := s.Query("", "", q.sql, p)
+			if err != nil {
+				t.Fatalf("serial %s with %v: %v", q.sql, p, err)
+			}
+			serial[resultKey(qi, p)] = res.Rel
+		}
+	}
+
+	// Half the workers use named prepared statements, half ad-hoc SQL.
+	for qi, q := range stressQueries {
+		if _, err := s.Prepare("stress", fmt.Sprintf("q%d", qi), q.sql); err != nil {
+			t.Fatalf("Prepare q%d: %v", qi, err)
+		}
+	}
+
+	const workers = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for i := 0; i < iters; i++ {
+				qi := rng.Intn(len(stressQueries))
+				q := stressQueries[qi]
+				var params []value.Value
+				if q.nparams == 1 {
+					params = []value.Value{value.NewInt(stressParams[rng.Intn(len(stressParams))])}
+				}
+				var res Result
+				var err error
+				if w%2 == 0 {
+					res, err = s.Query("stress", fmt.Sprintf("q%d", qi), "", params)
+				} else {
+					res, err = s.Query("", "", q.sql, params)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %s: %v", w, q.sql, err)
+					return
+				}
+				want := serial[resultKey(qi, params)]
+				if !relation.SetEqual(res.Rel, want) {
+					onlyG, onlyW := relation.Diff(res.Rel, want)
+					errs <- fmt.Errorf("worker %d: %s with %v diverged\nonly concurrent: %v\nonly serial: %v",
+						w, q.sql, params, onlyG, onlyW)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if st := s.gate.Stats(); st.InUse != 0 {
+		t.Fatalf("gate leaked %d units", st.InUse)
+	}
+}
+
+// TestConcurrentCatalogChurn runs queries over stable tables while
+// another goroutine registers and drops unrelated tables, exercising the
+// COW snapshot path: queries must never observe a half-updated catalog,
+// and version churn must only cause re-plans, not wrong results.
+func TestConcurrentCatalogChurn(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags()})
+	want, err := s.Query("", "", "SELECT n FROM r", nil)
+	if err != nil {
+		t.Fatalf("serial query: %v", err)
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			name := fmt.Sprintf("tmp%d", i%4)
+			s.Catalog().Register(name, relation.NewBuilder("x int").Row(0, 1, i).MustBuild())
+			if i%3 == 0 {
+				s.Catalog().Drop(name)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				res, err := s.Query("", "", "SELECT n FROM r", nil)
+				if err != nil {
+					errs <- fmt.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if !relation.SetEqual(res.Rel, want.Rel) {
+					errs <- fmt.Errorf("worker %d: result diverged under catalog churn", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func bindings(nparams int) [][]value.Value {
+	if nparams == 0 {
+		return [][]value.Value{nil}
+	}
+	out := make([][]value.Value, len(stressParams))
+	for i, p := range stressParams {
+		out[i] = []value.Value{value.NewInt(p)}
+	}
+	return out
+}
+
+func resultKey(qi int, params []value.Value) string {
+	key := fmt.Sprintf("q%d", qi)
+	for _, p := range params {
+		key += "|" + p.String()
+	}
+	return key
+}

@@ -9,89 +9,46 @@ import (
 	"talign/internal/exec"
 	"talign/internal/expr"
 	"talign/internal/plan"
-	"talign/internal/relation"
 	"talign/internal/schema"
 	"talign/internal/value"
 )
 
-// Engine executes sqlish statements against a catalog of named temporal
-// relations.
-type Engine struct {
-	catalog map[string]*relation.Relation
-	flags   plan.Flags
-}
-
-// NewEngine creates an engine with the given planner flags.
-func NewEngine(flags plan.Flags) *Engine {
-	return &Engine{catalog: map[string]*relation.Relation{}, flags: flags}
-}
-
-// Register adds (or replaces) a named relation.
-func (e *Engine) Register(name string, rel *relation.Relation) {
-	e.catalog[strings.ToLower(name)] = rel
-}
-
-// Query parses, plans and runs a statement. For EXPLAIN statements the
-// returned relation is nil and the plan text is set.
-func (e *Engine) Query(sql string) (*relation.Relation, string, error) {
-	st, err := parse(sql)
-	if err != nil {
-		return nil, "", err
-	}
-	a := &analyzer{
-		cat:     map[string]*relation.Relation{},
-		planner: plan.NewPlanner(e.flags),
-		algebra: core.New(e.flags),
-	}
-	for k, v := range e.catalog {
-		a.cat[k] = v
-	}
-	for _, w := range st.With {
-		node, _, err := a.buildQueryExpr(w.Query)
-		if err != nil {
-			return nil, "", err
-		}
-		rel, err := plan.Run(node)
-		if err != nil {
-			return nil, "", err
-		}
-		a.cat[strings.ToLower(w.Name)] = rel
-	}
-	node, outScope, err := a.buildQueryExpr(st.Body)
-	if err != nil {
-		return nil, "", err
-	}
-	if len(st.OrderBy) > 0 {
-		keys, err := a.orderKeys(st.OrderBy, node.Schema(), outScope)
-		if err != nil {
-			return nil, "", err
-		}
-		node = a.planner.Sort(node, keys...)
-	}
-	if st.Explain {
-		return nil, plan.Explain(node), nil
-	}
-	rel, err := plan.Run(node)
-	if err != nil {
-		return nil, "", err
-	}
-	return rel, "", nil
-}
-
-// MustQuery is Query but panics on error (examples and tests).
-func (e *Engine) MustQuery(sql string) *relation.Relation {
-	rel, _, err := e.Query(sql)
-	if err != nil {
-		panic(err)
-	}
-	return rel
-}
-
-// analyzer turns ASTs into plans.
+// analyzer turns ASTs into plans (the Analyze → Plan stages of the
+// pipeline). Table names resolve against a base Catalog plus the WITH
+// clauses of the current statement, which are planned as shared subtrees
+// (materialized once per execution) instead of being evaluated eagerly —
+// that is what lets a statement containing WITH be prepared once and
+// executed many times with different parameters.
 type analyzer struct {
-	cat     map[string]*relation.Relation
-	planner *plan.Planner
-	algebra *core.Algebra
+	base     Catalog
+	with     map[string]plan.Node
+	planner  *plan.Planner
+	algebra  *core.Algebra
+	maxParam int
+}
+
+// newAnalyzer builds an analyzer over cat under the given flags.
+func newAnalyzer(cat Catalog, flags plan.Flags) *analyzer {
+	return &analyzer{
+		base:    cat,
+		with:    map[string]plan.Node{},
+		planner: plan.NewPlanner(flags),
+		algebra: core.New(flags),
+	}
+}
+
+// lookup resolves a table name: WITH clauses shadow the base catalog.
+func (a *analyzer) lookup(name string) (plan.Node, bool) {
+	key := strings.ToLower(name)
+	if n, ok := a.with[key]; ok {
+		return n, true
+	}
+	if a.base != nil {
+		if rel, ok := a.base.Lookup(key); ok {
+			return a.planner.Scan(rel, name), true
+		}
+	}
+	return nil, false
 }
 
 // scopeItem is one visible FROM entity. tsOff/teOff point at the hidden
@@ -144,7 +101,7 @@ func visibleSchema(items []scopeItem) []schema.Attr {
 func (a *analyzer) buildFrom(fi fromItem) (plan.Node, *scope, error) {
 	switch f := fi.(type) {
 	case fTable:
-		rel, ok := a.cat[f.Name]
+		src, ok := a.lookup(f.Name)
 		if !ok {
 			return nil, nil, fmt.Errorf("sqlish: unknown table %q", f.Name)
 		}
@@ -152,10 +109,11 @@ func (a *analyzer) buildFrom(fi fromItem) (plan.Node, *scope, error) {
 		if alias == "" {
 			alias = f.Name
 		}
-		node := a.addHidden(a.planner.Scan(rel, f.Name))
+		sch := src.Schema()
+		node := a.addHidden(src)
 		sc := &scope{
-			items: []scopeItem{{alias: alias, sch: rel.Schema, off: 0, tsOff: rel.Schema.Len(), teOff: rel.Schema.Len() + 1}},
-			width: rel.Schema.Len() + 2,
+			items: []scopeItem{{alias: alias, sch: sch, off: 0, tsOff: sch.Len(), teOff: sch.Len() + 1}},
+			width: sch.Len() + 2,
 		}
 		return node, sc, nil
 
@@ -385,6 +343,11 @@ func (a *analyzer) resolve(e sexpr, sc *scope, allowAgg bool) (expr.Expr, error)
 		return expr.Bool(x.V), nil
 	case sNull:
 		return expr.Null, nil
+	case sParam:
+		if x.Idx > a.maxParam {
+			a.maxParam = x.Idx
+		}
+		return expr.Param{Idx: x.Idx}, nil
 	case sNot:
 		inner, err := a.resolve(x.X, sc, allowAgg)
 		if err != nil {
@@ -479,6 +442,8 @@ func render(e sexpr) string {
 		return fmt.Sprint(x.V)
 	case sNull:
 		return "null"
+	case sParam:
+		return "$" + strconv.Itoa(x.Idx)
 	case sNot:
 		return "not(" + render(x.X) + ")"
 	case sIsNull:

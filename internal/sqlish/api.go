@@ -1,0 +1,243 @@
+package sqlish
+
+import (
+	"fmt"
+	"strings"
+
+	"talign/internal/plan"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// The statement pipeline has four explicit stages:
+//
+//	Parse    — lex + parse the SQL text into an AST (Statement)
+//	Analyze  — resolve names against a Catalog, type-check, extract
+//	           placeholders
+//	Plan     — build the immutable plan.Node tree (cost-based method and
+//	           exchange choices happen here)
+//	Execute  — bind $N parameter values and drain the plan
+//
+// Parse is independent of any catalog; Analyze+Plan are fused in Prepare
+// (the analyzer emits plan nodes directly); Execute is Prepared.Execute.
+// A Prepared is immutable and safe for concurrent Execute calls, which is
+// what the server's plan cache relies on.
+
+// Statement is a parsed but not yet analyzed statement: the output of the
+// Parse stage. It can be prepared against different catalogs.
+type Statement struct {
+	// SQL is the original statement text.
+	SQL string
+
+	ast *statement
+}
+
+// Parse runs the first pipeline stage: it lexes and parses sql into a
+// Statement without touching any catalog.
+func Parse(sql string) (*Statement, error) {
+	ast, err := parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &Statement{SQL: sql, ast: ast}, nil
+}
+
+// IsExplain reports whether the statement is an EXPLAIN.
+func (st *Statement) IsExplain() bool { return st.ast.Explain }
+
+// Catalog resolves lower-cased table names during the Analyze stage.
+// Implementations must be safe for concurrent use; the relations returned
+// must be treated as immutable snapshots (the engine never mutates them,
+// and cached plans keep referencing them).
+type Catalog interface {
+	// Lookup returns the relation registered under the (lower-case) name.
+	Lookup(name string) (*relation.Relation, bool)
+}
+
+// MapCatalog is a Catalog over a plain map. The zero value is an empty
+// catalog; keys must be lower-case (Register takes care of that). It is
+// NOT safe for concurrent mutation — the server package provides a
+// versioned copy-on-write catalog for shared use.
+type MapCatalog map[string]*relation.Relation
+
+// Lookup implements Catalog.
+func (m MapCatalog) Lookup(name string) (*relation.Relation, bool) {
+	rel, ok := m[strings.ToLower(name)]
+	return rel, ok
+}
+
+// Register adds (or replaces) a named relation.
+func (m MapCatalog) Register(name string, rel *relation.Relation) {
+	m[strings.ToLower(name)] = rel
+}
+
+// Prepared is an analyzed and planned statement: the output of the
+// Analyze + Plan stages. It is immutable — Execute may be called
+// concurrently from many goroutines, each execution binding its own
+// parameter values — and it pins the catalog snapshot it was planned
+// against (plans over changed catalogs must be re-prepared; the server's
+// plan cache keys on the catalog version for exactly that reason).
+type Prepared struct {
+	// SQL is the original statement text.
+	SQL string
+	// NumParams is the number of $N placeholders the statement takes
+	// (the highest index seen; numbering must be gap-free from $1).
+	NumParams int
+
+	root    plan.Node
+	maxDOP  int
+	explain bool
+}
+
+// Prepare runs Parse, Analyze and Plan in one call.
+func Prepare(sql string, cat Catalog, flags plan.Flags) (*Prepared, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return st.Prepare(cat, flags)
+}
+
+// Prepare runs the Analyze and Plan stages: names are resolved against
+// cat, WITH clauses become shared subplans, and the cost-based planner
+// (under flags) fixes join methods and exchange placement. The resulting
+// plan is generic over its $N placeholders.
+func (st *Statement) Prepare(cat Catalog, flags plan.Flags) (*Prepared, error) {
+	a := newAnalyzer(cat, flags)
+	for _, w := range st.ast.With {
+		node, _, err := a.buildQueryExpr(w.Query)
+		if err != nil {
+			return nil, err
+		}
+		a.with[strings.ToLower(w.Name)] = a.planner.Shared(node)
+	}
+	node, outScope, err := a.buildQueryExpr(st.ast.Body)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.ast.OrderBy) > 0 {
+		keys, err := a.orderKeys(st.ast.OrderBy, node.Schema(), outScope)
+		if err != nil {
+			return nil, err
+		}
+		node = a.planner.Sort(node, keys...)
+	}
+	return &Prepared{
+		SQL:       st.SQL,
+		NumParams: a.maxParam,
+		root:      node,
+		maxDOP:    plan.MaxDOP(node),
+		explain:   st.ast.Explain,
+	}, nil
+}
+
+// MaxDOP reports the widest exchange in the plan: how many worker
+// goroutines one execution can occupy (1 for serial plans). Admission
+// control charges executions this weight.
+func (p *Prepared) MaxDOP() int { return p.maxDOP }
+
+// IsExplain reports whether the statement was an EXPLAIN; Execute refuses
+// such statements (use Explain instead).
+func (p *Prepared) IsExplain() bool { return p.explain }
+
+// Schema describes the result columns (parameter-typed columns report
+// kind ω until execution).
+func (p *Prepared) Schema() schema.Schema { return p.root.Schema() }
+
+// Explain renders the plan with the optimizer's row and cost estimates;
+// unbound placeholders render as $N.
+func (p *Prepared) Explain() string { return plan.Explain(p.root) }
+
+// Execute runs the Execute stage: it binds params to $1..$N (exactly
+// NumParams values are required), builds a fresh executor tree and drains
+// it. Execute is safe to call concurrently.
+func (p *Prepared) Execute(params ...value.Value) (*relation.Relation, error) {
+	if p.explain {
+		return nil, fmt.Errorf("sqlish: cannot Execute an EXPLAIN statement")
+	}
+	if err := plan.CheckParams(p.NumParams, params); err != nil {
+		return nil, fmt.Errorf("sqlish: %v", err)
+	}
+	return plan.RunParams(p.root, params...)
+}
+
+// Normalize canonicalizes a statement's text for plan-cache keying: it
+// re-renders the token stream with single spaces, lower-cased keywords and
+// identifiers, and canonical symbols, so formatting and case differences
+// (but nothing semantic) map to the same cache entry. The result is not
+// meant to be pretty — only stable.
+func Normalize(sql string) (string, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for i, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch t.kind {
+		case tokString:
+			b.WriteByte('\'')
+			b.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			b.WriteByte('\'')
+		case tokParam:
+			b.WriteByte('$')
+			b.WriteString(t.text)
+		default:
+			b.WriteString(t.text)
+		}
+	}
+	return b.String(), nil
+}
+
+// Engine is the one-stop convenience wrapper around the pipeline: it owns
+// a private MapCatalog and runs each statement through Prepare + Execute.
+// It preserves the pre-server one-shot API used by the shell, the examples
+// and the tests; long-lived multi-client use wants the server package (COW
+// catalog, plan cache, admission control) instead. An Engine is not safe
+// for concurrent use.
+type Engine struct {
+	catalog MapCatalog
+	flags   plan.Flags
+}
+
+// NewEngine creates an engine with the given planner flags.
+func NewEngine(flags plan.Flags) *Engine {
+	return &Engine{catalog: MapCatalog{}, flags: flags}
+}
+
+// Register adds (or replaces) a named relation.
+func (e *Engine) Register(name string, rel *relation.Relation) {
+	e.catalog.Register(name, rel)
+}
+
+// Query parses, plans and runs a statement. For EXPLAIN statements the
+// returned relation is nil and the plan text is set.
+func (e *Engine) Query(sql string) (*relation.Relation, string, error) {
+	p, err := Prepare(sql, e.catalog, e.flags)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.IsExplain() {
+		return nil, p.Explain(), nil
+	}
+	rel, err := p.Execute()
+	if err != nil {
+		return nil, "", err
+	}
+	return rel, "", nil
+}
+
+// MustQuery is Query but panics on error (examples and tests).
+func (e *Engine) MustQuery(sql string) *relation.Relation {
+	rel, _, err := e.Query(sql)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}

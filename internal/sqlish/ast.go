@@ -43,6 +43,10 @@ type (
 		Args []sexpr
 		Star bool
 	}
+	// sParam is a $N parameter placeholder (1-based).
+	sParam struct {
+		Idx int
+	}
 )
 
 func (sRef) sexprNode()     {}
@@ -55,6 +59,7 @@ func (sNot) sexprNode()     {}
 func (sIsNull) sexprNode()  {}
 func (sBetween) sexprNode() {}
 func (sCall) sexprNode()    {}
+func (sParam) sexprNode()   {}
 
 // selectItem is one SELECT list entry.
 type selectItem struct {

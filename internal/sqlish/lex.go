@@ -27,6 +27,7 @@ const (
 	tokNumber
 	tokString
 	tokSymbol // punctuation and operators
+	tokParam  // $N parameter placeholder; text holds the digits
 )
 
 type token struct {
@@ -73,6 +74,16 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '$':
+			l.pos++
+			digits := l.pos
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+			if l.pos == digits {
+				return nil, fmt.Errorf("sqlish: expected parameter number after $ at %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokParam, text: l.src[digits:l.pos], pos: start})
 		case c == '\'':
 			l.pos++
 			var sb strings.Builder

@@ -2,6 +2,7 @@ package sqlish
 
 import (
 	"fmt"
+	"strconv"
 )
 
 // parser is a recursive-descent parser over the token stream.
@@ -594,6 +595,13 @@ func (p *parser) primaryExpr() (sexpr, error) {
 	case tokString:
 		p.pos++
 		return sStr{Text: t.text}, nil
+	case tokParam:
+		p.pos++
+		idx, err := strconv.Atoi(t.text)
+		if err != nil || idx < 1 {
+			return nil, p.errf("bad parameter $%s (parameters are $1, $2, ...)", t.text)
+		}
+		return sParam{Idx: idx}, nil
 	case tokSymbol:
 		if p.sym("(") {
 			e, err := p.expr()

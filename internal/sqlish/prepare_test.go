@@ -1,0 +1,292 @@
+package sqlish
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"talign/internal/expr"
+	"talign/internal/oracle"
+	"talign/internal/plan"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// testCatalog returns the paper's hotel example as a MapCatalog.
+func testCatalog() MapCatalog {
+	cat := MapCatalog{}
+	cat.Register("r", relation.NewBuilder("n string").
+		Row(0, 7, "Ann").
+		Row(1, 5, "Joe").
+		Row(7, 11, "Ann").
+		MustBuild())
+	cat.Register("p", relation.NewBuilder("a int", "mn int", "mx int").
+		Row(0, 5, 50, 1, 2).
+		Row(0, 5, 40, 3, 7).
+		Row(0, 12, 30, 8, 12).
+		Row(9, 12, 50, 1, 2).
+		Row(9, 12, 40, 3, 7).
+		MustBuild())
+	return cat
+}
+
+func TestPipelineStages(t *testing.T) {
+	cat := testCatalog()
+	st, err := Parse("SELECT a FROM p WHERE a >= $1 ORDER BY a")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if st.IsExplain() {
+		t.Fatalf("not an EXPLAIN statement")
+	}
+	prep, err := st.Prepare(cat, plan.DefaultFlags())
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if prep.NumParams != 1 {
+		t.Fatalf("NumParams = %d, want 1", prep.NumParams)
+	}
+	if got := prep.Schema().Len(); got != 1 {
+		t.Fatalf("schema arity = %d, want 1", got)
+	}
+	rel, err := prep.Execute(value.NewInt(40))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if rel.Len() != 4 {
+		t.Fatalf("got %d rows, want 4 (a in {40, 40, 50, 50}):\n%s", rel.Len(), rel)
+	}
+	// The same plan executes again with a different binding.
+	rel, err = prep.Execute(value.NewInt(50))
+	if err != nil {
+		t.Fatalf("Execute #2: %v", err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("got %d rows, want 2:\n%s", rel.Len(), rel)
+	}
+}
+
+func TestExecuteParamCount(t *testing.T) {
+	prep, err := Prepare("SELECT a FROM p WHERE a BETWEEN $1 AND $2", testCatalog(), plan.DefaultFlags())
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if prep.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", prep.NumParams)
+	}
+	if _, err := prep.Execute(value.NewInt(1)); err == nil {
+		t.Fatalf("Execute with 1 of 2 params should fail")
+	}
+	if _, err := prep.Execute(); err == nil {
+		t.Fatalf("Execute with 0 of 2 params should fail")
+	}
+	if _, err := prep.Execute(value.NewInt(30), value.NewInt(40)); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+}
+
+func TestExecuteExplainRefused(t *testing.T) {
+	prep, err := Prepare("EXPLAIN SELECT * FROM r", testCatalog(), plan.DefaultFlags())
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if !prep.IsExplain() {
+		t.Fatalf("IsExplain = false")
+	}
+	if _, err := prep.Execute(); err == nil {
+		t.Fatalf("Execute of EXPLAIN should fail")
+	}
+	if !strings.Contains(prep.Explain(), "SeqScan r") {
+		t.Fatalf("Explain missing scan node:\n%s", prep.Explain())
+	}
+}
+
+// TestPlaceholderVsLiteral checks extensively that executing a prepared
+// statement with bound parameters matches re-planning the statement with
+// the values spliced in as literals — across filters, BETWEEN, ALIGN θ
+// conditions, aggregation HAVING and WITH bodies.
+func TestPlaceholderVsLiteral(t *testing.T) {
+	cat := testCatalog()
+	flags := plan.DefaultFlags()
+	cases := []struct {
+		sql    string
+		params []value.Value
+		lits   []string
+	}{
+		{
+			"SELECT n FROM r WHERE n = $1",
+			[]value.Value{value.NewString("Ann")},
+			[]string{"'Ann'"},
+		},
+		{
+			"SELECT a, mn, mx FROM p WHERE a >= $1 AND mx <= $2",
+			[]value.Value{value.NewInt(40), value.NewInt(7)},
+			[]string{"40", "7"},
+		},
+		{
+			"SELECT a FROM p WHERE a BETWEEN $1 AND $2",
+			[]value.Value{value.NewInt(35), value.NewInt(45)},
+			[]string{"35", "45"},
+		},
+		{
+			`WITH r2 AS (SELECT Ts Us, Te Ue, * FROM r)
+			 SELECT n, Us, Ue, x.Ts, x.Te FROM (r2 ALIGN p ON DUR(Us, Ue) BETWEEN mn AND mx AND a >= $1) x`,
+			[]value.Value{value.NewInt(40)},
+			[]string{"40"},
+		},
+		{
+			"SELECT a, COUNT(*) c FROM p GROUP BY a HAVING COUNT(*) >= $1",
+			[]value.Value{value.NewInt(2)},
+			[]string{"2"},
+		},
+		{
+			"SELECT n, a FROM r JOIN p ON mn <= $1 WHERE a > $2",
+			[]value.Value{value.NewInt(2), value.NewInt(35)},
+			[]string{"2", "35"},
+		},
+	}
+	for _, tc := range cases {
+		prep, err := Prepare(tc.sql, cat, flags)
+		if err != nil {
+			t.Fatalf("Prepare(%s): %v", tc.sql, err)
+		}
+		got, err := prep.Execute(tc.params...)
+		if err != nil {
+			t.Fatalf("Execute(%s): %v", tc.sql, err)
+		}
+		lit := tc.sql
+		for i, l := range tc.lits {
+			lit = strings.ReplaceAll(lit, fmt.Sprintf("$%d", i+1), l)
+		}
+		wantPrep, err := Prepare(lit, cat, flags)
+		if err != nil {
+			t.Fatalf("Prepare(literal %s): %v", lit, err)
+		}
+		want, err := wantPrep.Execute()
+		if err != nil {
+			t.Fatalf("Execute(literal %s): %v", lit, err)
+		}
+		if !relation.SetEqual(got, want) {
+			onlyG, onlyW := relation.Diff(got, want)
+			t.Fatalf("%s with %v != literal form\nonly prepared: %v\nonly literal: %v",
+				tc.sql, tc.params, onlyG, onlyW)
+		}
+	}
+}
+
+// TestPlaceholderVsOracle cross-checks parameter binding against the
+// independent snapshot-semantics oracle: a parameterized selection must
+// produce exactly oracle.Selection with the same constant, on random
+// relations and random bindings.
+func TestPlaceholderVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7411))
+	flags := plan.DefaultFlags()
+	attrs := []schema.Attr{{Name: "k", Type: value.KindString}, {Name: "v", Type: value.KindInt}}
+	for trial := 0; trial < 30; trial++ {
+		rel := randrel.Generate(rng, randrel.DefaultConfig(attrs...))
+		cat := MapCatalog{}
+		cat.Register("t", rel)
+		prep, err := Prepare("SELECT k, v FROM t WHERE v >= $1", cat, flags)
+		if err != nil {
+			t.Fatalf("Prepare: %v", err)
+		}
+		for _, bound := range []int64{-1, 0, 1, 2} {
+			got, err := prep.Execute(value.NewInt(bound))
+			if err != nil {
+				t.Fatalf("Execute(%d): %v", bound, err)
+			}
+			pred, err := expr.Ge(expr.C("v"), expr.Int(bound)).Bind(rel.Schema)
+			if err != nil {
+				t.Fatalf("bind predicate: %v", err)
+			}
+			want, err := oracle.Selection(rel, pred)
+			if err != nil {
+				t.Fatalf("oracle.Selection: %v", err)
+			}
+			if !relation.SetEqual(got, want) {
+				onlyG, onlyW := relation.Diff(got, want)
+				t.Fatalf("trial %d bound %d: engine != oracle\nonly engine: %v\nonly oracle: %v\ninput:\n%s",
+					trial, bound, onlyG, onlyW, rel)
+			}
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a, err := Normalize("SELECT   A, mn FROM P  WHERE a >= $1 -- trailing comment\n ORDER BY a")
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	b, err := Normalize("select a,mn from p where a>=$1 order by a")
+	if err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if a != b {
+		t.Fatalf("normal forms differ:\n%q\n%q", a, b)
+	}
+	// Normalized text must re-parse to an equivalent statement.
+	if _, err := Prepare(a, testCatalog(), plan.DefaultFlags()); err != nil {
+		t.Fatalf("normalized text does not prepare: %v", err)
+	}
+	// String case is semantic and must be preserved.
+	c, _ := Normalize("SELECT * FROM r WHERE n = 'Ann'")
+	d, _ := Normalize("SELECT * FROM r WHERE n = 'ann'")
+	if c == d {
+		t.Fatalf("string literal case was lost: %q", c)
+	}
+}
+
+// TestPreparedMaxDOP: admission weight reflects the plan's actual width,
+// not the configured DOP — serial plans cost 1.
+func TestPreparedMaxDOP(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := randrel.DefaultConfig(
+		schema.Attr{Name: "k", Type: value.KindString},
+		schema.Attr{Name: "v", Type: value.KindInt})
+	cfg.MaxTuples = 50
+	cat := MapCatalog{}
+	cat.Register("t", randrel.Generate(rng, cfg))
+	flags := plan.DefaultFlags()
+	flags.DOP = 4
+	flags.ForceParallel = true
+	par, err := Prepare("SELECT k, COUNT(*) c FROM t GROUP BY k", cat, flags)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if par.MaxDOP() != 4 {
+		t.Fatalf("parallel plan MaxDOP = %d, want 4", par.MaxDOP())
+	}
+	ser, err := Prepare("SELECT k FROM t", cat, flags)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	if ser.MaxDOP() != 1 {
+		t.Fatalf("serial plan MaxDOP = %d, want 1", ser.MaxDOP())
+	}
+}
+
+// TestWithClauseIsPerExecution ensures WITH bodies re-materialize per
+// execution (they are SharedNode subtrees, not prepare-time snapshots), so
+// parameters inside WITH work.
+func TestWithParamInWith(t *testing.T) {
+	prep, err := Prepare(
+		"WITH big AS (SELECT a FROM p WHERE a >= $1) SELECT a FROM big",
+		testCatalog(), plan.DefaultFlags())
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	r1, err := prep.Execute(value.NewInt(50))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	r2, err := prep.Execute(value.NewInt(30))
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if r1.Len() != 2 || r2.Len() != 5 {
+		t.Fatalf("param in WITH ignored: got %d and %d rows, want 2 and 5", r1.Len(), r2.Len())
+	}
+}

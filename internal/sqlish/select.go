@@ -284,7 +284,7 @@ func (a *analyzer) buildAggSelect(st *selectStmt, node plan.Node, sc *scope) (pl
 			return expr.ColIdx{Idx: pos, Typ: aggOut.Attrs[pos].Type, Name: aggOut.Attrs[pos].Name}, nil
 		}
 		switch x := e.(type) {
-		case sNum, sStr, sBool, sNull:
+		case sNum, sStr, sBool, sNull, sParam:
 			return a.resolve(x, &scope{}, false)
 		case sBin:
 			l, err := mapExpr(x.L)
