@@ -22,6 +22,7 @@ import (
 	"talign/internal/dataset"
 	"talign/internal/plan"
 	"talign/internal/relation"
+	"talign/internal/sqlish"
 )
 
 var (
@@ -32,6 +33,7 @@ var (
 	seed      = flag.Int64("seed", 1, "dataset seed")
 	dopFlag   = flag.Int("j", 1, "degree of parallelism: when > 1, parallel exchange series are added (0 = all CPUs)")
 	benchFlag = flag.String("bench", "", "write ns/op, allocs/op and rows for the Fig. 13/14 panels to this JSON file (e.g. BENCH_PR2.json) instead of printing figures; an existing 'before' section in the file is preserved")
+	optFlag   = flag.String("bench-opt", "", "write filtered Fig. 13-style SQL workloads to this JSON file (e.g. BENCH_PR4.json), measuring DisableOptimizer as 'before' and the stats-fed optimizer as 'after'")
 )
 
 // dop resolves the -j flag (0 means every CPU; negatives are rejected).
@@ -58,6 +60,13 @@ func main() {
 	if *benchFlag != "" {
 		if err := runBenchPanels(*benchFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *optFlag != "" {
+		if err := runOptBenchPanels(*optFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-opt: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -389,4 +398,91 @@ func runBenchPanels(path string) error {
 		points = append(points, pt)
 	}
 	return benchkit.UpdateBenchFile(path, points)
+}
+
+// runOptBenchPanels measures filtered Fig. 13-style workloads through the
+// SQL front end, once with the optimizer disabled (the "before" section)
+// and once with the optimizer plus ANALYZE statistics (the "after"
+// section): the deltas isolate what stats-driven predicate pushdown and
+// strategy choice buy on selective queries over temporal operators.
+func runOptBenchPanels(path string) error {
+	const n = 8000
+	relA := incumben(n)
+	relB := dataset.Incumben(dataset.IncumbenConfig{Rows: n, Seed: *seed + 1})
+
+	// A predicate keeping ~10% of employees: ssn is dense in [0, employees).
+	var maxSSN int64
+	for _, t := range relA.Tuples {
+		if v := t.Vals[0].Int(); v > maxSSN {
+			maxSSN = v
+		}
+	}
+	k := maxSSN / 10
+
+	mkEngine := func(disableOpt bool) (*sqlish.Engine, error) {
+		f := plan.DefaultFlags()
+		f.DisableOptimizer = disableOpt
+		e := sqlish.NewEngine(f)
+		e.Register("a", relA)
+		e.Register("b", relB)
+		if !disableOpt {
+			for _, name := range []string{"a", "b"} {
+				if _, err := e.Analyze(name); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return e, nil
+	}
+
+	queries := []struct{ name, sql string }{
+		{"pr4/filtered-align", fmt.Sprintf(
+			"SELECT ssn, pcn, Ts, Te FROM (a ALIGN b ON a.ssn = b.ssn) x WHERE ssn <= %d", k)},
+		{"pr4/filtered-normalize", fmt.Sprintf(
+			"SELECT ssn, pcn, Ts, Te FROM (a NORMALIZE b USING (ssn)) x WHERE ssn <= %d", k)},
+		{"pr4/filtered-join", fmt.Sprintf(
+			"SELECT a.ssn s1, b.pcn p2 FROM a JOIN b ON a.ssn = b.ssn WHERE b.pcn <= %d AND a.pcn >= 0", k)},
+	}
+
+	measure := func(disableOpt bool) ([]benchkit.BenchPoint, error) {
+		e, err := mkEngine(disableOpt)
+		if err != nil {
+			return nil, err
+		}
+		label := "opt"
+		if disableOpt {
+			label = "noopt"
+		}
+		points := make([]benchkit.BenchPoint, 0, len(queries))
+		for _, q := range queries {
+			pt, err := benchkit.MeasureBench(q.name, n, func() (int, error) {
+				rel, _, err := e.Query(q.sql)
+				if err != nil {
+					return 0, err
+				}
+				return rel.Len(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "%-28s %-6s n=%-6d %12.0f ns/op %8d allocs/op %8d rows\n",
+				pt.Name, label, pt.N, pt.NsPerOp, pt.AllocsPerOp, pt.Rows)
+			points = append(points, pt)
+		}
+		return points, nil
+	}
+
+	before, err := measure(true)
+	if err != nil {
+		return err
+	}
+	after, err := measure(false)
+	if err != nil {
+		return err
+	}
+	return benchkit.WriteBenchFile(path, benchkit.BenchFile{
+		Description: "Filtered Fig. 13-style SQL workloads on Incumben (n=8000): 'before' runs with plan.Flags.DisableOptimizer (the analyzer's literal plans), 'after' with the PR 4 cost-based optimizer after ANALYZE (stats-fed estimates, predicate pushdown into ALIGN/NORMALIZE/joins). Regenerate: go run ./cmd/experiments -bench-opt BENCH_PR4.json",
+		Before:      before,
+		After:       after,
+	})
 }

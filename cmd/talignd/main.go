@@ -15,6 +15,11 @@
 //	POST /prepare  {"session": "s1", "name": "q1", "sql": "... $1 ..."}
 //	GET  /explain  ?sql=... (or ?session=s1&stmt=q1)
 //	GET  /healthz
+//	GET  /stats    per-table ANALYZE statistics + plan-cache counters
+//
+// Loaded tables are auto-analyzed at startup, so the cost-based optimizer
+// starts with real statistics; "ANALYZE <table>" via POST /query
+// refreshes them at any time.
 //
 // Example:
 //
@@ -73,6 +78,9 @@ func main() {
 	}
 	if *demo {
 		loadDemo(srv)
+	}
+	if n := srv.AnalyzeAll(); n > 0 {
+		fmt.Printf("auto-analyzed %d table(s)\n", n)
 	}
 
 	fmt.Printf("talignd listening on %s (dop=%d, cache=%d, max in-flight dop=%d)\n",

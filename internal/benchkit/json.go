@@ -74,3 +74,14 @@ func UpdateBenchFile(path string, points []BenchPoint) error {
 	}
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
+
+// WriteBenchFile writes a complete bench file — description, "before" and
+// "after" — for trajectories where both sections are measured in the same
+// run (e.g. a feature measured against its own off-switch).
+func WriteBenchFile(path string, f BenchFile) error {
+	raw, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

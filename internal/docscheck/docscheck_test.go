@@ -93,7 +93,7 @@ func TestPackageComments(t *testing.T) {
 // the packages whose API the docs satellite covers.
 func TestExportedDocs(t *testing.T) {
 	root := repoRoot(t)
-	for _, pkg := range []string{"sqlish", "plan", "exec", "server", "expr"} {
+	for _, pkg := range []string{"sqlish", "plan", "exec", "server", "expr", "stats", "opt"} {
 		dir := filepath.Join(root, "internal", pkg)
 		fset, files := parseDir(t, dir)
 		for _, f := range files {

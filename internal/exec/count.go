@@ -1,0 +1,38 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// Count is a transparent iterator wrapper that adds every batch's tuple
+// count to a shared atomic counter. EXPLAIN ANALYZE wraps each operator a
+// plan builds with one, so the rendered tree can contrast estimated and
+// actual cardinalities; the counter is atomic because exchange fragments
+// drive their operators from worker goroutines.
+type Count struct {
+	// Input is the wrapped operator.
+	Input Iterator
+	// N accumulates the tuples Input produced.
+	N *atomic.Int64
+}
+
+// CountTo wraps in so that every produced tuple is counted into n.
+func CountTo(in Iterator, n *atomic.Int64) *Count {
+	return &Count{Input: in, N: n}
+}
+
+func (c *Count) Schema() schema.Schema { return c.Input.Schema() }
+func (c *Count) Open() error           { return c.Input.Open() }
+func (c *Count) Close() error          { return c.Input.Close() }
+
+func (c *Count) Next() ([]tuple.Tuple, error) {
+	b, err := c.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	c.N.Add(int64(len(b)))
+	return b, nil
+}

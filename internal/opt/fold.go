@@ -1,0 +1,123 @@
+package opt
+
+import (
+	"talign/internal/expr"
+	"talign/internal/value"
+)
+
+// fold simplifies constant subexpressions: any pure operator over literal
+// operands evaluates at plan time, and AND/OR short-circuit around
+// literal TRUE/FALSE per Kleene semantics. $N parameters are not
+// constants (a prepared plan is generic over them), and expressions whose
+// evaluation errors are left untouched for the executor to report.
+func fold(e expr.Expr) expr.Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case expr.Logic:
+		l, r := fold(x.L), fold(x.R)
+		if lc, ok := constBool(l); ok {
+			return foldLogicSide(x.Op, lc, r)
+		}
+		if rc, ok := constBool(r); ok {
+			return foldLogicSide(x.Op, rc, l)
+		}
+		return expr.Logic{Op: x.Op, L: l, R: r}
+	case expr.Not:
+		inner := fold(x.X)
+		return evalIfConst(expr.Not{X: inner})
+	case expr.Cmp:
+		return evalIfConst(expr.Cmp{Op: x.Op, L: fold(x.L), R: fold(x.R)})
+	case expr.Arith:
+		return evalIfConst(expr.Arith{Op: x.Op, L: fold(x.L), R: fold(x.R)})
+	case expr.IsNull:
+		return evalIfConst(expr.IsNull{X: fold(x.X), Negate: x.Negate})
+	case expr.Between:
+		return evalIfConst(expr.Between{X: fold(x.X), Lo: fold(x.Lo), Hi: fold(x.Hi)})
+	case expr.Func:
+		args := make([]expr.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = fold(a)
+		}
+		return evalIfConst(expr.Func{Name: x.Name, Args: args})
+	}
+	return e
+}
+
+// foldAll folds a slice of expressions (the input slice is not mutated).
+func foldAll(exprs []expr.Expr) []expr.Expr {
+	out := make([]expr.Expr, len(exprs))
+	for i, e := range exprs {
+		out[i] = fold(e)
+	}
+	return out
+}
+
+// constBool unwraps a boolean (or ω) literal: known reports a definite
+// TRUE/FALSE, ω stays unknown and is not simplified around.
+func constBool(e expr.Expr) (b bool, known bool) {
+	c, ok := e.(expr.Const)
+	if !ok || c.V.IsNull() || c.V.Kind() != value.KindBool {
+		return false, false
+	}
+	return c.V.Bool(), true
+}
+
+// foldLogicSide simplifies AND/OR with one definite boolean side:
+// TRUE AND x = x, FALSE AND x = FALSE, TRUE OR x = TRUE, FALSE OR x = x.
+// (The absorbing cases are sound even when x is ω or has side conditions:
+// WHERE treats ω as FALSE, and expression evaluation is pure.)
+func foldLogicSide(op expr.BoolOp, b bool, other expr.Expr) expr.Expr {
+	if op == expr.AndOp {
+		if b {
+			return other
+		}
+		return expr.Bool(false)
+	}
+	if b {
+		return expr.Bool(true)
+	}
+	return other
+}
+
+// evalIfConst evaluates e at plan time when every leaf is a literal.
+func evalIfConst(e expr.Expr) expr.Expr {
+	if !isConstExpr(e) {
+		return e
+	}
+	v, err := e.Eval(&expr.Env{})
+	if err != nil {
+		return e
+	}
+	return expr.Const{V: v}
+}
+
+// isConstExpr reports whether e contains only literals and pure
+// operators (no columns, parameters, or references to the tuple's T).
+func isConstExpr(e expr.Expr) bool {
+	switch x := e.(type) {
+	case expr.Const:
+		return true
+	case expr.Cmp:
+		return isConstExpr(x.L) && isConstExpr(x.R)
+	case expr.Logic:
+		return isConstExpr(x.L) && isConstExpr(x.R)
+	case expr.Not:
+		return isConstExpr(x.X)
+	case expr.IsNull:
+		return isConstExpr(x.X)
+	case expr.Between:
+		return isConstExpr(x.X) && isConstExpr(x.Lo) && isConstExpr(x.Hi)
+	case expr.Arith:
+		return isConstExpr(x.L) && isConstExpr(x.R)
+	case expr.Func:
+		for _, a := range x.Args {
+			if !isConstExpr(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

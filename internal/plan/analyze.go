@@ -1,0 +1,57 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"talign/internal/exec"
+	"talign/internal/relation"
+)
+
+// ExplainAnalyze builds the plan under ctx with a row counter attached to
+// every operator, executes it to completion, and renders the tree with
+// estimated vs actual cardinalities per node. Nodes that never built an
+// operator during this execution (template fragments inside an exchange,
+// pruned branches) render "actual rows=-". The result relation is
+// returned alongside the rendering so callers can report the output
+// cardinality without re-running the statement.
+//
+// ctx must be fresh: ExplainAnalyze installs its own Instrument hook.
+func ExplainAnalyze(n Node, ctx *ExecCtx) (string, *relation.Relation, error) {
+	var mu sync.Mutex
+	counts := map[Node]*atomic.Int64{}
+	ctx.Instrument = func(node Node, it exec.Iterator) exec.Iterator {
+		mu.Lock()
+		c := counts[node]
+		if c == nil {
+			c = new(atomic.Int64)
+			counts[node] = c
+		}
+		mu.Unlock()
+		return exec.CountTo(it, c)
+	}
+	rel, err := RunCtx(n, ctx)
+	if err != nil {
+		return "", nil, err
+	}
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		actual := "-"
+		mu.Lock()
+		if c, ok := counts[n]; ok {
+			actual = fmt.Sprint(c.Load())
+		}
+		mu.Unlock()
+		fmt.Fprintf(&b, "%s  (rows=%.0f cost=%.2f) (actual rows=%s)\n",
+			n.Label(), n.Rows(), n.Cost(), actual)
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String(), rel, nil
+}

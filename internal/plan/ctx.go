@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"talign/internal/exec"
 	"talign/internal/expr"
 	"talign/internal/relation"
 	"talign/internal/value"
@@ -18,6 +19,13 @@ import (
 type ExecCtx struct {
 	// Params are the values bound to $1..$N, in order.
 	Params []value.Value
+
+	// Instrument, when set, wraps every operator a Build produces (after
+	// batch sizing) and is how EXPLAIN ANALYZE attaches its row counters.
+	// It must be set before Build and be safe for the node identity it is
+	// given; executions without instrumentation leave it nil and pay
+	// nothing.
+	Instrument func(n Node, it exec.Iterator) exec.Iterator
 
 	mu     sync.Mutex
 	shared map[*SharedNode]*relation.Relation
@@ -49,6 +57,15 @@ func (c *ExecCtx) bindAll(es []expr.Expr) []expr.Expr {
 		out[i] = c.bind(e)
 	}
 	return out
+}
+
+// instrument applies the context's Instrument hook to a freshly built
+// operator; a nil context or nil hook passes the operator through.
+func (c *ExecCtx) instrument(n Node, it exec.Iterator) exec.Iterator {
+	if c == nil || c.Instrument == nil {
+		return it
+	}
+	return c.Instrument(n, it)
 }
 
 // sharedGet returns the memoized materialization of n for this execution,

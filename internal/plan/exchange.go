@@ -10,6 +10,7 @@ import (
 	"talign/internal/expr"
 	"talign/internal/relation"
 	"talign/internal/schema"
+	"talign/internal/stats"
 )
 
 // Exchange cost model constants.
@@ -172,7 +173,11 @@ func (e *ExchangeNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 			return nil, err
 		}
 	}
-	return exec.NewExchange(frags)
+	ex, err := exec.NewExchange(frags)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.instrument(e, ex), nil
 }
 
 // partitionLeaf stands for one partition of a source inside the template
@@ -253,6 +258,10 @@ func (s *SharedNode) Cost() float64 {
 	return s.Input.Cost() + s.Input.Rows()*CPUTupleCost
 }
 
+// Stats passes the input's statistics through (materialization does not
+// change the distribution).
+func (s *SharedNode) Stats() *stats.Table { return NodeStats(s.Input) }
+
 func (s *SharedNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	rel, err := ctx.sharedGet(s, func() (*relation.Relation, error) {
 		it, err := s.Input.Build(ctx)
@@ -264,7 +273,7 @@ func (s *SharedNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(exec.NewScan(rel), s.batch), nil
+	return ctx.instrument(s, applyBatch(exec.NewScan(rel), s.batch)), nil
 }
 
 func (s *SharedNode) Label() string { return "Materialize (shared)" }

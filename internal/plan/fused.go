@@ -7,6 +7,7 @@ import (
 	"talign/internal/exec"
 	"talign/internal/expr"
 	"talign/internal/schema"
+	"talign/internal/stats"
 )
 
 // FusedAdjustNode is the logical node for the fused group-construction →
@@ -55,6 +56,20 @@ func (p *Planner) FusedNormalize(r, points Node, keys []expr.EquiPair, pCol int)
 		Left: r, Right: points, Mode: exec.ModeNormalize,
 		Keys: keys, PCol: pCol,
 		out: r.Schema(), batch: p.Flags.BatchSize,
+	}
+	n.choose(p.Flags)
+	return n
+}
+
+// FusedAdjustFrom rebuilds a fused adjust node from its decomposed parts
+// over (possibly rewritten) inputs, re-running strategy choice under the
+// planner's flags and the inputs' statistics. The optimizer uses it after
+// pushing predicates below the node.
+func (p *Planner) FusedAdjustFrom(l, r Node, mode exec.AdjustMode, keys []expr.EquiPair, residual expr.Expr, pCol int) *FusedAdjustNode {
+	n := &FusedAdjustNode{
+		Left: l, Right: r, Mode: mode,
+		Keys: keys, Residual: residual, PCol: pCol,
+		out: l.Schema(), batch: p.Flags.BatchSize,
 	}
 	n.choose(p.Flags)
 	return n
@@ -111,18 +126,43 @@ func (n *FusedAdjustNode) Children() []Node      { return []Node{n.Left, n.Right
 
 // Rows follows the paper's estimates (Sec. 6.2/6.3): alignment emits ~3
 // rows per group-join row, normalization ~2, with the group join scaled
-// by its key selectivity like JoinNode.
+// by its key selectivity like JoinNode. With interval statistics on both
+// inputs the group join is additionally scaled by the overlap fraction —
+// group construction only pairs tuples whose valid times overlap, which
+// is exactly what the overlap profile estimates.
 func (n *FusedAdjustNode) Rows() float64 {
 	lr, rr := math.Max(n.Left.Rows(), 1), math.Max(n.Right.Rows(), 1)
+	ls, rs := NodeStats(n.Left), NodeStats(n.Right)
+	f, hasOverlap := stats.OverlapFrac(ls, rs)
 	sel := RangeSelectivity
-	if len(n.Keys) > 0 {
-		sel = math.Pow(EqSelectivity, float64(len(n.Keys))) * 2
+	switch {
+	case len(n.Keys) > 0:
+		// Equi keys dominate; alignment's group join additionally keeps
+		// only overlapping pairs, which the overlap profile quantifies.
+		sel = joinSelectivity(expr.Bool(true), n.Keys, ls, rs)
+		if n.Mode != exec.ModeNormalize && hasOverlap {
+			sel *= f
+		}
+	case n.Mode != exec.ModeNormalize && hasOverlap:
+		// Keyless θ: the group join is exactly the overlap join.
+		sel = f
 	}
+	sel = clampSel(sel, lr*rr)
 	joinRows := math.Max(lr*rr*sel, lr) // left outer: at least one row per left tuple
 	if n.Mode == exec.ModeNormalize {
 		return 2 * joinRows
 	}
 	return 3 * joinRows
+}
+
+// Stats reports the left input's column statistics at the adjusted
+// cardinality: the fused node emits left rows with rewritten valid times.
+func (n *FusedAdjustNode) Stats() *stats.Table {
+	in := NodeStats(n.Left)
+	if in == nil {
+		return nil
+	}
+	return &stats.Table{Rows: int64(n.Rows()), Cols: in.Cols}
 }
 
 func (n *FusedAdjustNode) Cost() float64 { return n.cost }
@@ -140,7 +180,7 @@ func (n *FusedAdjustNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(fa, n.batch), nil
+	return ctx.instrument(n, applyBatch(fa, n.batch)), nil
 }
 
 func (n *FusedAdjustNode) Label() string {

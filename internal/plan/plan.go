@@ -21,6 +21,7 @@ import (
 	"talign/internal/expr"
 	"talign/internal/relation"
 	"talign/internal/schema"
+	"talign/internal/stats"
 	"talign/internal/value"
 )
 
@@ -80,6 +81,12 @@ type Flags struct {
 	ForceParallel bool
 	// BatchSize overrides the executor's DefaultBatchSize when > 0.
 	BatchSize int
+	// DisableOptimizer skips the rule-based rewrite pass (predicate
+	// pushdown, projection pruning, constant folding, join reordering)
+	// after analysis, preserving the analyzer's literal plans. It exists
+	// as the escape hatch for differential testing: optimized and
+	// unoptimized plans must return identical results.
+	DisableOptimizer bool
 }
 
 // DefaultFlags enables every paper-faithful access path; parallelism stays
@@ -111,10 +118,10 @@ func (f Flags) Fingerprint() string {
 		}
 		return '0'
 	}
-	return fmt.Sprintf("nl%c,hj%c,mj%c,so%c,ii%c,aj%c,fa%c,dop%d,pmr%g,fp%c,bs%d",
+	return fmt.Sprintf("nl%c,hj%c,mj%c,so%c,ii%c,aj%c,fa%c,dop%d,pmr%g,fp%c,bs%d,op%c",
 		b(f.EnableNestLoop), b(f.EnableHashJoin), b(f.EnableMergeJoin), b(f.EnableSort),
 		b(f.EnableIntervalIndex), b(f.EnableAntiJoinRewrite), b(f.DisableFusedAdjust),
-		f.DOP, f.ParallelMinRows, b(f.ForceParallel), f.BatchSize)
+		f.DOP, f.ParallelMinRows, b(f.ForceParallel), f.BatchSize, b(f.DisableOptimizer))
 }
 
 // applyBatch plumbs a configured batch size into a built operator.
@@ -162,10 +169,65 @@ type Node interface {
 // Planner constructs plan nodes under a set of flags.
 type Planner struct {
 	Flags Flags
+	// Stats resolves table statistics during plan construction; nil means
+	// no statistics (the cost model falls back to its constants).
+	Stats StatsSource
 }
 
 // NewPlanner returns a planner with the given flags.
 func NewPlanner(flags Flags) *Planner { return &Planner{Flags: flags} }
+
+// StatsSource resolves ANALYZE statistics for named tables; the catalog
+// layers (sqlish map catalogs, the server's versioned catalog snapshots)
+// implement it.
+type StatsSource interface {
+	// TableStats returns the statistics for the (lower-cased) table name,
+	// or nil when the table was never analyzed.
+	TableStats(name string) *stats.Table
+}
+
+// Statser is implemented by plan nodes that can describe their output's
+// column and interval statistics; derived nodes propagate their inputs'
+// statistics through projections, filters and joins on a best-effort
+// basis.
+type Statser interface {
+	// Stats returns the node's output statistics, or nil when unknown.
+	Stats() *stats.Table
+}
+
+// NodeStats returns n's output statistics, or nil when n does not carry
+// any.
+func NodeStats(n Node) *stats.Table {
+	if s, ok := n.(Statser); ok {
+		return s.Stats()
+	}
+	return nil
+}
+
+// clampSel bounds a selectivity estimate to [1/max(rows, 1), 1]: a
+// predicate keeps at least one row in expectation and never more than all
+// of them. Without the clamp, stacked multiplicative estimates (e.g.
+// math.Pow(EqSelectivity, len(keys))·2 over many join keys) underflow
+// toward 0 or exceed 1 and poison every estimate above them.
+func clampSel(sel, rows float64) float64 {
+	lo := 1 / math.Max(rows, 1)
+	if sel < lo {
+		return lo
+	}
+	if sel > 1 {
+		return 1
+	}
+	return sel
+}
+
+// distinctT returns the distinct-interval count of t's valid-time column,
+// or 0 when unknown.
+func distinctT(t *stats.Table) float64 {
+	if t == nil {
+		return 0
+	}
+	return t.T.DistinctT
+}
 
 // Explain renders the plan tree with estimates, one node per line.
 func Explain(n Node) string {
@@ -188,24 +250,39 @@ func Explain(n Node) string {
 type ScanNode struct {
 	Rel  *relation.Relation
 	Name string
+	// TableStats holds the table's ANALYZE statistics (nil when never
+	// analyzed); derived nodes propagate them upward through Stats().
+	TableStats *stats.Table
 
 	batch int
 }
 
-// Scan builds a scan node; name is used by EXPLAIN.
+// Scan builds a scan node; name is used by EXPLAIN and resolves the
+// table's statistics through the planner's StatsSource.
 func (p *Planner) Scan(rel *relation.Relation, name string) *ScanNode {
-	return &ScanNode{Rel: rel, Name: name, batch: p.Flags.BatchSize}
+	n := &ScanNode{Rel: rel, Name: name, batch: p.Flags.BatchSize}
+	if p.Stats != nil && name != "" {
+		n.TableStats = p.Stats.TableStats(strings.ToLower(name))
+	}
+	return n
 }
 
 func (s *ScanNode) Schema() schema.Schema { return s.Rel.Schema }
 func (s *ScanNode) Children() []Node      { return nil }
-func (s *ScanNode) Rows() float64         { return float64(s.Rel.Len()) }
+
+// Rows is the relation's exact cardinality (the scan holds the data, so
+// no estimate is needed even when statistics are stale).
+func (s *ScanNode) Rows() float64 { return float64(s.Rel.Len()) }
 func (s *ScanNode) Cost() float64 {
 	pages := math.Ceil(float64(s.Rel.Len()) / TuplesPerPage)
 	return pages*SeqPageCost + float64(s.Rel.Len())*CPUTupleCost
 }
-func (s *ScanNode) Build(*ExecCtx) (exec.Iterator, error) {
-	return applyBatch(exec.NewScan(s.Rel), s.batch), nil
+
+// Stats implements Statser with the table's ANALYZE statistics.
+func (s *ScanNode) Stats() *stats.Table { return s.TableStats }
+
+func (s *ScanNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	return ctx.instrument(s, applyBatch(exec.NewScan(s.Rel), s.batch)), nil
 }
 func (s *ScanNode) Label() string {
 	name := s.Name
@@ -234,36 +311,146 @@ func (p *Planner) Filter(input Node, pred expr.Expr) *FilterNode {
 func (f *FilterNode) Schema() schema.Schema { return f.Input.Schema() }
 func (f *FilterNode) Children() []Node      { return []Node{f.Input} }
 func (f *FilterNode) Rows() float64 {
-	return math.Max(1, f.Input.Rows()*selectivity(f.Pred))
+	in := f.Input.Rows()
+	sel := clampSel(selectivity(f.Pred, NodeStats(f.Input)), in)
+	return math.Max(1, in*sel)
 }
 func (f *FilterNode) Cost() float64 {
 	return f.Input.Cost() + f.Input.Rows()*CPUOperatorCost
 }
+
+// Stats scales the input's statistics to the filtered cardinality; the
+// per-column distributions are kept as-is (a standard, slightly
+// optimistic approximation).
+func (f *FilterNode) Stats() *stats.Table {
+	in := NodeStats(f.Input)
+	if in == nil {
+		return nil
+	}
+	return &stats.Table{Rows: int64(f.Rows()), Cols: in.Cols, T: in.T}
+}
+
 func (f *FilterNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	in, err := f.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(exec.NewFilter(in, ctx.bind(f.Pred)), f.batch), nil
+	return ctx.instrument(f, applyBatch(exec.NewFilter(in, ctx.bind(f.Pred)), f.batch)), nil
 }
 func (f *FilterNode) Label() string { return "Filter " + f.Pred.String() }
 
-// selectivity estimates the fraction of tuples passing pred.
-func selectivity(pred expr.Expr) float64 {
+// selectivity estimates the fraction of tuples passing pred, consulting
+// the input's column statistics (histograms for ranges, distinct counts
+// for equality) where they exist and falling back to the classic
+// constants where they do not.
+func selectivity(pred expr.Expr, in *stats.Table) float64 {
 	sel := 1.0
 	for _, c := range expr.Conjuncts(pred) {
-		switch e := c.(type) {
-		case expr.Cmp:
-			if e.Op == expr.EQ {
-				sel *= EqSelectivity
-			} else {
-				sel *= RangeSelectivity
-			}
-		default:
-			sel *= 0.5
-		}
+		sel *= conjunctSel(c, in)
 	}
 	return sel
+}
+
+// conjunctSel estimates one conjunct's selectivity.
+func conjunctSel(c expr.Expr, in *stats.Table) float64 {
+	switch e := c.(type) {
+	case expr.Cmp:
+		if col, v, op, ok := colConstCmp(e); ok {
+			cs := in.Col(col)
+			switch op {
+			case expr.EQ:
+				if s, ok := cs.SelEq(v); ok {
+					return s
+				}
+			case expr.NE:
+				if s, ok := cs.SelEq(v); ok {
+					return 1 - s
+				}
+			case expr.LT:
+				if s, ok := cs.SelRange(stats.OpLT, v); ok {
+					return s
+				}
+			case expr.LE:
+				if s, ok := cs.SelRange(stats.OpLE, v); ok {
+					return s
+				}
+			case expr.GT:
+				if s, ok := cs.SelRange(stats.OpGT, v); ok {
+					return s
+				}
+			case expr.GE:
+				if s, ok := cs.SelRange(stats.OpGE, v); ok {
+					return s
+				}
+			}
+		}
+		if e.Op == expr.EQ {
+			return EqSelectivity
+		}
+		return RangeSelectivity
+	case expr.Between:
+		if ci, isCol := e.X.(expr.ColIdx); isCol {
+			lo, okLo := constVal(e.Lo)
+			hi, okHi := constVal(e.Hi)
+			if okLo && okHi {
+				cs := in.Col(ci.Idx)
+				ge, ok1 := cs.SelRange(stats.OpGE, lo)
+				le, ok2 := cs.SelRange(stats.OpLE, hi)
+				if ok1 && ok2 {
+					s := ge + le - 1
+					if s < 0 {
+						s = 0
+					}
+					return s
+				}
+			}
+		}
+		return RangeSelectivity * RangeSelectivity * 4 // a modest range window
+	default:
+		return 0.5
+	}
+}
+
+// colConstCmp normalizes a comparison between one column and one constant
+// into (column index, constant, operator); ok is false for any other
+// shape (column-column, constant-constant, computed operands, $N
+// parameters).
+func colConstCmp(e expr.Cmp) (col int, v value.Value, op expr.CmpOp, ok bool) {
+	if ci, isCol := e.L.(expr.ColIdx); isCol {
+		if cv, isConst := constVal(e.R); isConst {
+			return ci.Idx, cv, e.Op, true
+		}
+	}
+	if ci, isCol := e.R.(expr.ColIdx); isCol {
+		if cv, isConst := constVal(e.L); isConst {
+			return ci.Idx, cv, flipCmp(e.Op), true
+		}
+	}
+	return 0, value.Null, e.Op, false
+}
+
+// constVal unwraps a literal operand.
+func constVal(e expr.Expr) (value.Value, bool) {
+	c, ok := e.(expr.Const)
+	if !ok {
+		return value.Null, false
+	}
+	return c.V, true
+}
+
+// flipCmp mirrors an operator across swapped operands (5 < a ⇒ a > 5).
+func flipCmp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	}
+	return op
 }
 
 // ---------------------------------------------------------------- project
@@ -304,6 +491,30 @@ func (pr *ProjectNode) Rows() float64         { return pr.Input.Rows() }
 func (pr *ProjectNode) Cost() float64 {
 	return pr.Input.Cost() + pr.Input.Rows()*CPUOperatorCost*float64(len(pr.Exprs))
 }
+
+// Stats remaps the input's column statistics through pass-through column
+// references; computed output columns get empty statistics. Interval
+// statistics survive only when the projection keeps the input's valid
+// time.
+func (pr *ProjectNode) Stats() *stats.Table {
+	in := NodeStats(pr.Input)
+	if in == nil {
+		return nil
+	}
+	out := &stats.Table{Rows: in.Rows, Cols: make([]stats.Column, len(pr.Exprs))}
+	for i, e := range pr.Exprs {
+		if ci, ok := e.(expr.ColIdx); ok {
+			if c := in.Col(ci.Idx); c != nil {
+				out.Cols[i] = *c
+			}
+		}
+	}
+	if pr.TMode == exec.TKeep {
+		out.T = in.T
+	}
+	return out
+}
+
 func (pr *ProjectNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	in, err := pr.Input.Build(ctx)
 	if err != nil {
@@ -315,7 +526,7 @@ func (pr *ProjectNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	}
 	node.TMode = pr.TMode
 	node.TExpr = ctx.bind(pr.TExpr)
-	return applyBatch(node, pr.batch), nil
+	return ctx.instrument(pr, applyBatch(node, pr.batch)), nil
 }
 func (pr *ProjectNode) Label() string {
 	parts := make([]string, len(pr.Exprs))
@@ -347,12 +558,17 @@ func (s *SortNode) Cost() float64 {
 	n := math.Max(s.Input.Rows(), 2)
 	return s.Input.Cost() + 2*CPUOperatorCost*n*math.Log2(n)
 }
+
+// Stats passes the input's statistics through (sorting reorders rows
+// only).
+func (s *SortNode) Stats() *stats.Table { return NodeStats(s.Input) }
+
 func (s *SortNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	in, err := s.Input.Build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(exec.NewSort(in, bindKeys(ctx, s.Keys)...), s.batch), nil
+	return ctx.instrument(s, applyBatch(exec.NewSort(in, bindKeys(ctx, s.Keys)...), s.batch)), nil
 }
 
 // bindKeys substitutes ctx's parameters into sort-key expressions.
@@ -454,13 +670,8 @@ func (j *JoinNode) choose(flags Flags) {
 	j.Method = best
 	j.cost = bestCost
 
-	sel := RangeSelectivity
-	if j.Cond == nil {
-		sel = 1.0
-	} else if len(j.keys) > 0 {
-		sel = math.Pow(EqSelectivity, float64(len(j.keys))) * 2
-	}
-	rows := lr * rr * sel
+	sel := joinSelectivity(j.Cond, j.keys, NodeStats(j.Left), NodeStats(j.Right))
+	rows := lr * rr * clampSel(sel, lr*rr)
 	switch j.Type {
 	case exec.LeftOuterJoin:
 		rows = math.Max(rows, lr)
@@ -474,10 +685,80 @@ func (j *JoinNode) choose(flags Flags) {
 	j.rows = math.Max(rows, 1)
 }
 
+// joinSelectivity estimates a join condition's selectivity over the cross
+// product: the product of the equi-key selectivities (distinct counts
+// when statistics exist, EqSelectivity otherwise, the matched-T key from
+// the distinct-interval counts), falling back to the classic constants
+// for keyless conditions. Callers clamp the result to [1/(lr·rr), 1].
+func joinSelectivity(cond expr.Expr, keys []expr.EquiPair, ls, rs *stats.Table) float64 {
+	if cond == nil && len(keys) == 0 {
+		return 1.0
+	}
+	if len(keys) == 0 {
+		return RangeSelectivity
+	}
+	sel := 1.0
+	statless := 0
+	for _, k := range keys {
+		if _, isT := k.Left.(expr.TPeriod); isT {
+			if d := math.Max(distinctT(ls), distinctT(rs)); d > 0 {
+				sel *= 1 / d
+			} else {
+				sel *= EqSelectivity
+				statless++
+			}
+			continue
+		}
+		var lc, rc *stats.Column
+		if ci, ok := k.Left.(expr.ColIdx); ok {
+			lc = ls.Col(ci.Idx)
+		}
+		if ci, ok := k.Right.(expr.ColIdx); ok {
+			rc = rs.Col(ci.Idx)
+		}
+		if s, ok := stats.EqJoinSel(lc, rc); ok {
+			sel *= s
+		} else {
+			sel *= EqSelectivity
+			statless++
+		}
+	}
+	if statless == len(keys) {
+		// Fully constant-based estimate: keep the classic ×2 fudge factor
+		// that compensated for EqSelectivity's pessimism.
+		sel *= 2
+	}
+	return sel
+}
+
 func (j *JoinNode) Schema() schema.Schema { return j.out }
 func (j *JoinNode) Children() []Node      { return []Node{j.Left, j.Right} }
 func (j *JoinNode) Rows() float64         { return j.rows }
 func (j *JoinNode) Cost() float64         { return j.cost }
+
+// Stats concatenates the children's column statistics in output-schema
+// order (semi/anti joins keep only the left side); interval statistics do
+// not survive a join.
+func (j *JoinNode) Stats() *stats.Table {
+	ls, rs := NodeStats(j.Left), NodeStats(j.Right)
+	if ls == nil && rs == nil {
+		return nil
+	}
+	out := &stats.Table{Rows: int64(j.rows), Cols: make([]stats.Column, j.out.Len())}
+	lw := j.Left.Schema().Len()
+	for i := range out.Cols {
+		var c *stats.Column
+		if i < lw {
+			c = ls.Col(i)
+		} else {
+			c = rs.Col(i - lw)
+		}
+		if c != nil {
+			out.Cols[i] = *c
+		}
+	}
+	return out
+}
 
 func (j *JoinNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	l, err := j.Left.Build(ctx)
@@ -492,7 +773,7 @@ func (j *JoinNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	residual := ctx.bind(j.residual)
 	switch j.Method {
 	case MethodHash:
-		return applyBatch(exec.NewHashJoin(l, r, keys, residual, j.Type, j.MatchT), j.batch), nil
+		return ctx.instrument(j, applyBatch(exec.NewHashJoin(l, r, keys, residual, j.Type, j.MatchT), j.batch)), nil
 	case MethodMerge:
 		lk := make([]exec.SortKey, len(keys))
 		rk := make([]exec.SortKey, len(keys))
@@ -506,9 +787,9 @@ func (j *JoinNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return applyBatch(mj, j.batch), nil
+		return ctx.instrument(j, applyBatch(mj, j.batch)), nil
 	default:
-		return applyBatch(exec.NewNestedLoopJoin(l, r, ctx.bind(j.Cond), j.Type, j.MatchT), j.batch), nil
+		return ctx.instrument(j, applyBatch(exec.NewNestedLoopJoin(l, r, ctx.bind(j.Cond), j.Type, j.MatchT), j.batch)), nil
 	}
 }
 
@@ -545,7 +826,11 @@ func (p *Planner) IntervalJoin(l, r Node, cond expr.Expr, typ exec.JoinType) *In
 func (j *IntervalJoinNode) Schema() schema.Schema { return j.out }
 func (j *IntervalJoinNode) Children() []Node      { return []Node{j.Left, j.Right} }
 func (j *IntervalJoinNode) Rows() float64 {
-	rows := j.Left.Rows() * 3 // a few overlap partners per tuple
+	rows := j.Left.Rows() * 3 // default: a few overlap partners per tuple
+	if f, ok := stats.OverlapFrac(NodeStats(j.Left), NodeStats(j.Right)); ok {
+		prod := j.Left.Rows() * j.Right.Rows()
+		rows = prod * clampSel(f, prod)
+	}
 	if j.Type == exec.LeftOuterJoin {
 		rows = math.Max(rows, j.Left.Rows())
 	}
@@ -571,7 +856,7 @@ func (j *IntervalJoinNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(ij, j.batch), nil
+	return ctx.instrument(j, applyBatch(ij, j.batch)), nil
 }
 func (j *IntervalJoinNode) Label() string {
 	cond := "true"
@@ -610,7 +895,31 @@ func (a *AggNode) Rows() float64 {
 	if len(a.GroupBy) == 0 && !a.GroupByT {
 		return 1
 	}
-	return math.Max(1, a.Input.Rows()*0.1)
+	in := a.Input.Rows()
+	st := NodeStats(a.Input)
+	groups, known := 1.0, false
+	for _, g := range a.GroupBy {
+		if ci, ok := g.(expr.ColIdx); ok {
+			if c := st.Col(ci.Idx); c != nil && c.Distinct > 0 {
+				groups *= c.Distinct
+				known = true
+				continue
+			}
+		}
+		groups *= 10 // computed or unanalyzed key: a modest fan-out guess
+	}
+	if a.GroupByT {
+		if d := distinctT(st); d > 0 {
+			groups *= d
+			known = true
+		} else {
+			groups *= 10
+		}
+	}
+	if !known {
+		return math.Max(1, in*0.1)
+	}
+	return math.Max(1, math.Min(groups, in))
 }
 func (a *AggNode) Cost() float64 {
 	return a.Input.Cost() + a.Input.Rows()*CPUOperatorCost*float64(1+len(a.Aggs))
@@ -632,7 +941,7 @@ func (a *AggNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(agg, a.batch), nil
+	return ctx.instrument(a, applyBatch(agg, a.batch)), nil
 }
 func (a *AggNode) Label() string {
 	return fmt.Sprintf("HashAggregate (%d group cols, byT=%v, %d aggs)", len(a.GroupBy), a.GroupByT, len(a.Aggs))
@@ -681,7 +990,7 @@ func (s *SetOpNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(op, s.batch), nil
+	return ctx.instrument(s, applyBatch(op, s.batch)), nil
 }
 func (s *SetOpNode) Label() string { return "SetOp " + s.Kind.String() }
 
@@ -710,7 +1019,7 @@ func (d *DistinctNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(exec.NewDistinct(in), d.batch), nil
+	return ctx.instrument(d, applyBatch(exec.NewDistinct(in), d.batch)), nil
 }
 func (d *DistinctNode) Label() string { return "Distinct" }
 
@@ -767,7 +1076,7 @@ func (a *AdjustNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(ad, a.batch), nil
+	return ctx.instrument(a, applyBatch(ad, a.batch)), nil
 }
 func (a *AdjustNode) Label() string { return "Adjust " + a.Mode.String() }
 
@@ -797,7 +1106,7 @@ func (a *AbsorbNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return applyBatch(exec.NewAbsorb(in), a.batch), nil
+	return ctx.instrument(a, applyBatch(exec.NewAbsorb(in), a.batch)), nil
 }
 func (a *AbsorbNode) Label() string { return "Absorb" }
 

@@ -7,14 +7,17 @@ import (
 	"talign/internal/sqlish"
 )
 
-// cacheKey identifies one cached plan. Three components make reuse sound:
+// cacheKey identifies one cached plan. Four components make reuse sound:
 // the normalized SQL text (formatting differences collapse), the catalog
 // version the plan was built against (schema or data changes invalidate),
-// and the planner-flags fingerprint (flags change method choice and
-// exchange placement, so plans under different flags must not mix).
+// the statistics version (ANALYZE changes cost decisions, so plans built
+// against stale statistics must not be reused), and the planner-flags
+// fingerprint (flags change method choice and exchange placement, so
+// plans under different flags must not mix).
 type cacheKey struct {
 	sql     string
 	version uint64
+	stats   uint64
 	flags   string
 }
 

@@ -6,42 +6,56 @@ import (
 	"sync"
 
 	"talign/internal/relation"
+	"talign/internal/stats"
 )
 
 // Catalog is the server's thread-safe relation registry. It is
-// copy-on-write: readers take an immutable Snapshot (a plain map shared by
+// copy-on-write: readers take an immutable Snapshot (plain maps shared by
 // reference, never mutated after publication) without blocking writers,
-// and every write replaces the map wholesale and bumps a version counter.
-// The version is part of every plan-cache key, which is how catalog
-// changes invalidate cached plans without any cache traversal.
+// and every write replaces the maps wholesale and bumps a version
+// counter. The versions are part of every plan-cache key, which is how
+// catalog (and statistics) changes invalidate cached plans without any
+// cache traversal.
+//
+// Statistics live beside the relations under their own version counter:
+// ANALYZE churns statistics without touching data, and keying the plan
+// cache on both versions means a re-ANALYZE invalidates exactly the plans
+// whose cost decisions it could change.
 type Catalog struct {
-	mu      sync.RWMutex
-	version uint64
-	rels    map[string]*relation.Relation
+	mu           sync.RWMutex
+	version      uint64
+	statsVersion uint64
+	rels         map[string]*relation.Relation
+	stats        map[string]*stats.Table
 }
 
 // NewCatalog returns an empty catalog at version 0.
 func NewCatalog() *Catalog {
-	return &Catalog{rels: map[string]*relation.Relation{}}
+	return &Catalog{rels: map[string]*relation.Relation{}, stats: map[string]*stats.Table{}}
 }
 
 // Register adds (or replaces) a named relation and bumps the catalog
 // version. The relation must not be mutated after registration: snapshots
-// and cached plans keep referencing it.
+// and cached plans keep referencing it. Statistics of a replaced relation
+// are dropped (re-run ANALYZE to refresh them).
 func (c *Catalog) Register(name string, rel *relation.Relation) {
+	key := strings.ToLower(name)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	next := make(map[string]*relation.Relation, len(c.rels)+1)
 	for k, v := range c.rels {
 		next[k] = v
 	}
-	next[strings.ToLower(name)] = rel
+	next[key] = rel
 	c.rels = next
+	if _, had := c.stats[key]; had {
+		c.stats = copyStatsExcept(c.stats, key)
+	}
 	c.version++
 }
 
-// Drop removes a named relation, reporting whether it existed; dropping
-// bumps the version only when something changed.
+// Drop removes a named relation (and its statistics), reporting whether
+// it existed; dropping bumps the version only when something changed.
 func (c *Catalog) Drop(name string) bool {
 	key := strings.ToLower(name)
 	c.mu.Lock()
@@ -56,8 +70,60 @@ func (c *Catalog) Drop(name string) bool {
 		}
 	}
 	c.rels = next
+	if _, had := c.stats[key]; had {
+		c.stats = copyStatsExcept(c.stats, key)
+	}
 	c.version++
 	return true
+}
+
+// SetStats installs (or replaces) a table's ANALYZE statistics and bumps
+// the statistics version, invalidating cached plans whose cost decisions
+// could change.
+func (c *Catalog) SetStats(name string, t *stats.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setStatsLocked(strings.ToLower(name), t)
+}
+
+// SetStatsIf installs statistics only if the relation registered under
+// name is still rel, reporting whether it did. ANALYZE computes outside
+// the catalog lock; this compare-and-set discards results that raced
+// with a Register/Drop of the same table, preserving the invariant that
+// statistics always describe the registered relation.
+func (c *Catalog) SetStatsIf(name string, rel *relation.Relation, t *stats.Table) bool {
+	key := strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rels[key] != rel {
+		return false
+	}
+	c.setStatsLocked(key, t)
+	return true
+}
+
+// setStatsLocked is the shared install path (caller holds the lock;
+// key is lower-case).
+func (c *Catalog) setStatsLocked(key string, t *stats.Table) {
+	next := make(map[string]*stats.Table, len(c.stats)+1)
+	for k, v := range c.stats {
+		next[k] = v
+	}
+	next[key] = t
+	c.stats = next
+	c.statsVersion++
+}
+
+// copyStatsExcept clones a stats map without one key (caller holds the
+// lock).
+func copyStatsExcept(m map[string]*stats.Table, except string) map[string]*stats.Table {
+	next := make(map[string]*stats.Table, len(m))
+	for k, v := range m {
+		if k != except {
+			next[k] = v
+		}
+	}
+	return next
 }
 
 // Version returns the current catalog version.
@@ -68,27 +134,37 @@ func (c *Catalog) Version() uint64 {
 }
 
 // Snapshot returns an immutable view of the catalog at its current
-// version. Snapshots implement sqlish.Catalog and stay valid (and
+// versions. Snapshots implement sqlish.StatsCatalog and stay valid (and
 // consistent) however the catalog changes afterwards.
 func (c *Catalog) Snapshot() Snapshot {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return Snapshot{Version: c.version, rels: c.rels}
+	return Snapshot{Version: c.version, StatsVersion: c.statsVersion, rels: c.rels, stats: c.stats}
 }
 
-// Snapshot is one immutable catalog version: the map is shared, never
+// Snapshot is one immutable catalog version: the maps are shared, never
 // mutated, and safe for concurrent lookups.
 type Snapshot struct {
 	// Version identifies the catalog state this snapshot captured.
 	Version uint64
+	// StatsVersion identifies the statistics state; it moves
+	// independently of Version (ANALYZE bumps only this one).
+	StatsVersion uint64
 
-	rels map[string]*relation.Relation
+	rels  map[string]*relation.Relation
+	stats map[string]*stats.Table
 }
 
 // Lookup implements sqlish.Catalog.
 func (s Snapshot) Lookup(name string) (*relation.Relation, bool) {
 	rel, ok := s.rels[strings.ToLower(name)]
 	return rel, ok
+}
+
+// TableStats implements plan.StatsSource: the table's ANALYZE statistics,
+// or nil when it was never analyzed.
+func (s Snapshot) TableStats(name string) *stats.Table {
+	return s.stats[strings.ToLower(name)]
 }
 
 // Names returns the sorted table names in the snapshot.

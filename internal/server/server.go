@@ -26,6 +26,7 @@ import (
 	"talign/internal/plan"
 	"talign/internal/relation"
 	"talign/internal/sqlish"
+	"talign/internal/stats"
 	"talign/internal/value"
 )
 
@@ -80,10 +81,43 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // the current catalog snapshot. The second result reports a cache hit.
 func (s *Server) plan(norm string) (*sqlish.Prepared, bool, error) {
 	snap := s.catalog.Snapshot()
-	key := cacheKey{sql: norm, version: snap.Version, flags: s.flagsFP}
+	key := cacheKey{sql: norm, version: snap.Version, stats: snap.StatsVersion, flags: s.flagsFP}
 	return s.cache.GetOrPrepare(key, func() (*sqlish.Prepared, error) {
 		return sqlish.Prepare(norm, snap, s.flags)
 	})
+}
+
+// Analyze computes and installs statistics for one table, invalidating
+// cached plans through the statistics version in the cache key. The scan
+// runs outside the catalog lock; SetStatsIf discards the result if the
+// table was re-registered (or dropped) meanwhile, so statistics can
+// never describe a relation other than the registered one.
+func (s *Server) Analyze(name string) (*stats.Table, error) {
+	rel, ok := s.catalog.Snapshot().Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("server: ANALYZE: unknown table %q", name)
+	}
+	t := stats.Analyze(rel)
+	if !s.catalog.SetStatsIf(name, rel, t) {
+		return nil, fmt.Errorf("server: ANALYZE %s: table changed during analysis; re-run", name)
+	}
+	return t, nil
+}
+
+// AnalyzeAll analyzes every registered table (auto-analyze after bulk
+// loads) and returns how many it processed; tables that change mid-scan
+// are skipped (their next ANALYZE refreshes them).
+func (s *Server) AnalyzeAll() int {
+	snap := s.catalog.Snapshot()
+	n := 0
+	for _, name := range snap.Names() {
+		if rel, ok := snap.Lookup(name); ok {
+			if s.catalog.SetStatsIf(name, rel, stats.Analyze(rel)) {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // Prepare parses, plans and caches sql, then registers it under name in
@@ -148,9 +182,40 @@ func (s *Server) query(sessionID, stmtName, sql string, params []value.Value) (R
 	default:
 		return Result{}, fmt.Errorf("server: request has neither sql nor stmt")
 	}
+	// ANALYZE mutates catalog statistics instead of planning a query; it
+	// bypasses the plan cache entirely but still pays one unit of the
+	// admission gate — its full-table scan is real work that must queue
+	// with the rest of the traffic. (Normalization lower-cases keywords,
+	// so the prefix check is exact.)
+	if strings.HasPrefix(norm, "analyze ") || norm == "analyze" {
+		st, perr := sqlish.Parse(norm)
+		if perr != nil {
+			return Result{}, perr
+		}
+		if name, ok := st.AnalyzeTarget(); ok {
+			claimed := s.gate.Acquire(1)
+			defer s.gate.Release(claimed)
+			t, aerr := s.Analyze(name)
+			if aerr != nil {
+				return Result{}, aerr
+			}
+			return Result{Plan: fmt.Sprintf("ANALYZE %s: %d rows, %d columns", name, t.Rows, len(t.Cols))}, nil
+		}
+	}
 	prep, hit, err := s.plan(norm)
 	if err != nil {
 		return Result{}, err
+	}
+	if prep.IsExplainAnalyze() {
+		// EXPLAIN ANALYZE executes the statement, so it goes through the
+		// admission gate like any other execution.
+		claimed := s.gate.Acquire(prep.MaxDOP())
+		defer s.gate.Release(claimed)
+		text, eerr := prep.ExplainAnalyze(params...)
+		if eerr != nil {
+			return Result{}, eerr
+		}
+		return Result{Plan: text, CacheHit: hit}, nil
 	}
 	if prep.IsExplain() {
 		return Result{Plan: prep.Explain(), CacheHit: hit}, nil
@@ -200,12 +265,14 @@ func (s *Server) Explain(sessionID, stmtName, sql string) (string, error) {
 //	POST /prepare  {"session": "s", "name": "q1", "sql": "... $1 ..."}
 //	GET  /explain  ?sql=... | ?session=s&stmt=name     (text/plain)
 //	GET  /healthz  liveness + catalog/cache/gate statistics
+//	GET  /stats    per-table ANALYZE statistics + plan-cache counters
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
@@ -313,6 +380,64 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		},
 		"cache": s.cache.Stats(),
 		"gate":  s.gate.Stats(),
+	})
+}
+
+// columnStatsJSON is one column's statistics in the GET /stats response.
+type columnStatsJSON struct {
+	Name        string  `json:"name"`
+	Type        string  `json:"type"`
+	Distinct    float64 `json:"distinct"`
+	NullFrac    float64 `json:"null_frac"`
+	Min         any     `json:"min"`
+	Max         any     `json:"max"`
+	HistBuckets int     `json:"hist_buckets"`
+}
+
+// tableStatsJSON is one table's entry in the GET /stats response.
+type tableStatsJSON struct {
+	Name     string            `json:"name"`
+	Rows     int               `json:"rows"`
+	Analyzed bool              `json:"analyzed"`
+	Columns  []columnStatsJSON `json:"columns,omitempty"`
+	Interval any               `json:"interval,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.catalog.Snapshot()
+	tables := make([]tableStatsJSON, 0, snap.Len())
+	for _, name := range snap.Names() {
+		rel, _ := snap.Lookup(name)
+		entry := tableStatsJSON{Name: name, Rows: rel.Len()}
+		if t := snap.TableStats(name); t != nil && len(t.Cols) == rel.Schema.Len() {
+			entry.Analyzed = true
+			for i, c := range t.Cols {
+				at := rel.Schema.Attrs[i]
+				entry.Columns = append(entry.Columns, columnStatsJSON{
+					Name:        at.Name,
+					Type:        at.Type.String(),
+					Distinct:    c.Distinct,
+					NullFrac:    c.NullFrac,
+					Min:         jsonValue(c.Min),
+					Max:         jsonValue(c.Max),
+					HistBuckets: c.Hist.Buckets(),
+				})
+			}
+			entry.Interval = map[string]any{
+				"span_ts":     t.T.Span.Ts,
+				"span_te":     t.T.Span.Te,
+				"avg_dur":     t.T.AvgDur,
+				"distinct":    t.T.DistinctT,
+				"avg_overlap": t.T.AvgOverlap,
+			}
+		}
+		tables = append(tables, entry)
+	}
+	writeJSON(w, map[string]any{
+		"catalog_version": snap.Version,
+		"stats_version":   snap.StatsVersion,
+		"tables":          tables,
+		"cache":           s.cache.Stats(),
 	})
 }
 

@@ -27,14 +27,20 @@ type analyzer struct {
 	maxParam int
 }
 
-// newAnalyzer builds an analyzer over cat under the given flags.
+// newAnalyzer builds an analyzer over cat under the given flags. A
+// catalog that also resolves statistics (StatsCatalog) feeds them to the
+// planner, so scan nodes pick up their tables' ANALYZE results.
 func newAnalyzer(cat Catalog, flags plan.Flags) *analyzer {
-	return &analyzer{
+	a := &analyzer{
 		base:    cat,
 		with:    map[string]plan.Node{},
 		planner: plan.NewPlanner(flags),
 		algebra: core.New(flags),
 	}
+	if src, ok := cat.(plan.StatsSource); ok {
+		a.planner.Stats = src
+	}
+	return a
 }
 
 // lookup resolves a table name: WITH clauses shadow the base catalog.

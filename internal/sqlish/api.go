@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 
+	"talign/internal/opt"
 	"talign/internal/plan"
 	"talign/internal/relation"
 	"talign/internal/schema"
+	"talign/internal/stats"
 	"talign/internal/value"
 )
 
@@ -45,6 +47,14 @@ func Parse(sql string) (*Statement, error) {
 
 // IsExplain reports whether the statement is an EXPLAIN.
 func (st *Statement) IsExplain() bool { return st.ast.Explain }
+
+// AnalyzeTarget returns the table name of a standalone ANALYZE statement;
+// ok is false for every other statement kind. ANALYZE mutates catalog
+// statistics and is executed by the Engine or the server, never through
+// Prepare.
+func (st *Statement) AnalyzeTarget() (name string, ok bool) {
+	return st.ast.Analyze, st.ast.Analyze != ""
+}
 
 // Catalog resolves lower-cased table names during the Analyze stage.
 // Implementations must be safe for concurrent use; the relations returned
@@ -85,9 +95,10 @@ type Prepared struct {
 	// (the highest index seen; numbering must be gap-free from $1).
 	NumParams int
 
-	root    plan.Node
-	maxDOP  int
-	explain bool
+	root           plan.Node
+	maxDOP         int
+	explain        bool
+	explainAnalyze bool
 }
 
 // Prepare runs Parse, Analyze and Plan in one call.
@@ -99,11 +110,18 @@ func Prepare(sql string, cat Catalog, flags plan.Flags) (*Prepared, error) {
 	return st.Prepare(cat, flags)
 }
 
-// Prepare runs the Analyze and Plan stages: names are resolved against
-// cat, WITH clauses become shared subplans, and the cost-based planner
-// (under flags) fixes join methods and exchange placement. The resulting
-// plan is generic over its $N placeholders.
+// Prepare runs the Analyze, Plan and Optimize stages: names are resolved
+// against cat, WITH clauses become shared subplans, the cost-based
+// planner (under flags, fed by the catalog's table statistics when cat
+// implements plan.StatsSource) fixes join methods and exchange placement,
+// and — unless flags.DisableOptimizer — the rule-based optimizer rewrites
+// the plan (predicate pushdown, projection pruning, constant folding,
+// join reordering). The resulting plan is generic over its $N
+// placeholders.
 func (st *Statement) Prepare(cat Catalog, flags plan.Flags) (*Prepared, error) {
+	if name, ok := st.AnalyzeTarget(); ok {
+		return nil, fmt.Errorf("sqlish: ANALYZE %s cannot be prepared; execute it through the engine or server", name)
+	}
 	a := newAnalyzer(cat, flags)
 	for _, w := range st.ast.With {
 		node, _, err := a.buildQueryExpr(w.Query)
@@ -123,12 +141,16 @@ func (st *Statement) Prepare(cat Catalog, flags plan.Flags) (*Prepared, error) {
 		}
 		node = a.planner.Sort(node, keys...)
 	}
+	if !flags.DisableOptimizer {
+		node = opt.Optimize(node, a.planner)
+	}
 	return &Prepared{
-		SQL:       st.SQL,
-		NumParams: a.maxParam,
-		root:      node,
-		maxDOP:    plan.MaxDOP(node),
-		explain:   st.ast.Explain,
+		SQL:            st.SQL,
+		NumParams:      a.maxParam,
+		root:           node,
+		maxDOP:         plan.MaxDOP(node),
+		explain:        st.ast.Explain,
+		explainAnalyze: st.ast.ExplainAnalyze,
 	}, nil
 }
 
@@ -141,6 +163,11 @@ func (p *Prepared) MaxDOP() int { return p.maxDOP }
 // such statements (use Explain instead).
 func (p *Prepared) IsExplain() bool { return p.explain }
 
+// IsExplainAnalyze reports whether the statement was an EXPLAIN ANALYZE;
+// such statements run through ExplainAnalyze, which executes the plan and
+// reports actual row counts.
+func (p *Prepared) IsExplainAnalyze() bool { return p.explainAnalyze }
+
 // Schema describes the result columns (parameter-typed columns report
 // kind ω until execution).
 func (p *Prepared) Schema() schema.Schema { return p.root.Schema() }
@@ -148,6 +175,22 @@ func (p *Prepared) Schema() schema.Schema { return p.root.Schema() }
 // Explain renders the plan with the optimizer's row and cost estimates;
 // unbound placeholders render as $N.
 func (p *Prepared) Explain() string { return plan.Explain(p.root) }
+
+// ExplainAnalyze executes the plan with params bound to $1..$N, counting
+// every operator's actual output rows, and renders the tree with
+// estimated vs actual cardinalities. It is only valid for EXPLAIN
+// ANALYZE statements and is safe to call concurrently (each call builds
+// and runs a fresh executor tree).
+func (p *Prepared) ExplainAnalyze(params ...value.Value) (string, error) {
+	if !p.explainAnalyze {
+		return "", fmt.Errorf("sqlish: statement is not EXPLAIN ANALYZE")
+	}
+	if err := plan.CheckParams(p.NumParams, params); err != nil {
+		return "", fmt.Errorf("sqlish: %v", err)
+	}
+	text, _, err := plan.ExplainAnalyze(p.root, plan.NewExecCtx(params...))
+	return text, err
+}
 
 // Execute runs the Execute stage: it binds params to $1..$N (exactly
 // NumParams values are required), builds a fresh executor tree and drains
@@ -195,33 +238,91 @@ func Normalize(sql string) (string, error) {
 	return b.String(), nil
 }
 
+// StatsCatalog is a Catalog that also resolves per-table ANALYZE
+// statistics; the analyzer feeds them to the planner when the catalog it
+// prepares against implements this (the Engine's private catalog and the
+// server's versioned snapshots both do).
+type StatsCatalog interface {
+	Catalog
+	plan.StatsSource
+}
+
+// engineCatalog is the Engine's private StatsCatalog: a MapCatalog plus a
+// statistics side table maintained by ANALYZE.
+type engineCatalog struct {
+	MapCatalog
+	stats map[string]*stats.Table
+}
+
+// TableStats implements plan.StatsSource.
+func (c engineCatalog) TableStats(name string) *stats.Table {
+	return c.stats[strings.ToLower(name)]
+}
+
 // Engine is the one-stop convenience wrapper around the pipeline: it owns
-// a private MapCatalog and runs each statement through Prepare + Execute.
-// It preserves the pre-server one-shot API used by the shell, the examples
-// and the tests; long-lived multi-client use wants the server package (COW
-// catalog, plan cache, admission control) instead. An Engine is not safe
-// for concurrent use.
+// a private MapCatalog (plus the statistics ANALYZE collects) and runs
+// each statement through Prepare + Execute. It preserves the pre-server
+// one-shot API used by the shell, the examples and the tests; long-lived
+// multi-client use wants the server package (COW catalog, plan cache,
+// admission control) instead. An Engine is not safe for concurrent use.
 type Engine struct {
-	catalog MapCatalog
+	catalog engineCatalog
 	flags   plan.Flags
 }
 
 // NewEngine creates an engine with the given planner flags.
 func NewEngine(flags plan.Flags) *Engine {
-	return &Engine{catalog: MapCatalog{}, flags: flags}
+	return &Engine{
+		catalog: engineCatalog{MapCatalog: MapCatalog{}, stats: map[string]*stats.Table{}},
+		flags:   flags,
+	}
 }
 
-// Register adds (or replaces) a named relation.
+// Register adds (or replaces) a named relation; statistics for a replaced
+// relation are dropped (re-run ANALYZE to refresh them).
 func (e *Engine) Register(name string, rel *relation.Relation) {
 	e.catalog.Register(name, rel)
+	delete(e.catalog.stats, strings.ToLower(name))
 }
 
-// Query parses, plans and runs a statement. For EXPLAIN statements the
-// returned relation is nil and the plan text is set.
+// Analyze computes and installs statistics for a registered table, as the
+// ANALYZE statement does.
+func (e *Engine) Analyze(name string) (*stats.Table, error) {
+	rel, ok := e.catalog.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("sqlish: ANALYZE: unknown table %q", name)
+	}
+	st := stats.Analyze(rel)
+	e.catalog.stats[strings.ToLower(name)] = st
+	return st, nil
+}
+
+// Query parses, plans and runs a statement. For EXPLAIN and EXPLAIN
+// ANALYZE statements the returned relation is nil and the plan text is
+// set; ANALYZE statements refresh the named table's statistics and
+// report a short summary in the plan slot.
 func (e *Engine) Query(sql string) (*relation.Relation, string, error) {
-	p, err := Prepare(sql, e.catalog, e.flags)
+	st, err := Parse(sql)
 	if err != nil {
 		return nil, "", err
+	}
+	if name, ok := st.AnalyzeTarget(); ok {
+		ts, err := e.Analyze(name)
+		if err != nil {
+			return nil, "", err
+		}
+		return nil, fmt.Sprintf("ANALYZE %s: %d rows, %d columns", name, ts.Rows, len(ts.Cols)), nil
+	}
+	p, err := st.Prepare(e.catalog, e.flags)
+	if err != nil {
+		return nil, "", err
+	}
+	if p.IsExplainAnalyze() {
+		text, err := p.ExplainAnalyze()
+		if err != nil {
+			return nil, "", err
+		}
+		return nil, text, nil
 	}
 	if p.IsExplain() {
 		return nil, p.Explain(), nil

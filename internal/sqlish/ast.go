@@ -154,6 +154,12 @@ type withClause struct {
 // statement is the top-level parse result.
 type statement struct {
 	Explain bool
+	// ExplainAnalyze marks EXPLAIN ANALYZE: execute the statement and
+	// render the plan with estimated vs actual row counts.
+	ExplainAnalyze bool
+	// Analyze holds the table name of a standalone "ANALYZE <table>"
+	// statement (Body is nil in that case).
+	Analyze string
 	With    []withClause
 	Body    *queryExpr
 	OrderBy []orderKey

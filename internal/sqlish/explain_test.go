@@ -1,0 +1,127 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+
+	"talign/internal/dataset"
+	"talign/internal/plan"
+)
+
+// goldenQuery is the representative ALIGN + join + aggregate statement
+// the EXPLAIN goldens pin: alignment against the paper's demo relations,
+// an extra join with a pushable ON conjunct, and a temporal aggregation.
+const goldenQuery = `SELECT n, COUNT(*) c, Ts, Te
+FROM (r ALIGN p ON a >= 40) x JOIN p p2 ON p2.a >= 45
+GROUP BY n, Ts, Te`
+
+// goldenEngine builds an engine over the demo catalog with fresh
+// statistics, exactly like talignd's auto-analyzed startup state.
+func goldenEngine(t *testing.T) *Engine {
+	t.Helper()
+	r, p := dataset.Demo()
+	e := NewEngine(plan.DefaultFlags())
+	e.Register("r", r)
+	e.Register("p", p)
+	for _, name := range []string{"r", "p"} {
+		if _, err := e.Analyze(name); err != nil {
+			t.Fatalf("ANALYZE %s: %v", name, err)
+		}
+	}
+	return e
+}
+
+// TestExplainGolden pins the optimized plan shape for the representative
+// query. A diff here means the optimizer changed its mind — review it
+// deliberately, then update the golden. Note the two optimizer effects it
+// locks in: the ON conjunct p2.a >= 45 pushed below the join as a filter
+// on p2's scan, and the collapsed hidden-column projections.
+func TestExplainGolden(t *testing.T) {
+	const want = `Project g0, agg0  (rows=20 cost=4.23)
+  HashAggregate (1 group cols, byT=true, 1 aggs)  (rows=20 cost=4.13)
+    nestloop inner join ON true  (rows=40 cost=3.93)
+      Project n, TS, TE  (rows=40 cost=2.75)
+        FusedAdjust align (nestloop join)  (rows=40 cost=2.45)
+          Project n, TS, TE  (rows=3 cost=1.05)
+            SeqScan r  (rows=3 cost=1.03)
+          Project a, mn, mx, TS, TE  (rows=5 cost=1.11)
+            SeqScan p  (rows=5 cost=1.05)
+      Project a, mn, mx, TS, TE  (rows=1 cost=1.07)
+        Filter (a >= 45)  (rows=1 cost=1.06)
+          SeqScan p  (rows=5 cost=1.05)
+`
+	e := goldenEngine(t)
+	_, got, err := e.Query("EXPLAIN " + goldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("EXPLAIN golden mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeGolden pins the estimated-vs-actual rendering: the
+// demo data is fixed, so every actual count is deterministic.
+func TestExplainAnalyzeGolden(t *testing.T) {
+	const want = `Project g0, agg0  (rows=20 cost=4.23) (actual rows=5)
+  HashAggregate (1 group cols, byT=true, 1 aggs)  (rows=20 cost=4.13) (actual rows=5)
+    nestloop inner join ON true  (rows=40 cost=3.93) (actual rows=10)
+      Project n, TS, TE  (rows=40 cost=2.75) (actual rows=5)
+        FusedAdjust align (nestloop join)  (rows=40 cost=2.45) (actual rows=5)
+          Project n, TS, TE  (rows=3 cost=1.05) (actual rows=3)
+            SeqScan r  (rows=3 cost=1.03) (actual rows=3)
+          Project a, mn, mx, TS, TE  (rows=5 cost=1.11) (actual rows=5)
+            SeqScan p  (rows=5 cost=1.05) (actual rows=5)
+      Project a, mn, mx, TS, TE  (rows=1 cost=1.07) (actual rows=2)
+        Filter (a >= 45)  (rows=1 cost=1.06) (actual rows=2)
+          SeqScan p  (rows=5 cost=1.05) (actual rows=5)
+`
+	e := goldenEngine(t)
+	_, got, err := e.Query("EXPLAIN ANALYZE " + goldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("EXPLAIN ANALYZE golden mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExplainAnalyzeMatchesExecution: the instrumented run must return
+// the same row count the plain execution does.
+func TestExplainAnalyzeMatchesExecution(t *testing.T) {
+	e := goldenEngine(t)
+	rel, _, err := e.Query(goldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, text, err := e.Query("EXPLAIN ANALYZE " + goldenQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(text, "\n", 2)[0]
+	if !strings.Contains(first, "(actual rows=5)") || rel.Len() != 5 {
+		t.Errorf("root actual (%s) disagrees with execution (%d rows)", first, rel.Len())
+	}
+}
+
+// TestAnalyzeStatement: ANALYZE through the SQL front end updates the
+// engine's statistics and reports a summary.
+func TestAnalyzeStatement(t *testing.T) {
+	r, _ := dataset.Demo()
+	e := NewEngine(plan.DefaultFlags())
+	e.Register("r", r)
+	rel, msg, err := e.Query("ANALYZE r")
+	if err != nil || rel != nil {
+		t.Fatalf("ANALYZE: rel=%v err=%v", rel, err)
+	}
+	if !strings.Contains(msg, "ANALYZE r") || !strings.Contains(msg, "3 rows") {
+		t.Errorf("ANALYZE summary = %q", msg)
+	}
+	if _, _, err := e.Query("ANALYZE nosuch"); err == nil {
+		t.Error("ANALYZE of an unknown table must fail")
+	}
+	// ANALYZE cannot be prepared (it mutates catalog state).
+	if _, err := Prepare("ANALYZE r", e.catalog, e.flags); err == nil {
+		t.Error("Prepare(ANALYZE) must fail")
+	}
+}

@@ -170,5 +170,5 @@ var reserved = map[string]bool{
 	"outer": true, "cross": true, "and": true, "or": true, "not": true,
 	"between": true, "is": true, "null": true, "union": true,
 	"intersect": true, "except": true, "true": true, "false": true,
-	"explain": true,
+	"explain": true, "analyze": true,
 }

@@ -77,11 +77,24 @@ func (p *parser) ident() (string, error) {
 	return t.text, nil
 }
 
-// statement := [EXPLAIN] [WITH ...] queryExpr [ORDER BY ...]
+// statement := ANALYZE table
+//
+//	| [EXPLAIN [ANALYZE]] [WITH ...] queryExpr [ORDER BY ...]
 func (p *parser) statement() (*statement, error) {
 	st := &statement{}
+	if p.kw("analyze") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Analyze = name
+		return st, nil
+	}
 	if p.kw("explain") {
 		st.Explain = true
+		if p.kw("analyze") {
+			st.ExplainAnalyze = true
+		}
 	}
 	if p.kw("with") {
 		for {

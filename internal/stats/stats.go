@@ -1,0 +1,367 @@
+// Package stats implements per-table statistics for the cost-based
+// optimizer: per-column row counts, null fractions, distinct-count
+// estimates, min/max bounds and equi-depth histograms, plus interval
+// statistics for the valid-time column (duration histogram, covering span
+// and an overlap profile). ANALYZE computes them with one pass over a
+// materialized relation; the planner consumes them through the estimation
+// helpers below, falling back to the classic hard-coded selectivity
+// constants wherever statistics are missing. All estimation methods are
+// nil-safe: a nil *Table or *Column reports ok=false and the caller keeps
+// its default.
+package stats
+
+import (
+	"sort"
+
+	"talign/internal/interval"
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+// HistBuckets is the equi-depth histogram resolution: enough buckets to
+// make range selectivities meaningful on skewed data, few enough that a
+// Table stays small and cheap to build.
+const HistBuckets = 32
+
+// Histogram is an equi-depth histogram over the sorted non-null values of
+// one column: Bounds[i], Bounds[i+1] delimit bucket i and every bucket
+// holds roughly the same number of values. An empty histogram (no bounds)
+// carries no information.
+type Histogram struct {
+	// Bounds are the bucket boundaries in ascending value order
+	// (len = buckets + 1, or 0 when the histogram is empty).
+	Bounds []value.Value
+}
+
+// Buckets returns the number of buckets (0 for an empty histogram).
+func (h Histogram) Buckets() int {
+	if len(h.Bounds) < 2 {
+		return 0
+	}
+	return len(h.Bounds) - 1
+}
+
+// FracBelow estimates the fraction of the histogram's values that are
+// strictly less than v, interpolating linearly inside numeric buckets;
+// ok is false when the histogram is empty.
+func (h Histogram) FracBelow(v value.Value) (frac float64, ok bool) {
+	b := h.Buckets()
+	if b == 0 || v.IsNull() {
+		return 0, false
+	}
+	if v.Compare(h.Bounds[0]) <= 0 {
+		return 0, true
+	}
+	if v.Compare(h.Bounds[b]) > 0 {
+		return 1, true
+	}
+	// First boundary >= v; v lies in bucket i-1 = [Bounds[i-1], Bounds[i]].
+	i := sort.Search(b+1, func(i int) bool { return h.Bounds[i].Compare(v) >= 0 })
+	if i == 0 {
+		return 0, true
+	}
+	within := 0.5 // non-interpolatable kinds: assume the bucket midpoint
+	lo, hasLo := h.Bounds[i-1].AsFloat()
+	hi, hasHi := h.Bounds[i].AsFloat()
+	if x, hasX := v.AsFloat(); hasLo && hasHi && hasX && hi > lo {
+		within = (x - lo) / (hi - lo)
+		if within < 0 {
+			within = 0
+		} else if within > 1 {
+			within = 1
+		}
+	}
+	return (float64(i-1) + within) / float64(b), true
+}
+
+// Column summarizes one attribute's value distribution.
+type Column struct {
+	// NullFrac is the fraction of rows whose value is ω.
+	NullFrac float64
+	// Distinct is the number of distinct non-null values (exact: ANALYZE
+	// scans the whole relation).
+	Distinct float64
+	// Min and Max bound the non-null values; both are ω when the column
+	// holds no non-null value.
+	Min, Max value.Value
+	// Hist is the equi-depth histogram over the non-null values.
+	Hist Histogram
+}
+
+// SelEq estimates the selectivity of column = v; ok is false when the
+// receiver is nil (no statistics). A v outside [Min, Max] estimates a
+// vanishing (but positive) selectivity so downstream clamping keeps
+// cardinalities sane.
+func (c *Column) SelEq(v value.Value) (sel float64, ok bool) {
+	if c == nil || c.Distinct <= 0 {
+		return 0, false
+	}
+	if !v.IsNull() && !c.Min.IsNull() &&
+		(v.Compare(c.Min) < 0 || v.Compare(c.Max) > 0) {
+		return 1e-9, true
+	}
+	return (1 - c.NullFrac) / c.Distinct, true
+}
+
+// Op enumerates the range-comparison shapes SelRange estimates.
+type Op uint8
+
+// The range-comparison shapes: column OP v.
+const (
+	OpLT Op = iota
+	OpLE
+	OpGT
+	OpGE
+)
+
+// SelRange estimates the selectivity of "column OP v" from the histogram;
+// ok is false without one.
+func (c *Column) SelRange(op Op, v value.Value) (sel float64, ok bool) {
+	if c == nil {
+		return 0, false
+	}
+	below, ok := c.Hist.FracBelow(v)
+	if !ok {
+		return 0, false
+	}
+	eq, _ := c.SelEq(v)
+	notNull := 1 - c.NullFrac
+	switch op {
+	case OpLT:
+		sel = below * notNull
+	case OpLE:
+		sel = below*notNull + eq
+	case OpGT:
+		sel = (1-below)*notNull - eq
+	case OpGE:
+		sel = (1 - below) * notNull
+	}
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel, true
+}
+
+// EqJoinSel estimates the selectivity of an equi-join between two columns
+// with the textbook 1/max(distinct_l, distinct_r); one-sided statistics
+// use that side's distinct count alone. ok is false when neither side has
+// statistics.
+func EqJoinSel(l, r *Column) (sel float64, ok bool) {
+	ld, rd := 0.0, 0.0
+	if l != nil {
+		ld = l.Distinct
+	}
+	if r != nil {
+		rd = r.Distinct
+	}
+	d := ld
+	if rd > d {
+		d = rd
+	}
+	if d <= 0 {
+		return 0, false
+	}
+	return 1 / d, true
+}
+
+// IntervalStats summarizes the valid-time column: how long tuples live,
+// where, and how much they overlap each other. It feeds the output
+// estimates of ALIGN/NORMALIZE group construction and of interval joins.
+type IntervalStats struct {
+	// Span is the smallest interval covering every tuple (zero when the
+	// relation is empty).
+	Span interval.Interval
+	// AvgDur is the mean tuple duration.
+	AvgDur float64
+	// DurHist is the equi-depth histogram of tuple durations.
+	DurHist Histogram
+	// DistinctT is the number of distinct exact (Ts, Te) intervals; it
+	// estimates the selectivity of the T-equality key the reduction rules
+	// append (r.T = s.T).
+	DistinctT float64
+	// AvgOverlap is the overlap profile: the average number of OTHER
+	// tuples of the same relation whose interval overlaps a tuple's
+	// interval.
+	AvgOverlap float64
+}
+
+// Table is the ANALYZE output for one relation: row count, per-column
+// statistics aligned with the schema, and valid-time statistics.
+type Table struct {
+	// Rows is the relation's cardinality at ANALYZE time.
+	Rows int64
+	// Cols holds one Column per schema attribute, in schema order.
+	Cols []Column
+	// T summarizes the valid-time intervals.
+	T IntervalStats
+}
+
+// Col returns the statistics for column i, or nil when the receiver is
+// nil or i is out of range — the planner's "no statistics" marker.
+func (t *Table) Col(i int) *Column {
+	if t == nil || i < 0 || i >= len(t.Cols) {
+		return nil
+	}
+	return &t.Cols[i]
+}
+
+// OverlapFrac estimates the probability that a random tuple of l and a
+// random tuple of r overlap in valid time, from the covering spans and
+// average durations (a uniform-start approximation); ok is false when
+// either side lacks interval statistics.
+func OverlapFrac(l, r *Table) (frac float64, ok bool) {
+	if l == nil || r == nil || l.Rows == 0 || r.Rows == 0 {
+		return 0, false
+	}
+	lo, hi := l.T.Span.Ts, l.T.Span.Te
+	if r.T.Span.Ts < lo {
+		lo = r.T.Span.Ts
+	}
+	if r.T.Span.Te > hi {
+		hi = r.T.Span.Te
+	}
+	span := float64(hi - lo)
+	if span <= 0 {
+		return 0, false
+	}
+	frac = (l.T.AvgDur + r.T.AvgDur) / span
+	if frac > 1 {
+		frac = 1
+	}
+	return frac, true
+}
+
+// Analyze computes full statistics for rel in O(m · n log n): per column a
+// sort of the non-null values (null fraction, exact distinct count,
+// min/max, equi-depth histogram) and for the valid-time column a
+// start-ordered sweep counting overlapping pairs.
+func Analyze(rel *relation.Relation) *Table {
+	n := rel.Len()
+	t := &Table{Rows: int64(n), Cols: make([]Column, rel.Schema.Len())}
+	for i := range t.Cols {
+		t.Cols[i] = analyzeColumn(rel, i)
+	}
+	t.T = analyzeIntervals(rel)
+	return t
+}
+
+// analyzeColumn computes one column's statistics.
+func analyzeColumn(rel *relation.Relation, col int) Column {
+	vals := make([]value.Value, 0, rel.Len())
+	nulls := 0
+	for _, tp := range rel.Tuples {
+		v := tp.Vals[col]
+		if v.IsNull() {
+			nulls++
+			continue
+		}
+		vals = append(vals, v)
+	}
+	c := Column{Min: value.Null, Max: value.Null}
+	if rel.Len() > 0 {
+		c.NullFrac = float64(nulls) / float64(rel.Len())
+	}
+	if len(vals) == 0 {
+		return c
+	}
+	sort.Slice(vals, func(a, b int) bool { return vals[a].Compare(vals[b]) < 0 })
+	distinct := 1
+	for i := 1; i < len(vals); i++ {
+		if vals[i].Compare(vals[i-1]) != 0 {
+			distinct++
+		}
+	}
+	c.Distinct = float64(distinct)
+	c.Min, c.Max = vals[0], vals[len(vals)-1]
+	c.Hist = equiDepth(vals, distinct)
+	return c
+}
+
+// equiDepth builds histogram bounds over sorted values.
+func equiDepth(sorted []value.Value, distinct int) Histogram {
+	b := HistBuckets
+	if distinct < b {
+		b = distinct
+	}
+	if b < 1 || len(sorted) == 0 {
+		return Histogram{}
+	}
+	bounds := make([]value.Value, 0, b+1)
+	for i := 0; i <= b; i++ {
+		idx := i * (len(sorted) - 1) / b
+		bounds = append(bounds, sorted[idx])
+	}
+	return Histogram{Bounds: bounds}
+}
+
+// analyzeIntervals computes the valid-time statistics.
+func analyzeIntervals(rel *relation.Relation) IntervalStats {
+	n := rel.Len()
+	if n == 0 {
+		return IntervalStats{}
+	}
+	starts := make([]int64, n)
+	ends := make([]int64, n)
+	durs := make([]value.Value, n)
+	var durSum float64
+	for i, tp := range rel.Tuples {
+		starts[i], ends[i] = tp.T.Ts, tp.T.Te
+		durs[i] = value.NewInt(tp.T.Duration())
+		durSum += float64(tp.T.Duration())
+	}
+	st := IntervalStats{AvgDur: durSum / float64(n)}
+	if span, ok := rel.Span(); ok {
+		st.Span = span
+	}
+
+	// Distinct exact intervals: sort (Ts, Te) pairs lexicographically.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if starts[ia] != starts[ib] {
+			return starts[ia] < starts[ib]
+		}
+		return ends[ia] < ends[ib]
+	})
+	distinctT := 1
+	for k := 1; k < n; k++ {
+		a, b := order[k-1], order[k]
+		if starts[a] != starts[b] || ends[a] != ends[b] {
+			distinctT++
+		}
+	}
+	st.DistinctT = float64(distinctT)
+
+	// Overlap profile: with tuples ordered by Ts, tuple i overlaps every
+	// later tuple j whose Ts_j < Te_i, so one binary search per tuple
+	// counts all overlapping pairs.
+	sortedTs := make([]int64, n)
+	for k, idx := range order {
+		sortedTs[k] = starts[idx]
+	}
+	var pairs float64
+	for k, idx := range order {
+		te := ends[idx]
+		hi := sort.Search(n, func(j int) bool { return sortedTs[j] >= te })
+		if hi > k+1 {
+			pairs += float64(hi - k - 1)
+		}
+	}
+	st.AvgOverlap = 2 * pairs / float64(n)
+
+	sort.Slice(durs, func(a, b int) bool { return durs[a].Compare(durs[b]) < 0 })
+	dd := 1
+	for i := 1; i < len(durs); i++ {
+		if durs[i].Compare(durs[i-1]) != 0 {
+			dd++
+		}
+	}
+	st.DurHist = equiDepth(durs, dd)
+	return st
+}

@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestAnalyzeColumns(t *testing.T) {
+	b := relation.NewBuilder("a int", "s string")
+	for i := 0; i < 100; i++ {
+		b.Row(int64(i), int64(i+1), int64(i%10), string(rune('a'+i%3)))
+	}
+	b.Row(100, 101, nil, nil)
+	rel := b.MustBuild()
+
+	st := Analyze(rel)
+	if st.Rows != 101 {
+		t.Fatalf("Rows = %d, want 101", st.Rows)
+	}
+	a := st.Col(0)
+	if a == nil {
+		t.Fatal("no stats for column 0")
+	}
+	approx(t, "a.Distinct", a.Distinct, 10, 0)
+	approx(t, "a.NullFrac", a.NullFrac, 1.0/101, 1e-9)
+	if a.Min.Int() != 0 || a.Max.Int() != 9 {
+		t.Errorf("a range = [%s, %s], want [0, 9]", a.Min, a.Max)
+	}
+	s := st.Col(1)
+	approx(t, "s.Distinct", s.Distinct, 3, 0)
+
+	if sel, ok := a.SelEq(value.NewInt(3)); !ok || math.Abs(sel-(100.0/101)/10) > 1e-9 {
+		t.Errorf("SelEq(3) = %g, %v", sel, ok)
+	}
+	if sel, ok := a.SelEq(value.NewInt(99)); !ok || sel > 1e-6 {
+		t.Errorf("SelEq(out of range) = %g, %v, want ~0", sel, ok)
+	}
+	// a < 5 keeps values 0..4, half the distribution.
+	if sel, ok := a.SelRange(OpLT, value.NewInt(5)); !ok || math.Abs(sel-0.5) > 0.1 {
+		t.Errorf("SelRange(< 5) = %g, %v, want ~0.5", sel, ok)
+	}
+	// Boundary buckets with heavy duplicates cost some precision; a loose
+	// tolerance is fine — the planner only needs the right magnitude.
+	if sel, ok := a.SelRange(OpGE, value.NewInt(5)); !ok || math.Abs(sel-0.5) > 0.15 {
+		t.Errorf("SelRange(>= 5) = %g, %v, want ~0.5", sel, ok)
+	}
+}
+
+func TestAnalyzeIntervals(t *testing.T) {
+	// Three disjoint tuples plus one spanning all of them.
+	rel := relation.NewBuilder("a int").
+		Row(0, 10, 1).
+		Row(10, 20, 2).
+		Row(20, 30, 3).
+		Row(0, 30, 4).
+		MustBuild()
+	st := Analyze(rel)
+	if st.T.Span.Ts != 0 || st.T.Span.Te != 30 {
+		t.Errorf("span = %v, want [0, 30)", st.T.Span)
+	}
+	approx(t, "AvgDur", st.T.AvgDur, (10+10+10+30)/4.0, 1e-9)
+	approx(t, "DistinctT", st.T.DistinctT, 4, 0)
+	// Overlapping pairs: the spanning tuple overlaps each of the three
+	// disjoint ones; 3 pairs → average 2·3/4 = 1.5 partners per tuple.
+	approx(t, "AvgOverlap", st.T.AvgOverlap, 1.5, 1e-9)
+}
+
+func TestNilSafety(t *testing.T) {
+	var tb *Table
+	if c := tb.Col(0); c != nil {
+		t.Fatal("nil Table.Col should be nil")
+	}
+	var c *Column
+	if _, ok := c.SelEq(value.NewInt(1)); ok {
+		t.Error("nil column SelEq should report !ok")
+	}
+	if _, ok := c.SelRange(OpLT, value.NewInt(1)); ok {
+		t.Error("nil column SelRange should report !ok")
+	}
+	if _, ok := EqJoinSel(nil, nil); ok {
+		t.Error("EqJoinSel(nil, nil) should report !ok")
+	}
+	if sel, ok := EqJoinSel(&Column{Distinct: 4}, nil); !ok || sel != 0.25 {
+		t.Errorf("one-sided EqJoinSel = %g, %v, want 0.25", sel, ok)
+	}
+	if _, ok := OverlapFrac(nil, tb); ok {
+		t.Error("OverlapFrac(nil, nil) should report !ok")
+	}
+}
+
+func TestHistogramFracBelow(t *testing.T) {
+	vals := make([]value.Value, 0, 100)
+	for i := 0; i < 100; i++ {
+		vals = append(vals, value.NewInt(int64(i)))
+	}
+	h := equiDepth(vals, 100)
+	if h.Buckets() != HistBuckets {
+		t.Fatalf("buckets = %d, want %d", h.Buckets(), HistBuckets)
+	}
+	for _, tc := range []struct {
+		v    int64
+		want float64
+	}{{0, 0}, {25, 0.25}, {50, 0.5}, {99, 1}, {1000, 1}, {-5, 0}} {
+		got, ok := h.FracBelow(value.NewInt(tc.v))
+		if !ok {
+			t.Fatalf("FracBelow(%d) not ok", tc.v)
+		}
+		approx(t, "FracBelow", got, tc.want, 0.05)
+	}
+	if _, ok := (Histogram{}).FracBelow(value.NewInt(1)); ok {
+		t.Error("empty histogram should report !ok")
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	rel := relation.NewBuilder("a int").MustBuild()
+	st := Analyze(rel)
+	if st.Rows != 0 {
+		t.Fatalf("Rows = %d", st.Rows)
+	}
+	if c := st.Col(0); c.Distinct != 0 || !c.Min.IsNull() {
+		t.Errorf("empty column stats = %+v", c)
+	}
+}
