@@ -1,106 +1,65 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"os"
 	"strings"
+
+	"talign"
 )
 
-// client speaks talignd's HTTP/JSON protocol: every statement entered in
-// the shell is POSTed to /query and the response is rendered like a local
-// result. EXPLAIN responses print the server's plan.
+// client wraps the public talign package's remote backend: every
+// statement entered in the shell runs over talignd's NDJSON streaming
+// protocol, and rows print as they arrive instead of after the server
+// finished buffering the result. Ctrl-C'ing the shell mid-query drops
+// the connection, which cancels the query server-side.
 type client struct {
-	base string
-	http *http.Client
+	db *talign.DB
 }
 
-// newClient normalizes the base URL ("host:port" gains "http://").
-func newClient(base string) *client {
-	if !strings.Contains(base, "://") {
-		base = "http://" + base
+// newClient connects to a talignd server ("host:port" or a URL).
+func newClient(base string) (*client, error) {
+	dsn := base
+	if !strings.Contains(dsn, "://") {
+		dsn = "talignd://" + dsn
 	}
-	return &client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+	db, err := talign.Open(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &client{db: db}, nil
 }
 
-// queryResponse mirrors the server's /query JSON shape.
-type queryResponse struct {
-	Columns  []string `json:"columns"`
-	Rows     [][]any  `json:"rows"`
-	RowCount int      `json:"row_count"`
-	Plan     string   `json:"plan"`
-	Error    string   `json:"error"`
-}
-
-// run sends one statement and prints the result.
+// run sends one statement and prints the streamed result.
 func (c *client) run(sql string) {
-	body, err := json.Marshal(map[string]any{"sql": sql})
+	rows, err := c.db.Query(context.Background(), sql)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
 		return
 	}
-	resp, err := c.http.Post(c.base+"/query", "application/json", bytes.NewReader(body))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+	defer rows.Close()
+	if plan := rows.Plan(); plan != "" {
+		fmt.Print(plan)
+		if !strings.HasSuffix(plan, "\n") {
+			fmt.Println()
+		}
 		return
 	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "error: %v\n", err)
-		return
-	}
-	var out queryResponse
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.UseNumber() // int64 cells survive exactly; float64 would round 2^53+
-	if err := dec.Decode(&out); err != nil {
-		fmt.Fprintf(os.Stderr, "error: bad response: %v\n", err)
-		return
-	}
-	if out.Error != "" {
-		fmt.Fprintf(os.Stderr, "error: %s\n", out.Error)
-		return
-	}
-	if out.Plan != "" {
-		fmt.Print(out.Plan)
-		return
-	}
-	fmt.Println(strings.Join(out.Columns, "\t"))
-	for _, row := range out.Rows {
-		cells := make([]string, len(row))
-		for i, v := range row {
-			cells[i] = renderCell(v)
+	fmt.Println(strings.Join(rows.Columns(), "\t"))
+	n := 0
+	for rows.Next() {
+		vals := rows.Values()
+		cells := make([]string, len(vals))
+		for i, v := range vals {
+			cells[i] = v.String()
 		}
 		fmt.Println(strings.Join(cells, "\t"))
+		n++
 	}
-	fmt.Printf("(%d rows)\n", out.RowCount)
-}
-
-// renderCell formats one JSON cell the way the local shell prints values.
-func renderCell(v any) string {
-	switch x := v.(type) {
-	case nil:
-		return "ω"
-	case json.Number:
-		return x.String()
-	case string:
-		return x
+	if err := rows.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
 	}
-	return fmt.Sprint(v)
-}
-
-// ping checks the server is reachable before starting the shell.
-func (c *client) ping() error {
-	resp, err := c.http.Get(c.base + "/healthz")
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("healthz returned %s", resp.Status)
-	}
-	return nil
+	fmt.Printf("(%d rows)\n", n)
 }

@@ -16,9 +16,9 @@
 // (-j 0 uses all CPUs); EXPLAIN shows the Exchange nodes.
 //
 // With -connect, talign becomes a client of a running talignd server:
-// statements are sent over its HTTP/JSON protocol instead of executing
-// in-process, and the catalog lives on the server (name=file.csv
-// arguments are rejected).
+// statements run over its wire-level NDJSON row-streaming protocol
+// (rows print as the server produces them) and the catalog lives on the
+// server (name=file.csv arguments are rejected).
 package main
 
 import (
@@ -61,9 +61,9 @@ func main() {
 				fatalf("-connect executes on the server; set parallelism with talignd -j")
 			}
 		})
-		cl := newClient(*connect)
-		if err := cl.ping(); err != nil {
-			fatalf("cannot reach talignd at %s: %v", *connect, err)
+		cl, err := newClient(*connect)
+		if err != nil {
+			fatalf("%v", err)
 		}
 		exec = cl.run
 	} else {

@@ -10,12 +10,17 @@
 //
 // Endpoints:
 //
-//	POST /query    {"sql": "SELECT ...", "params": [...]}
-//	               {"session": "s1", "stmt": "q1", "params": [...]}
-//	POST /prepare  {"session": "s1", "name": "q1", "sql": "... $1 ..."}
-//	GET  /explain  ?sql=... (or ?session=s1&stmt=q1)
+//	POST /query         {"sql": "SELECT ...", "params": [...]}
+//	                    {"session": "s1", "stmt": "q1", "params": [...]}
+//	POST /query/stream  same body; chunked NDJSON row streaming (schema
+//	                    frame, row-batch frames, trailing status frame);
+//	                    client disconnect cancels the query
+//	POST /prepare       {"session": "s1", "name": "q1", "sql": "... $1 ..."}
+//	GET  /explain       ?sql=... (or ?session=s1&stmt=q1)
 //	GET  /healthz
-//	GET  /stats    per-table ANALYZE statistics + plan-cache counters
+//	GET  /stats         per-table ANALYZE statistics + plan-cache counters
+//	GET  /metrics       Prometheus text-format counters (plan cache,
+//	                    admission gate, cancellations)
 //
 // Loaded tables are auto-analyzed at startup, so the cost-based optimizer
 // starts with real statistics; "ANALYZE <table>" via POST /query

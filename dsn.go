@@ -1,0 +1,123 @@
+package talign
+
+import (
+	"fmt"
+	"net/url"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"talign/internal/plan"
+)
+
+// dsnConfig is the parsed form of an Open DSN.
+type dsnConfig struct {
+	// remote is the base URL of a talignd server; empty for embedded.
+	remote string
+
+	// Embedded options.
+	demo    bool
+	loads   [][2]string // name, csv path
+	dop     int
+	cache   int
+	maxDOP  int
+	analyze bool
+}
+
+// parseDSN splits a DSN into backend kind and options.
+func parseDSN(dsn string) (dsnConfig, error) {
+	cfg := dsnConfig{dop: 1, analyze: true}
+	u, err := url.Parse(dsn)
+	if err != nil {
+		return cfg, fmt.Errorf("talign: bad DSN %q: %v", dsn, err)
+	}
+	switch u.Scheme {
+	case "talignd":
+		if u.Host == "" {
+			return cfg, fmt.Errorf("talign: DSN %q needs host:port", dsn)
+		}
+		cfg.remote = "http://" + u.Host
+		return cfg, nil
+	case "http", "https":
+		cfg.remote = strings.TrimRight(u.Scheme+"://"+u.Host, "/")
+		return cfg, nil
+	case "talign":
+		// Embedded; options below.
+	default:
+		return cfg, fmt.Errorf("talign: DSN %q: unknown scheme %q (use talign:// or talignd://)", dsn, u.Scheme)
+	}
+	switch u.Host {
+	case "", "mem":
+	case "demo":
+		cfg.demo = true
+	default:
+		return cfg, fmt.Errorf("talign: DSN %q: unknown embedded catalog %q (use \"demo\" or none)", dsn, u.Host)
+	}
+	q := u.Query()
+	for key, vals := range q {
+		switch key {
+		case "load":
+			for _, v := range vals {
+				name, path, ok := strings.Cut(v, "=")
+				if !ok || name == "" || path == "" {
+					return cfg, fmt.Errorf("talign: DSN load option %q is not name=file.csv", v)
+				}
+				cfg.loads = append(cfg.loads, [2]string{name, path})
+			}
+		case "j":
+			if cfg.dop, err = dsnInt(key, vals); err != nil {
+				return cfg, err
+			}
+			if cfg.dop == 0 {
+				cfg.dop = runtime.NumCPU()
+			}
+		case "cache":
+			if cfg.cache, err = dsnInt(key, vals); err != nil {
+				return cfg, err
+			}
+		case "max-dop", "maxdop":
+			if cfg.maxDOP, err = dsnInt(key, vals); err != nil {
+				return cfg, err
+			}
+		case "analyze":
+			cfg.analyze = vals[len(vals)-1] != "0" && vals[len(vals)-1] != "false"
+		default:
+			return cfg, fmt.Errorf("talign: DSN option %q is not known", key)
+		}
+	}
+	return cfg, nil
+}
+
+// dsnInt parses the last occurrence of a numeric DSN option.
+func dsnInt(key string, vals []string) (int, error) {
+	n, err := strconv.Atoi(vals[len(vals)-1])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("talign: DSN option %s=%q is not a non-negative integer", key, vals[len(vals)-1])
+	}
+	return n, nil
+}
+
+// flags builds the embedded planner flags for this DSN.
+func (c dsnConfig) flags() plan.Flags {
+	f := plan.DefaultFlags()
+	if c.dop > 0 {
+		f.DOP = c.dop
+	}
+	return f
+}
+
+// Process-unique session and statement names for the anonymous-handle
+// convenience paths.
+var (
+	sessionSeq atomic.Uint64
+	stmtSeq    atomic.Uint64
+)
+
+func nextSessionID() string {
+	return fmt.Sprintf("talign-sess-%d", sessionSeq.Add(1))
+}
+
+func nextStmtName() string {
+	return fmt.Sprintf("stmt-%d", stmtSeq.Add(1))
+}

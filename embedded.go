@@ -1,0 +1,161 @@
+package talign
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"talign/internal/csvio"
+	"talign/internal/dataset"
+	"talign/internal/relation"
+	"talign/internal/server"
+	"talign/internal/sqlish"
+	"talign/internal/stats"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// embeddedDB runs the full engine in-process: the same server core that
+// talignd wraps in HTTP — copy-on-write catalog, LRU plan cache,
+// admission gate — minus the wire. Cursors returned by query pull
+// executor batches directly; the admission-gate claim is held until the
+// cursor closes.
+type embeddedDB struct {
+	srv    *server.Server
+	closed atomic.Bool
+}
+
+// openEmbedded builds the in-process backend for a talign:// DSN.
+func openEmbedded(cfg dsnConfig) (backend, error) {
+	srv := server.New(server.Config{Flags: cfg.flags(), CacheSize: cfg.cache, MaxDOP: cfg.maxDOP})
+	if cfg.demo {
+		r, p := dataset.Demo()
+		srv.Catalog().Register("r", r)
+		srv.Catalog().Register("p", p)
+	}
+	for _, load := range cfg.loads {
+		rel, err := csvio.ReadFile(load[1])
+		if err != nil {
+			return nil, fmt.Errorf("talign: loading %s: %v", load[1], err)
+		}
+		srv.Catalog().Register(load[0], rel)
+	}
+	if cfg.analyze {
+		srv.AnalyzeAll()
+	}
+	return &embeddedDB{srv: srv}, nil
+}
+
+func (e *embeddedDB) query(ctx context.Context, session, stmt, sql string, params []value.Value) (*Rows, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("talign: DB is closed")
+	}
+	rs, err := e.srv.Stream(ctx, session, stmt, sql, params)
+	if err != nil {
+		return nil, err
+	}
+	if rs.Plan() != "" {
+		rs.Close()
+		return &Rows{plan: rs.Plan(), cacheHit: rs.CacheHit()}, nil
+	}
+	return &Rows{
+		cols:     rs.Columns(),
+		types:    rs.Types(),
+		cacheHit: rs.CacheHit(),
+		src:      &embeddedSource{rs: rs},
+	}, nil
+}
+
+func (e *embeddedDB) prepare(ctx context.Context, session, name, sql string) (stmtMeta, error) {
+	if e.closed.Load() {
+		return stmtMeta{}, fmt.Errorf("talign: DB is closed")
+	}
+	if err := ctx.Err(); err != nil {
+		return stmtMeta{}, err
+	}
+	prep, err := e.srv.Prepare(session, name, sql)
+	if err != nil {
+		return stmtMeta{}, err
+	}
+	cols, types := preparedColumns(prep)
+	return stmtMeta{numParams: prep.NumParams, columns: cols, types: types}, nil
+}
+
+func (e *embeddedDB) register(name string, rel *relation.Relation) error {
+	if e.closed.Load() {
+		return fmt.Errorf("talign: DB is closed")
+	}
+	e.srv.Catalog().Register(name, rel)
+	return nil
+}
+
+func (e *embeddedDB) analyze(name string) (*stats.Table, error) {
+	if e.closed.Load() {
+		return nil, fmt.Errorf("talign: DB is closed")
+	}
+	return e.srv.Analyze(name)
+}
+
+func (e *embeddedDB) close() error {
+	e.closed.Store(true)
+	return nil
+}
+
+// Server exposes the embedded server core (nil for remote DBs); the
+// talign shell uses it for catalog loading and metrics.
+func (db *DB) Server() *server.Server {
+	if e, ok := db.backend.(*embeddedDB); ok {
+		return e.srv
+	}
+	return nil
+}
+
+// embeddedSource adapts a server RowStream (executor batches, reused
+// buffers) to the Rows contract (fully-owned rows).
+type embeddedSource struct {
+	rs    *server.RowStream
+	batch []tuple.Tuple
+	pos   int
+}
+
+func (s *embeddedSource) next() ([]value.Value, error) {
+	for s.pos >= len(s.batch) {
+		b, err := s.rs.Next()
+		if err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			return nil, nil
+		}
+		s.batch, s.pos = b, 0
+	}
+	t := s.batch[s.pos]
+	s.pos++
+	// Copy out of the executor-owned batch; the Vals backing array itself
+	// is immutable once handed out (the batch ownership contract), so a
+	// shallow copy of the slice contents is a full hand-off.
+	row := make([]value.Value, 0, len(t.Vals)+2)
+	row = append(row, t.Vals...)
+	row = append(row, value.NewInt(t.T.Ts), value.NewInt(t.T.Te))
+	return row, nil
+}
+
+func (s *embeddedSource) close() error {
+	s.batch, s.pos = nil, 0
+	return s.rs.Close()
+}
+
+// preparedColumns lists a prepared statement's result columns and types
+// (visible attributes plus the valid-time bounds).
+func preparedColumns(prep *sqlish.Prepared) (cols, types []string) {
+	sch := prep.Schema()
+	cols = make([]string, 0, sch.Len()+2)
+	types = make([]string, 0, sch.Len()+2)
+	for _, at := range sch.Attrs {
+		cols = append(cols, at.Name)
+		types = append(types, at.Type.String())
+	}
+	cols = append(cols, "ts", "te")
+	types = append(types, "int", "int")
+	return cols, types
+}

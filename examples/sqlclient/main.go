@@ -1,0 +1,71 @@
+// Command sqlclient is the stock database/sql walkthrough: a Go program
+// whose ONLY talign dependency is the blank-imported driver
+// registration. It opens a DSN (embedded "talign://demo" by default, or
+// a "talignd://host:port" remote passed as the first argument), prepares
+// a placeholder ALIGN query, executes it twice with different bindings,
+// and iterates the incrementally streamed rows with plain rows.Next /
+// rows.Scan — exactly what any existing database/sql codebase would do.
+//
+//	go run ./examples/sqlclient                      # embedded demo
+//	go run ./examples/sqlclient talignd://localhost:7411
+package main
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"log"
+	"os"
+
+	_ "talign/sqldriver"
+)
+
+// The paper's running example: reservations r(n) aligned to price
+// categories p(a, mn, mx) wherever the reservation's ORIGINAL duration
+// (Us, Ue propagate it) falls in the category's duration band and the
+// price is at least $1.
+const alignSQL = `WITH r2 AS (SELECT Ts Us, Te Ue, * FROM r)
+SELECT n, Us, Ue FROM (r2 ALIGN p ON DUR(Us, Ue) BETWEEN mn AND mx AND a >= $1) x
+ORDER BY n, Us, Ts`
+
+func main() {
+	dsn := "talign://demo"
+	if len(os.Args) > 1 {
+		dsn = os.Args[1]
+	}
+	db, err := sql.Open("talign", dsn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	stmt, err := db.PrepareContext(ctx, alignSQL)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+
+	for _, minPrice := range []int64{0, 40} {
+		fmt.Printf("-- aligned reservations with price >= %d (%s)\n", minPrice, dsn)
+		rows, err := stmt.QueryContext(ctx, minPrice)
+		if err != nil {
+			log.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			var name string
+			var us, ue, ts, te int64
+			if err := rows.Scan(&name, &us, &ue, &ts, &te); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-4s reserved [%2d,%2d)  aligned piece [%2d,%2d)\n", name, us, ue, ts, te)
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		rows.Close()
+		fmt.Printf("(%d rows)\n", n)
+	}
+}

@@ -61,40 +61,49 @@ func parseDir(t *testing.T, dir string) (*token.FileSet, []*ast.File) {
 }
 
 // TestPackageComments requires a "// Package xxx ..." comment on every
-// package under internal/ and cmd/.
+// package under internal/, cmd/ and examples/, plus the public root
+// package and the database/sql driver.
 func TestPackageComments(t *testing.T) {
 	root := repoRoot(t)
-	for _, group := range []string{"internal", "cmd"} {
+	dirs := []string{".", "sqldriver"}
+	for _, group := range []string{"internal", "cmd", "examples"} {
 		entries, err := os.ReadDir(filepath.Join(root, group))
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, e := range entries {
-			if !e.IsDir() {
-				continue
+			if e.IsDir() {
+				dirs = append(dirs, filepath.Join(group, e.Name()))
 			}
-			dir := filepath.Join(root, group, e.Name())
-			_, files := parseDir(t, dir)
-			documented := false
-			for _, f := range files {
-				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
-					documented = true
-				}
+		}
+	}
+	for _, rel := range dirs {
+		dir := filepath.Join(root, rel)
+		_, files := parseDir(t, dir)
+		documented := false
+		for _, f := range files {
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
 			}
-			if len(files) > 0 && !documented {
-				t.Errorf("%s/%s: no file carries a package comment", group, e.Name())
-			}
+		}
+		if len(files) > 0 && !documented {
+			t.Errorf("%s: no file carries a package comment", rel)
 		}
 	}
 }
 
 // TestExportedDocs requires a doc comment on every exported top-level
 // declaration (types, funcs, methods on exported types, consts, vars) in
-// the packages whose API the docs satellite covers.
+// the packages whose API the docs satellite covers — the public talign
+// root package and the database/sql driver included.
 func TestExportedDocs(t *testing.T) {
 	root := repoRoot(t)
-	for _, pkg := range []string{"sqlish", "plan", "exec", "server", "expr", "stats", "opt"} {
-		dir := filepath.Join(root, "internal", pkg)
+	for _, pkg := range []string{
+		"internal/sqlish", "internal/plan", "internal/exec",
+		"internal/server", "internal/expr", "internal/stats",
+		"internal/opt", "internal/wire", ".", "sqldriver",
+	} {
+		dir := filepath.Join(root, pkg)
 		fset, files := parseDir(t, dir)
 		for _, f := range files {
 			for _, decl := range f.Decls {

@@ -1,0 +1,78 @@
+package exec
+
+import (
+	"context"
+	"sync/atomic"
+
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// cancelObserved counts, process-wide, how many times an operator's batch
+// loop observed a cancelled context and aborted. It exists as operator
+// instrumentation: tests and the server's /metrics endpoint use it to
+// prove that a cancelled context really stopped the executor cooperatively
+// rather than the query running to completion and the result being thrown
+// away.
+var cancelObserved atomic.Uint64
+
+// CancelObserved reports how many operator-level cancellation aborts have
+// happened process-wide since start.
+func CancelObserved() uint64 { return cancelObserved.Load() }
+
+// Cancel is a transparent iterator wrapper that makes its subtree
+// context-aware: every Open and Next first checks ctx and aborts with the
+// context's error once it is cancelled or past its deadline. The plan
+// layer wraps every operator a Build produces with one (when the execution
+// carries a context), which turns the whole executor tree — including the
+// fragment operators driven by exchange worker goroutines and the
+// producer side of a Splitter — into a cooperative cancellation lattice:
+// no operator runs more than one batch beyond the cancellation point.
+type Cancel struct {
+	// Input is the wrapped operator.
+	Input Iterator
+
+	ctx     context.Context
+	tripped bool
+}
+
+// WithCancel wraps in with a cooperative cancellation check against ctx.
+// A nil context, or one that can never be cancelled (no Done channel),
+// returns in unchanged so executions without a context pay nothing.
+func WithCancel(ctx context.Context, in Iterator) Iterator {
+	if ctx == nil || ctx.Done() == nil {
+		return in
+	}
+	return &Cancel{Input: in, ctx: ctx}
+}
+
+func (c *Cancel) Schema() schema.Schema { return c.Input.Schema() }
+
+func (c *Cancel) Open() error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	return c.Input.Open()
+}
+
+func (c *Cancel) Next() ([]tuple.Tuple, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	return c.Input.Next()
+}
+
+func (c *Cancel) Close() error { return c.Input.Close() }
+
+// check returns the context's error once it is done, counting the first
+// observation into the process-wide instrumentation counter.
+func (c *Cancel) check() error {
+	if err := c.ctx.Err(); err != nil {
+		if !c.tripped {
+			c.tripped = true
+			cancelObserved.Add(1)
+		}
+		return err
+	}
+	return nil
+}

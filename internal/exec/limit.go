@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"fmt"
+
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// Limit implements LIMIT/OFFSET with early exit: it skips the first
+// Offset tuples, passes through the next N, and then reports exhaustion
+// WITHOUT pulling another batch from its child — the stop propagates
+// upstream as simple absence of Next calls, so a cursor that reaches its
+// limit never drains the rest of the pipeline (a scan under a LIMIT 10
+// reads a handful of batches, not the whole table). N < 0 means no limit
+// (OFFSET alone).
+type Limit struct {
+	// Input is the child operator; N and Offset the LIMIT/OFFSET values.
+	Input  Iterator
+	N      int64
+	Offset int64
+
+	remaining int64
+	toSkip    int64
+	done      bool
+}
+
+// NewLimit wraps in with a limit of n tuples after skipping offset tuples;
+// n < 0 means unlimited.
+func NewLimit(in Iterator, n, offset int64) (*Limit, error) {
+	if offset < 0 {
+		return nil, fmt.Errorf("exec: OFFSET must be >= 0, got %d", offset)
+	}
+	return &Limit{Input: in, N: n, Offset: offset}, nil
+}
+
+func (l *Limit) Schema() schema.Schema { return l.Input.Schema() }
+
+func (l *Limit) Open() error {
+	l.remaining = l.N
+	l.toSkip = l.Offset
+	l.done = false
+	return l.Input.Open()
+}
+
+func (l *Limit) Next() ([]tuple.Tuple, error) {
+	if l.done || l.remaining == 0 {
+		// Early exit: the child is NOT pulled again once the limit is
+		// reached. Upstream operators observe the stop as their final
+		// Next never happening, and Close tears the pipeline down.
+		l.done = true
+		return nil, nil
+	}
+	for {
+		b, err := l.Input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			l.done = true
+			return nil, nil
+		}
+		if l.toSkip > 0 {
+			if int64(len(b)) <= l.toSkip {
+				l.toSkip -= int64(len(b))
+				continue
+			}
+			b = b[l.toSkip:]
+			l.toSkip = 0
+		}
+		if l.remaining >= 0 && int64(len(b)) >= l.remaining {
+			b = b[:l.remaining]
+			l.remaining = 0
+		} else if l.remaining > 0 {
+			l.remaining -= int64(len(b))
+		}
+		return b, nil
+	}
+}
+
+func (l *Limit) Close() error { return l.Input.Close() }

@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -20,6 +21,14 @@ type ExecCtx struct {
 	// Params are the values bound to $1..$N, in order.
 	Params []value.Value
 
+	// Ctx is the execution's context.Context. When it is cancellable,
+	// every operator a Build produces is wrapped with a cooperative
+	// per-batch cancellation check (exec.WithCancel), so cancelling the
+	// context promptly aborts the whole executor tree — including the
+	// fragment operators driven by exchange worker goroutines. A nil Ctx
+	// (or context.Background()) costs nothing.
+	Ctx context.Context
+
 	// Instrument, when set, wraps every operator a Build produces (after
 	// batch sizing) and is how EXPLAIN ANALYZE attaches its row counters.
 	// It must be set before Build and be safe for the node identity it is
@@ -34,6 +43,12 @@ type ExecCtx struct {
 // NewExecCtx returns an execution context binding params to $1..$N.
 func NewExecCtx(params ...value.Value) *ExecCtx {
 	return &ExecCtx{Params: params}
+}
+
+// NewExecCtxContext returns an execution context carrying ctx for
+// cooperative cancellation and binding params to $1..$N.
+func NewExecCtxContext(ctx context.Context, params ...value.Value) *ExecCtx {
+	return &ExecCtx{Ctx: ctx, Params: params}
 }
 
 // bind substitutes this execution's parameter values into e. A nil context
@@ -59,10 +74,19 @@ func (c *ExecCtx) bindAll(es []expr.Expr) []expr.Expr {
 	return out
 }
 
-// instrument applies the context's Instrument hook to a freshly built
-// operator; a nil context or nil hook passes the operator through.
+// instrument finalizes a freshly built operator: it first arms the
+// context's cooperative cancellation check (every operator's batch loop
+// gains one, which is what makes cancellation prompt even inside exchange
+// fragments), then applies the Instrument hook. A nil context passes the
+// operator through untouched.
 func (c *ExecCtx) instrument(n Node, it exec.Iterator) exec.Iterator {
-	if c == nil || c.Instrument == nil {
+	if c == nil {
+		return it
+	}
+	if c.Ctx != nil {
+		it = exec.WithCancel(c.Ctx, it)
+	}
+	if c.Instrument == nil {
 		return it
 	}
 	return c.Instrument(n, it)

@@ -1,0 +1,83 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+
+	"talign/internal/exec"
+	"talign/internal/schema"
+	"talign/internal/stats"
+)
+
+// LimitNode caps the result at N rows after skipping Offset rows. Its
+// executor counterpart exits early: once the limit is reached it stops
+// pulling from its child entirely, so a cursor over LIMIT k reads O(k)
+// batches instead of draining the pipeline. N < 0 means no limit (OFFSET
+// alone).
+type LimitNode struct {
+	Input  Node
+	N      int64
+	Offset int64
+
+	batch int
+}
+
+// Limit builds a LIMIT/OFFSET node; n < 0 means unlimited.
+func (p *Planner) Limit(input Node, n, offset int64) *LimitNode {
+	return &LimitNode{Input: input, N: n, Offset: offset, batch: p.Flags.BatchSize}
+}
+
+func (l *LimitNode) Schema() schema.Schema { return l.Input.Schema() }
+func (l *LimitNode) Children() []Node      { return []Node{l.Input} }
+
+// Rows caps the input estimate at the limit (after the offset).
+func (l *LimitNode) Rows() float64 {
+	in := math.Max(0, l.Input.Rows()-float64(l.Offset))
+	if l.N >= 0 {
+		in = math.Min(in, float64(l.N))
+	}
+	return in
+}
+
+// Cost charges the input in proportion to the fraction of it the early
+// exit actually pulls.
+func (l *LimitNode) Cost() float64 {
+	inRows := math.Max(l.Input.Rows(), 1)
+	frac := 1.0
+	if l.N >= 0 {
+		frac = math.Min(1, (float64(l.N)+float64(l.Offset))/inRows)
+	}
+	return l.Input.Cost()*frac + l.Rows()*CPUTupleCost
+}
+
+// Stats scales the input's statistics down to the capped cardinality.
+func (l *LimitNode) Stats() *stats.Table {
+	in := NodeStats(l.Input)
+	if in == nil {
+		return nil
+	}
+	return &stats.Table{Rows: int64(l.Rows()), Cols: in.Cols, T: in.T}
+}
+
+func (l *LimitNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	in, err := l.Input.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	lim, err := exec.NewLimit(in, l.N, l.Offset)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.instrument(l, lim), nil
+}
+
+func (l *LimitNode) Label() string {
+	switch {
+	case l.N >= 0 && l.Offset > 0:
+		return fmt.Sprintf("Limit %d offset %d", l.N, l.Offset)
+	case l.N >= 0:
+		return fmt.Sprintf("Limit %d", l.N)
+	default:
+		return fmt.Sprintf("Offset %d", l.Offset)
+	}
+}

@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // Gate is the admission controller: a weighted FIFO semaphore bounding
 // the total in-flight degree of parallelism across all queries. Every
@@ -37,8 +40,18 @@ func NewGate(capacity int) *Gate {
 // query waits for an idle gate rather than deadlocking. Acquire returns
 // the weight actually claimed, which must be passed to Release.
 func (g *Gate) Acquire(w int) int {
+	claimed, _ := g.AcquireCtx(context.Background(), w)
+	return claimed
+}
+
+// AcquireCtx is Acquire with cooperative cancellation: a caller whose
+// context is cancelled while queued abandons its place in line (later
+// waiters move up) and gets the context's error back with no units
+// claimed. Admission that raced with the cancellation is rolled back, so
+// the accounting stays exact either way.
+func (g *Gate) AcquireCtx(ctx context.Context, w int) (int, error) {
 	if g.capacity <= 0 {
-		return 0 // unlimited: nothing to claim
+		return 0, ctx.Err() // unlimited: nothing to claim
 	}
 	if w < 1 {
 		w = 1
@@ -50,13 +63,30 @@ func (g *Gate) Acquire(w int) int {
 	if len(g.waiters) == 0 && g.inUse+w <= g.capacity {
 		g.inUse += w
 		g.mu.Unlock()
-		return w
+		return w, nil
 	}
 	wt := &gateWaiter{w: w, ch: make(chan struct{})}
 	g.waiters = append(g.waiters, wt)
 	g.mu.Unlock()
-	<-wt.ch
-	return w
+	select {
+	case <-wt.ch:
+		return w, nil
+	case <-ctx.Done():
+	}
+	// Cancelled while queued: leave the line — unless admission raced the
+	// cancellation, in which case the claim is returned through Release
+	// (which also lets the next waiter in).
+	g.mu.Lock()
+	for i, q := range g.waiters {
+		if q == wt {
+			g.waiters = append(g.waiters[:i], g.waiters[i+1:]...)
+			g.mu.Unlock()
+			return 0, ctx.Err()
+		}
+	}
+	g.mu.Unlock()
+	g.Release(w)
+	return 0, ctx.Err()
 }
 
 // Release returns w units claimed by Acquire and admits queued waiters

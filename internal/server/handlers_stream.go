@@ -1,0 +1,80 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"talign/internal/wire"
+)
+
+// handleQueryStream is the wire-level row-streaming endpoint: it runs the
+// request under the request's context (client disconnect cancels the
+// running plan server-side) and writes the result as chunked NDJSON
+// frames — a schema frame, one rows frame per executor batch, and a
+// trailing status (or error) frame — flushing after every frame so rows
+// reach the client as the executor produces them.
+func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
+	req, params, err := decodeRequest(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	rs, err := s.Stream(r.Context(), req.Session, req.Stmt, req.SQL, params)
+	if err != nil {
+		// Nothing was sent yet: report the failure as a plain structured
+		// HTTP error, exactly like the buffered endpoint.
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer rs.Close()
+	s.streams.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // streaming through proxies
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	send := func(f wire.Frame) bool {
+		if err := enc.Encode(f); err != nil {
+			return false // client is gone; the deferred Close cancels upstream
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	if rs.Plan() != "" {
+		if send(wire.Frame{Frame: wire.FramePlan, Plan: rs.Plan(), CacheHit: rs.CacheHit()}) {
+			send(wire.Frame{Frame: wire.FrameStatus})
+		}
+		return
+	}
+	if !send(wire.Frame{Frame: wire.FrameSchema, Columns: rs.Columns(), Types: rs.Types(), CacheHit: rs.CacheHit()}) {
+		return
+	}
+	var total int64
+	for {
+		batch, err := rs.Next()
+		if err != nil {
+			send(wire.Frame{Frame: wire.FrameError, Error: wire.FromError(err, errorCode(err))})
+			return
+		}
+		if len(batch) == 0 {
+			send(wire.Frame{Frame: wire.FrameStatus, RowCount: total})
+			return
+		}
+		rows := make([][]any, len(batch))
+		for i, t := range batch {
+			row := make([]any, 0, len(t.Vals)+2)
+			for _, v := range t.Vals {
+				row = append(row, wire.Cell(v))
+			}
+			row = append(row, t.T.Ts, t.T.Te)
+			rows[i] = row
+		}
+		total += int64(len(batch))
+		if !send(wire.Frame{Frame: wire.FrameRows, Rows: rows}) {
+			return
+		}
+	}
+}

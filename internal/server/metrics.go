@@ -1,0 +1,49 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+
+	"talign/internal/exec"
+)
+
+// handleMetrics renders the server's operational counters in Prometheus
+// text exposition format: query/error/cancellation totals, wire-level
+// streaming volume, plan-cache effectiveness (hits, misses, evictions,
+// plans, size) and the admission gate's capacity, in-flight DOP and
+// queue depth. Scrape it with any Prometheus-compatible collector; the
+// talignd smoke test in CI greps it directly.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	cs := s.cache.Stats()
+	gs := s.gate.Stats()
+	snap := s.catalog.Snapshot()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("talignd_queries_total", "Queries accepted (ad-hoc, prepared, streamed).", s.queries.Load())
+	counter("talignd_errors_total", "Queries that ended in an error.", s.errors.Load())
+	counter("talignd_query_cancels_total", "Queries aborted by context cancellation or deadline.", s.cancels.Load())
+	counter("talignd_streams_total", "Wire-level streaming responses started.", s.streams.Load())
+	counter("talignd_rows_streamed_total", "Rows delivered through streaming cursors.", s.rowsStreamed.Load())
+	counter("talignd_exec_cancel_observed_total", "Operator batch loops that observed a cancelled context (process-wide).", exec.CancelObserved())
+
+	counter("talignd_plan_cache_hits_total", "Plan cache hits.", cs.Hits)
+	counter("talignd_plan_cache_misses_total", "Plan cache misses.", cs.Misses)
+	counter("talignd_plan_cache_evictions_total", "Plan cache LRU evictions.", cs.Evictions)
+	counter("talignd_plans_total", "Statements actually planned.", cs.Plans)
+	gauge("talignd_plan_cache_size", "Cached plans.", cs.Size)
+	gauge("talignd_plan_cache_capacity", "Plan cache capacity.", cs.Capacity)
+
+	gauge("talignd_gate_capacity", "Admission gate capacity in DOP units (0 = unlimited).", gs.Capacity)
+	gauge("talignd_gate_in_flight_dop", "In-flight degree of parallelism claimed by running queries.", gs.InUse)
+	gauge("talignd_gate_waiting", "Queries queued at the admission gate.", gs.Waiting)
+
+	gauge("talignd_sessions", "Live sessions.", s.sess.count())
+	gauge("talignd_catalog_tables", "Registered tables.", snap.Len())
+}

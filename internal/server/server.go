@@ -15,9 +15,10 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"math"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -28,6 +29,7 @@ import (
 	"talign/internal/sqlish"
 	"talign/internal/stats"
 	"talign/internal/value"
+	"talign/internal/wire"
 )
 
 // Config parameterizes a Server.
@@ -55,8 +57,11 @@ type Server struct {
 	sess    sessions
 	start   time.Time
 
-	queries atomic.Uint64
-	errors  atomic.Uint64
+	queries      atomic.Uint64
+	errors       atomic.Uint64
+	cancels      atomic.Uint64
+	streams      atomic.Uint64
+	rowsStreamed atomic.Uint64
 }
 
 // New creates a server with an empty catalog.
@@ -122,12 +127,13 @@ func (s *Server) AnalyzeAll() int {
 
 // Prepare parses, plans and caches sql, then registers it under name in
 // the session. The returned plan carries the statement's parameter count
-// and result schema.
+// and result schema. Parsing happens against the original text, so
+// syntax errors carry the client statement's line/col.
 func (s *Server) Prepare(sessionID, name, sql string) (*sqlish.Prepared, error) {
 	if strings.TrimSpace(name) == "" {
 		return nil, fmt.Errorf("server: prepared statement needs a name")
 	}
-	norm, err := sqlish.Normalize(sql)
+	_, norm, err := sqlish.ParseNormalized(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -151,85 +157,40 @@ type Result struct {
 }
 
 // Query executes ad-hoc SQL (stmtName == "") or a session's named
-// prepared statement, binding params to $1..$N. Execution is admitted
-// through the DOP gate.
+// prepared statement, binding params to $1..$N, buffering the full
+// result. Execution is admitted through the DOP gate.
 func (s *Server) Query(sessionID, stmtName, sql string, params []value.Value) (Result, error) {
-	s.queries.Add(1)
-	res, err := s.query(sessionID, stmtName, sql, params)
-	if err != nil {
-		s.errors.Add(1)
-	}
-	return res, err
+	return s.QueryContext(context.Background(), sessionID, stmtName, sql, params)
 }
 
-func (s *Server) query(sessionID, stmtName, sql string, params []value.Value) (Result, error) {
-	var norm string
-	var err error
-	switch {
-	case stmtName != "" && sql != "":
-		return Result{}, fmt.Errorf("server: request must set either sql or stmt, not both")
-	case stmtName != "":
-		info, lerr := s.sess.get(sessionID).stmt(stmtName)
-		if lerr != nil {
-			return Result{}, lerr
-		}
-		norm = info.norm
-	case strings.TrimSpace(sql) != "":
-		norm, err = sqlish.Normalize(sql)
-		if err != nil {
-			return Result{}, err
-		}
-	default:
-		return Result{}, fmt.Errorf("server: request has neither sql nor stmt")
-	}
-	// ANALYZE mutates catalog statistics instead of planning a query; it
-	// bypasses the plan cache entirely but still pays one unit of the
-	// admission gate — its full-table scan is real work that must queue
-	// with the rest of the traffic. (Normalization lower-cases keywords,
-	// so the prefix check is exact.)
-	if strings.HasPrefix(norm, "analyze ") || norm == "analyze" {
-		st, perr := sqlish.Parse(norm)
-		if perr != nil {
-			return Result{}, perr
-		}
-		if name, ok := st.AnalyzeTarget(); ok {
-			claimed := s.gate.Acquire(1)
-			defer s.gate.Release(claimed)
-			t, aerr := s.Analyze(name)
-			if aerr != nil {
-				return Result{}, aerr
-			}
-			return Result{Plan: fmt.Sprintf("ANALYZE %s: %d rows, %d columns", name, t.Rows, len(t.Cols))}, nil
-		}
-	}
-	prep, hit, err := s.plan(norm)
+// QueryContext is Query under a context: cancellation aborts the
+// execution cooperatively (including while queued at the admission gate).
+// It is implemented over the streaming core — the buffered path IS the
+// stream, drained to completion — so buffered and streamed executions
+// can never diverge.
+func (s *Server) QueryContext(ctx context.Context, sessionID, stmtName, sql string, params []value.Value) (Result, error) {
+	rs, err := s.Stream(ctx, sessionID, stmtName, sql, params)
 	if err != nil {
 		return Result{}, err
 	}
-	if prep.IsExplainAnalyze() {
-		// EXPLAIN ANALYZE executes the statement, so it goes through the
-		// admission gate like any other execution.
-		claimed := s.gate.Acquire(prep.MaxDOP())
-		defer s.gate.Release(claimed)
-		text, eerr := prep.ExplainAnalyze(params...)
-		if eerr != nil {
-			return Result{}, eerr
+	defer rs.Close()
+	if rs.Plan() != "" {
+		return Result{Plan: rs.Plan(), CacheHit: rs.CacheHit()}, nil
+	}
+	rel := relation.New(rs.cur.Schema())
+	for {
+		b, nerr := rs.Next()
+		if nerr != nil {
+			return Result{}, nerr
 		}
-		return Result{Plan: text, CacheHit: hit}, nil
+		if len(b) == 0 {
+			break
+		}
+		// Batches are reused by the executor; the tuple structs copy
+		// safely per the batch ownership contract.
+		rel.Tuples = append(rel.Tuples, b...)
 	}
-	if prep.IsExplain() {
-		return Result{Plan: prep.Explain(), CacheHit: hit}, nil
-	}
-	// Charge the plan's actual width, not the configured DOP: a serial
-	// plan (the cost model kept every operator unpartitioned) costs one
-	// unit, so cheap queries never queue behind the parallel budget.
-	claimed := s.gate.Acquire(prep.MaxDOP())
-	defer s.gate.Release(claimed)
-	rel, err := prep.Execute(params...)
-	if err != nil {
-		return Result{}, err
-	}
-	return Result{Rel: rel, CacheHit: hit}, nil
+	return Result{Rel: rel, CacheHit: rs.CacheHit()}, nil
 }
 
 // Explain plans the statement (through the cache) and renders its plan,
@@ -244,7 +205,7 @@ func (s *Server) Explain(sessionID, stmtName, sql string) (string, error) {
 		}
 		norm = info.norm
 	} else {
-		norm, err = sqlish.Normalize(sql)
+		_, norm, err = sqlish.ParseNormalized(sql)
 		if err != nil {
 			return "", err
 		}
@@ -260,19 +221,27 @@ func (s *Server) Explain(sessionID, stmtName, sql string) (string, error) {
 
 // Handler returns the HTTP front end:
 //
-//	POST /query    {"sql": "...", "params": [...]} or
-//	               {"session": "s", "stmt": "name", "params": [...]}
-//	POST /prepare  {"session": "s", "name": "q1", "sql": "... $1 ..."}
-//	GET  /explain  ?sql=... | ?session=s&stmt=name     (text/plain)
-//	GET  /healthz  liveness + catalog/cache/gate statistics
-//	GET  /stats    per-table ANALYZE statistics + plan-cache counters
+//	POST /query         {"sql": "...", "params": [...]} or
+//	                    {"session": "s", "stmt": "name", "params": [...]}
+//	POST /query/stream  same body; chunked batch-framed NDJSON response
+//	POST /prepare       {"session": "s", "name": "q1", "sql": "... $1 ..."}
+//	GET  /explain       ?sql=... | ?session=s&stmt=name     (text/plain)
+//	GET  /healthz       liveness + catalog/cache/gate statistics
+//	GET  /stats         per-table ANALYZE statistics + plan-cache counters
+//	GET  /metrics       Prometheus text-format counters
+//
+// Both query endpoints execute under the request's context: a client
+// that disconnects (or times out) cancels the context, and the
+// cancellation propagates into every operator of the running plan.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /query/stream", s.handleQueryStream)
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -318,7 +287,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.Query(req.Session, req.Stmt, req.SQL, params)
+	res, err := s.QueryContext(r.Context(), req.Session, req.Stmt, req.SQL, params)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -341,7 +310,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	cols, types := schemaColumns(prep)
+	cols, types := SchemaColumns(prep)
 	sessionID := req.Session
 	if sessionID == "" {
 		sessionID = DefaultSessionID
@@ -418,8 +387,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 					Type:        at.Type.String(),
 					Distinct:    c.Distinct,
 					NullFrac:    c.NullFrac,
-					Min:         jsonValue(c.Min),
-					Max:         jsonValue(c.Max),
+					Min:         wire.Cell(c.Min),
+					Max:         wire.Cell(c.Max),
 					HistBuckets: c.Hist.Buckets(),
 				})
 			}
@@ -452,60 +421,13 @@ func decodeRequest(r *http.Request) (queryRequest, []value.Value, error) {
 	}
 	params := make([]value.Value, len(req.Params))
 	for i, p := range req.Params {
-		v, err := paramValue(p)
+		v, err := wire.Value(p)
 		if err != nil {
 			return req, nil, fmt.Errorf("server: param $%d: %v", i+1, err)
 		}
 		params[i] = v
 	}
 	return req, params, nil
-}
-
-// paramValue converts one decoded JSON parameter to an engine value.
-func paramValue(x any) (value.Value, error) {
-	switch t := x.(type) {
-	case nil:
-		return value.Null, nil
-	case bool:
-		return value.NewBool(t), nil
-	case string:
-		return value.NewString(t), nil
-	case json.Number:
-		if i, err := t.Int64(); err == nil {
-			return value.NewInt(i), nil
-		}
-		f, err := t.Float64()
-		if err != nil {
-			return value.Null, fmt.Errorf("bad number %q", t.String())
-		}
-		return value.NewFloat(f), nil
-	}
-	return value.Null, fmt.Errorf("unsupported JSON type %T (use null, bool, number or string)", x)
-}
-
-// jsonValue converts an engine value to its JSON representation; periods
-// render as their "[ts, te)" string form, and non-finite floats as strings
-// (JSON has no NaN/Inf).
-func jsonValue(v value.Value) any {
-	switch v.Kind() {
-	case value.KindNull:
-		return nil
-	case value.KindBool:
-		return v.Bool()
-	case value.KindInt:
-		return v.Int()
-	case value.KindFloat:
-		f := v.Float()
-		if math.IsNaN(f) || math.IsInf(f, 0) {
-			return fmt.Sprint(f)
-		}
-		return f
-	case value.KindString:
-		return v.Str()
-	case value.KindInterval:
-		return v.Interval().String()
-	}
-	return v.String()
 }
 
 // encodeRelation renders a result relation as a queryResponse.
@@ -522,7 +444,7 @@ func encodeRelation(rel *relation.Relation, cacheHit bool) queryResponse {
 	for i, t := range rel.Tuples {
 		row := make([]any, 0, len(t.Vals)+2)
 		for _, v := range t.Vals {
-			row = append(row, jsonValue(v))
+			row = append(row, wire.Cell(v))
 		}
 		row = append(row, t.T.Ts, t.T.Te)
 		rows[i] = row
@@ -536,8 +458,11 @@ func encodeRelation(rel *relation.Relation, cacheHit bool) queryResponse {
 	}
 }
 
-// schemaColumns lists a prepared statement's result columns and types.
-func schemaColumns(prep *sqlish.Prepared) (cols, types []string) {
+// SchemaColumns lists a prepared statement's result columns and types:
+// the visible attributes followed by the valid-time bounds "ts" and
+// "te". It is the one definition of the wire schema shape (the public
+// talign package reuses it for embedded cursors).
+func SchemaColumns(prep *sqlish.Prepared) (cols, types []string) {
 	sch := prep.Schema()
 	for _, at := range sch.Attrs {
 		cols = append(cols, at.Name)
@@ -559,8 +484,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
+// httpError renders a structured JSON error {code, message, line, col}:
+// parse errors keep the offending token's statement position, other
+// pipeline stages classify by code (see errorCode).
 func httpError(w http.ResponseWriter, code int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(map[string]any{"error": wire.FromError(err, errorCode(err))})
+}
+
+// errorCode picks the default wire code for a non-structured error:
+// server-side request/protocol problems report "request", everything
+// else that reached execution reports "execute" (analyzer errors carry
+// the sqlish prefix and report "analyze").
+func errorCode(err error) string {
+	msg := err.Error()
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "cancelled"
+	case strings.HasPrefix(msg, "server:"):
+		return "request"
+	case strings.HasPrefix(msg, "sqlish:"):
+		return sqlish.ErrAnalyze
+	default:
+		return sqlish.ErrExecute
+	}
 }

@@ -78,14 +78,18 @@ func TestHTTPPrepareExecute(t *testing.T) {
 		t.Fatalf("planned %d times over prepare + 2 executes, want 1", st.Plans)
 	}
 
-	// Unknown statement and wrong param count are client errors.
+	// Unknown statement and wrong param count are client errors with
+	// structured {code, message} bodies.
 	code, out = post(t, ts, "/query", `{"session": "s1", "stmt": "nope"}`)
 	if code != http.StatusBadRequest {
 		t.Fatalf("unknown stmt: status %d: %v", code, out)
 	}
 	code, out = post(t, ts, "/query", `{"session": "s1", "stmt": "q1", "params": []}`)
-	if code != http.StatusBadRequest || !strings.Contains(out["error"].(string), "parameter") {
+	if code != http.StatusBadRequest {
 		t.Fatalf("missing params: status %d: %v", code, out)
+	}
+	if e := out["error"].(map[string]any); !strings.Contains(e["message"].(string), "parameter") {
+		t.Fatalf("missing params error: %v", out)
 	}
 	// Sessions isolate statements.
 	code, _ = post(t, ts, "/query", `{"session": "other", "stmt": "q1", "params": ["Ann"]}`)
@@ -140,6 +144,69 @@ func TestHTTPExplainAndHealthz(t *testing.T) {
 	gate := health["gate"].(map[string]any)
 	if gate["capacity"].(float64) != 8 {
 		t.Fatalf("healthz gate: %v", gate)
+	}
+}
+
+// TestHTTPStructuredErrors asserts the {code, message, line, col} error
+// object on every failing path: parse errors carry the offending token's
+// 1-based statement position, analyzer errors the "analyze" code, and
+// request-shape errors the "request" code.
+func TestHTTPStructuredErrors(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	errObj := func(body string) map[string]any {
+		t.Helper()
+		code, out := post(t, ts, "/query", body)
+		if code != http.StatusBadRequest || out["error"] == nil {
+			t.Fatalf("body %s: status %d: %v", body, code, out)
+		}
+		e, ok := out["error"].(map[string]any)
+		if !ok {
+			t.Fatalf("body %s: error is not structured: %v", body, out)
+		}
+		return e
+	}
+
+	// Parse error on line 2, after 8 leading bytes: "SELECT n\nFROM r WHERE".
+	e := errObj(`{"sql": "SELECT n\nFROM r WHERE"}`)
+	if e["code"] != "parse" {
+		t.Fatalf("parse error code = %v", e)
+	}
+	if e["line"].(float64) != 2 || e["col"].(float64) != 13 {
+		t.Fatalf("parse error position = line %v col %v, want 2:13 (%v)", e["line"], e["col"], e)
+	}
+
+	e = errObj(`{"sql": "SELECT broken FROM nowhere"}`)
+	if e["code"] != "analyze" || !strings.Contains(e["message"].(string), "nowhere") {
+		t.Fatalf("analyze error = %v", e)
+	}
+	if _, hasLine := e["line"]; hasLine {
+		t.Fatalf("analyze error should omit position: %v", e)
+	}
+
+	e = errObj(`{}`)
+	if e["code"] != "request" {
+		t.Fatalf("request error = %v", e)
+	}
+
+	// Parameter-count mismatch classifies as a request error too.
+	code, out := post(t, ts, "/query", `{"sql": "SELECT n FROM r WHERE n = $1"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("missing param: status %d: %v", code, out)
+	}
+	if e := out["error"].(map[string]any); e["code"] != "request" {
+		t.Fatalf("missing param error = %v", e)
+	}
+
+	// /prepare errors point into the ORIGINAL (multi-line) text as well.
+	code, out = post(t, ts, "/prepare", `{"session":"s","name":"q","sql":"SELECT n\nFROM r WHERE"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("prepare parse error: status %d: %v", code, out)
+	}
+	if e := out["error"].(map[string]any); e["code"] != "parse" || e["line"].(float64) != 2 || e["col"].(float64) != 13 {
+		t.Fatalf("prepare parse error = %v", e)
 	}
 }
 

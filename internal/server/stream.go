@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"talign/internal/sqlish"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// RowStream is one query's incremental result: schema metadata up front,
+// then batches of rows pulled straight from the executor. It is the
+// server-core primitive beneath the wire-level NDJSON streaming, the
+// public talign package's embedded cursors and the buffered legacy
+// Query path.
+//
+// The admission-gate units the execution claimed are held until Close —
+// a streaming client occupies its parallelism budget for as long as it
+// keeps the cursor open — so Close must always be called. Statements
+// that produce a plan rendering instead of rows (EXPLAIN, EXPLAIN
+// ANALYZE, ANALYZE) return a RowStream with Plan set and no row batches;
+// Close is then a no-op.
+type RowStream struct {
+	cols     []string
+	types    []string
+	plan     string
+	cacheHit bool
+
+	s       *Server
+	cur     *sqlish.Cursor
+	release func()
+	counted bool
+	done    bool
+}
+
+// Columns lists the result columns: the visible attributes followed by
+// the valid-time bounds "ts" and "te".
+func (rs *RowStream) Columns() []string { return rs.cols }
+
+// Types lists the column type names, parallel to Columns.
+func (rs *RowStream) Types() []string { return rs.types }
+
+// Plan holds the plan rendering for EXPLAIN/ANALYZE-style statements
+// (empty for row-producing statements).
+func (rs *RowStream) Plan() string { return rs.plan }
+
+// CacheHit reports whether the plan came out of the plan cache.
+func (rs *RowStream) CacheHit() bool { return rs.cacheHit }
+
+// Next returns the next batch of tuples; an empty batch signals
+// exhaustion. The batch is only valid until the following Next or Close
+// (the executor's ownership contract). Errors — including context
+// cancellation, which is counted into the server's cancellation metric —
+// are terminal.
+func (rs *RowStream) Next() ([]tuple.Tuple, error) {
+	if rs.cur == nil || rs.done {
+		return nil, nil
+	}
+	b, err := rs.cur.Next()
+	if err != nil {
+		rs.fail(err)
+		return nil, err
+	}
+	if len(b) == 0 {
+		rs.Close()
+		return nil, nil
+	}
+	rs.s.rowsStreamed.Add(uint64(len(b)))
+	return b, nil
+}
+
+// fail records a terminal error and tears the execution down.
+func (rs *RowStream) fail(err error) {
+	if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && !rs.counted {
+		rs.counted = true
+		rs.s.cancels.Add(1)
+	}
+	rs.s.errors.Add(1)
+	rs.Close()
+}
+
+// Close tears the execution down and releases its admission-gate units;
+// it is idempotent and safe to call mid-stream (the pipeline stops
+// without draining).
+func (rs *RowStream) Close() error {
+	if rs.done {
+		return nil
+	}
+	rs.done = true
+	var err error
+	if rs.cur != nil {
+		err = rs.cur.Close()
+	}
+	if rs.release != nil {
+		rs.release()
+		rs.release = nil
+	}
+	return err
+}
+
+// Stream executes ad-hoc SQL (stmtName == "") or a session's named
+// prepared statement as an incremental row stream under ctx: admission
+// waits on the gate honor the context, and every operator in the built
+// pipeline checks it between batches, so cancelling ctx (a disconnected
+// client, a deadline) aborts the query server-side. The returned
+// RowStream must be Closed.
+func (s *Server) Stream(ctx context.Context, sessionID, stmtName, sql string, params []value.Value) (*RowStream, error) {
+	s.queries.Add(1)
+	rs, err := s.stream(ctx, sessionID, stmtName, sql, params)
+	if err != nil {
+		s.errors.Add(1)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.cancels.Add(1)
+		}
+	}
+	return rs, err
+}
+
+func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, params []value.Value) (*RowStream, error) {
+	var norm string
+	switch {
+	case stmtName != "" && sql != "":
+		return nil, fmt.Errorf("server: request must set either sql or stmt, not both")
+	case stmtName != "":
+		// The statement text was parse-checked at Prepare time (and an
+		// ANALYZE can never be prepared), so the normalized text goes
+		// straight to the plan cache.
+		info, lerr := s.sess.get(sessionID).stmt(stmtName)
+		if lerr != nil {
+			return nil, lerr
+		}
+		norm = info.norm
+	case strings.TrimSpace(sql) != "":
+		// One lex of the ORIGINAL text yields both the parse check (so
+		// syntax errors point at the client's statement, not at the
+		// whitespace-collapsed normalized form) and the plan-cache key.
+		st, norm0, perr := sqlish.ParseNormalized(sql)
+		if perr != nil {
+			return nil, perr
+		}
+		// ANALYZE mutates catalog statistics instead of planning a query;
+		// it bypasses the plan cache entirely but still pays one unit of
+		// the admission gate — its full-table scan is real work that must
+		// queue with the rest of the traffic.
+		if name, ok := st.AnalyzeTarget(); ok {
+			claimed, gerr := s.gate.AcquireCtx(ctx, 1)
+			if gerr != nil {
+				return nil, gerr
+			}
+			defer s.gate.Release(claimed)
+			t, aerr := s.Analyze(name)
+			if aerr != nil {
+				return nil, aerr
+			}
+			return &RowStream{s: s, plan: fmt.Sprintf("ANALYZE %s: %d rows, %d columns", name, t.Rows, len(t.Cols))}, nil
+		}
+		norm = norm0
+	default:
+		return nil, fmt.Errorf("server: request has neither sql nor stmt")
+	}
+	prep, hit, err := s.plan(norm)
+	if err != nil {
+		return nil, err
+	}
+	if prep.IsExplainAnalyze() {
+		// EXPLAIN ANALYZE executes the statement, so it goes through the
+		// admission gate like any other execution.
+		claimed, gerr := s.gate.AcquireCtx(ctx, prep.MaxDOP())
+		if gerr != nil {
+			return nil, gerr
+		}
+		defer s.gate.Release(claimed)
+		text, eerr := prep.ExplainAnalyzeContext(ctx, params...)
+		if eerr != nil {
+			return nil, eerr
+		}
+		return &RowStream{s: s, plan: text, cacheHit: hit}, nil
+	}
+	if prep.IsExplain() {
+		return &RowStream{s: s, plan: prep.Explain(), cacheHit: hit}, nil
+	}
+	// Charge the plan's actual width, not the configured DOP: a serial
+	// plan costs one unit, so cheap queries never queue behind the
+	// parallel budget. The claim is held until the stream is closed —
+	// an open cursor IS in-flight work.
+	claimed, gerr := s.gate.AcquireCtx(ctx, prep.MaxDOP())
+	if gerr != nil {
+		return nil, gerr
+	}
+	cur, err := prep.Stream(ctx, params...)
+	if err != nil {
+		s.gate.Release(claimed)
+		return nil, err
+	}
+	cols, types := SchemaColumns(prep)
+	return &RowStream{
+		cols:     cols,
+		types:    types,
+		cacheHit: hit,
+		s:        s,
+		cur:      cur,
+		release:  func() { s.gate.Release(claimed) },
+	}, nil
+}

@@ -1,0 +1,389 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"talign/internal/exec"
+	"talign/internal/plan"
+	"talign/internal/relation"
+	"talign/internal/wire"
+)
+
+// postStream sends a query to /query/stream and decodes every NDJSON
+// frame.
+func postStream(t *testing.T, ts *httptest.Server, body string) (int, []wire.Frame) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query/stream", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatalf("POST /query/stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, nil
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	dec.UseNumber()
+	var frames []wire.Frame
+	for {
+		var f wire.Frame
+		if err := dec.Decode(&f); err != nil {
+			break
+		}
+		frames = append(frames, f)
+	}
+	return resp.StatusCode, frames
+}
+
+// TestStreamProtocol checks the frame sequence of a row-producing
+// statement: schema, rows, trailing status with the exact row count.
+func TestStreamProtocol(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags()})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, frames := postStream(t, ts, `{"sql": "SELECT a FROM p WHERE a >= 40 ORDER BY a"}`)
+	if code != http.StatusOK || len(frames) < 3 {
+		t.Fatalf("status %d, %d frames", code, len(frames))
+	}
+	if frames[0].Frame != wire.FrameSchema {
+		t.Fatalf("first frame = %q", frames[0].Frame)
+	}
+	if got := frames[0].Columns; len(got) != 3 || got[0] != "a" || got[1] != "ts" || got[2] != "te" {
+		t.Fatalf("schema columns = %v", got)
+	}
+	last := frames[len(frames)-1]
+	if last.Frame != wire.FrameStatus || last.RowCount != 4 {
+		t.Fatalf("last frame = %+v", last)
+	}
+	var rows int
+	for _, f := range frames[1 : len(frames)-1] {
+		if f.Frame != wire.FrameRows {
+			t.Fatalf("mid frame = %q", f.Frame)
+		}
+		rows += len(f.Rows)
+	}
+	if rows != 4 {
+		t.Fatalf("streamed %d rows, want 4", rows)
+	}
+
+	// EXPLAIN streams a plan frame then a status frame.
+	_, frames = postStream(t, ts, `{"sql": "EXPLAIN SELECT a FROM p"}`)
+	if len(frames) != 2 || frames[0].Frame != wire.FramePlan || !strings.Contains(frames[0].Plan, "SeqScan p") {
+		t.Fatalf("EXPLAIN frames = %+v", frames)
+	}
+
+	// Errors before any row travel as a structured HTTP error.
+	code, _ = postStream(t, ts, `{"sql": "SELECT nope FROM nowhere"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad query status = %d", code)
+	}
+}
+
+// diffQueries are the ≥10 statement shapes of the acceptance criterion:
+// the streamed result must be byte-equal to the buffered result for
+// every one of them.
+var diffQueries = []struct {
+	sql    string
+	params string
+}{
+	{"SELECT a, mn, mx FROM p ORDER BY a, mn", ""},
+	{"SELECT n FROM r WHERE n = $1", `["Ann"]`},
+	{"SELECT DISTINCT n FROM r ORDER BY n", ""},
+	{"SELECT ABSORB n FROM r", ""},
+	{"SELECT n, a FROM r, p WHERE a >= $1 ORDER BY n, a LIMIT 7", `[40]`},
+	{"SELECT n, a FROM r JOIN p ON a >= 30 ORDER BY n, a DESC OFFSET 2", ""},
+	{"SELECT r.n, x.n2 FROM r LEFT OUTER JOIN (SELECT n n2, Ts, Te FROM r WHERE n = 'Joe') x ON r.n = x.n2 ORDER BY r.n", ""},
+	{"SELECT n, Ts, Te FROM (r a NORMALIZE r b USING (n)) x ORDER BY n, Ts", ""},
+	{"WITH r2 AS (SELECT Ts Us, Te Ue, * FROM r) SELECT n, Us, Ue, x.Ts, x.Te FROM (r2 ALIGN p ON DUR(Us, Ue) BETWEEN mn AND mx) x ORDER BY n, Us, Ts", ""},
+	{"SELECT n, COUNT(*) c, Ts, Te FROM (r a NORMALIZE r b USING ()) x GROUP BY n, Ts, Te ORDER BY n, Ts", ""},
+	{"SELECT n FROM r UNION SELECT n FROM r ORDER BY n", ""},
+	{"SELECT a + mn AS s, a * 2 AS d FROM p WHERE a BETWEEN $1 AND $2 ORDER BY s, d", `[30, 50]`},
+	{"SELECT v FROM nums ORDER BY v LIMIT 100 OFFSET 450", ""},
+}
+
+// TestStreamedEqualsBuffered is the differential acceptance test: for
+// every query shape, the rows coming off the NDJSON stream must be
+// byte-identical (as canonical JSON) to the rows of the buffered
+// /query response, and the row counts must agree.
+func TestStreamedEqualsBuffered(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags()})
+	// A larger relation so results span several executor batches (the
+	// stream emits one rows frame per batch).
+	b := relation.NewBuilder("v int")
+	for i := 0; i < 5000; i++ {
+		b.Row(int64(i%97), int64(i%97)+40, int64(i))
+	}
+	s.Catalog().Register("nums", b.MustBuild())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, q := range diffQueries {
+		body := fmt.Sprintf(`{"sql": %q}`, q.sql)
+		if q.params != "" {
+			body = fmt.Sprintf(`{"sql": %q, "params": %s}`, q.sql, q.params)
+		}
+		code, buffered := post(t, ts, "/query", body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: buffered status %d: %v", q.sql, code, buffered)
+		}
+		code, frames := postStream(t, ts, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: streamed status %d", q.sql, code)
+		}
+		var streamedRows []any
+		var status *wire.Frame
+		for i := range frames {
+			switch frames[i].Frame {
+			case wire.FrameRows:
+				for _, r := range frames[i].Rows {
+					streamedRows = append(streamedRows, r)
+				}
+			case wire.FrameStatus:
+				status = &frames[i]
+			case wire.FrameError:
+				t.Fatalf("%s: error frame: %v", q.sql, frames[i].Error)
+			}
+		}
+		if status == nil {
+			t.Fatalf("%s: stream ended without a status frame", q.sql)
+		}
+		wantCount := int64(buffered["row_count"].(float64))
+		if status.RowCount != wantCount || int64(len(streamedRows)) != wantCount {
+			t.Fatalf("%s: streamed %d rows (status %d), buffered %d", q.sql, len(streamedRows), status.RowCount, wantCount)
+		}
+		bufRows, ok := buffered["rows"].([]any)
+		if !ok {
+			bufRows = nil
+		}
+		want, err := json.Marshal(bufRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(streamedRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(normalizeJSON(t, got), normalizeJSON(t, want)) {
+			t.Fatalf("%s: streamed rows differ from buffered rows\nstreamed: %.200s\nbuffered: %.200s", q.sql, got, want)
+		}
+	}
+}
+
+// normalizeJSON round-trips through any to erase json.Number vs float64
+// representation differences between the two decode paths.
+func normalizeJSON(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	return out
+}
+
+// bigAlignServer registers a relation large enough that the self-ALIGN
+// below runs for a long time (seconds), with parallel plans forced so
+// exchange workers are part of the cancellation picture.
+func bigAlignServer(t *testing.T, n int) (*Server, string) {
+	t.Helper()
+	flags := plan.DefaultFlags()
+	flags.DOP = 4
+	flags.ForceParallel = true
+	s := New(Config{Flags: flags, MaxDOP: 16})
+	b := relation.NewBuilder("v int")
+	for i := 0; i < n; i++ {
+		b.Row(int64(i%13), int64(i%13)+50, int64(i))
+	}
+	s.Catalog().Register("big", b.MustBuild())
+	// Every tuple overlaps nearly every other: group construction feeds
+	// the plane sweep ~n² pairs.
+	return s, "SELECT v, Ts, Te FROM (big a ALIGN big b ON true) x"
+}
+
+// TestCancelMidAlign is the cancellation acceptance test (run with
+// -race): cancelling a context mid-ALIGN on a large relation must return
+// promptly with context.Canceled, leak no goroutines, release the
+// admission gate, and be visible in the operator instrumentation
+// counters.
+func TestCancelMidAlign(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s, sql := bigAlignServer(t, 4000)
+
+	before := exec.CancelObserved()
+	ctx, cancel := context.WithCancel(context.Background())
+	rs, err := s.Stream(ctx, "", "", sql, nil)
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+	// Pull one batch so the pipeline is demonstrably mid-flight, then
+	// cancel and require a prompt cooperative abort.
+	if _, err := rs.Next(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	cancel()
+	start := time.Now()
+	var nerr error
+	for {
+		_, nerr = rs.Next()
+		if nerr != nil {
+			break
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatal("cancelled query kept producing batches for 10s")
+		}
+	}
+	if !errors.Is(nerr, context.Canceled) {
+		t.Fatalf("Next after cancel = %v, want context.Canceled", nerr)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	rs.Close()
+
+	// Operator instrumentation saw the abort.
+	if after := exec.CancelObserved(); after <= before {
+		t.Fatalf("exec.CancelObserved() = %d, want > %d", after, before)
+	}
+	// Gate slots released.
+	waitFor(t, 5*time.Second, "gate drain", func() bool {
+		return s.gate.Stats().InUse == 0
+	})
+	// No goroutine leaks: exchange workers, splitter producers and drain
+	// helpers must all exit.
+	waitFor(t, 10*time.Second, "goroutine drain", func() bool {
+		return runtime.NumGoroutine() <= baseline+2
+	})
+	// Cancellation is counted.
+	if s.cancels.Load() == 0 {
+		t.Fatal("server cancel counter did not move")
+	}
+}
+
+// TestCancelOnClientDisconnect: dropping the HTTP connection mid-stream
+// aborts the query server-side (request-context propagation).
+func TestCancelOnClientDisconnect(t *testing.T) {
+	s, sql := bigAlignServer(t, 4000)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	before := exec.CancelObserved()
+	resp, err := http.Post(ts.URL+"/query/stream", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf(`{"sql": %q}`, sql))))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	// Read a little, then hang up without draining.
+	buf := make([]byte, 1024)
+	if _, err := resp.Body.Read(buf); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	resp.Body.Close()
+
+	waitFor(t, 10*time.Second, "server-side abort", func() bool {
+		return exec.CancelObserved() > before && s.gate.Stats().InUse == 0
+	})
+}
+
+// TestGateAcquireCtx: a waiter cancelled while queued leaves the line
+// with nothing claimed.
+func TestGateAcquireCtx(t *testing.T) {
+	g := NewGate(2)
+	if claimed := g.Acquire(2); claimed != 2 {
+		t.Fatalf("claimed %d", claimed)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.AcquireCtx(ctx, 1)
+		done <- err
+	}()
+	waitFor(t, 5*time.Second, "waiter queued", func() bool {
+		return g.Stats().Waiting == 1
+	})
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("AcquireCtx = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	if st := g.Stats(); st.Waiting != 0 || st.InUse != 2 {
+		t.Fatalf("gate after cancelled wait: %+v", st)
+	}
+	g.Release(2)
+	if st := g.Stats(); st.InUse != 0 {
+		t.Fatalf("gate after release: %+v", st)
+	}
+}
+
+// TestMetricsEndpoint: /metrics serves Prometheus text with the cache,
+// gate and cancellation counters.
+func TestMetricsEndpoint(t *testing.T) {
+	s := demoServer(t, Config{Flags: plan.DefaultFlags(), MaxDOP: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, out := post(t, ts, "/query", `{"sql": "SELECT n FROM r"}`); out["row_count"] == nil {
+		t.Fatalf("warmup query failed: %v", out)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := body.String()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type = %q", ct)
+	}
+	for _, want := range []string{
+		"talignd_queries_total 1",
+		"talignd_plan_cache_misses_total 1",
+		"# TYPE talignd_plan_cache_hits_total counter",
+		"talignd_gate_capacity 8",
+		"talignd_gate_in_flight_dop 0",
+		"talignd_query_cancels_total",
+		"talignd_exec_cancel_observed_total",
+		"talignd_plan_cache_capacity",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("timed out waiting for %s\n%s", what, buf[:n])
+}

@@ -1,6 +1,7 @@
 package sqlish
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -144,6 +145,20 @@ func (st *Statement) Prepare(cat Catalog, flags plan.Flags) (*Prepared, error) {
 	if !flags.DisableOptimizer {
 		node = opt.Optimize(node, a.planner)
 	}
+	if st.ast.Limit != nil || st.ast.Offset != nil {
+		// LIMIT sits above ORDER BY and outside the optimizer: its executor
+		// exits early, which is what lets a cursor stop the pipeline
+		// instead of draining it.
+		n := int64(-1)
+		if st.ast.Limit != nil {
+			n = *st.ast.Limit
+		}
+		var off int64
+		if st.ast.Offset != nil {
+			off = *st.ast.Offset
+		}
+		node = a.planner.Limit(node, n, off)
+	}
 	return &Prepared{
 		SQL:            st.SQL,
 		NumParams:      a.maxParam,
@@ -182,13 +197,19 @@ func (p *Prepared) Explain() string { return plan.Explain(p.root) }
 // ANALYZE statements and is safe to call concurrently (each call builds
 // and runs a fresh executor tree).
 func (p *Prepared) ExplainAnalyze(params ...value.Value) (string, error) {
+	return p.ExplainAnalyzeContext(context.Background(), params...)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a context: cancelling ctx
+// aborts the measured execution cooperatively.
+func (p *Prepared) ExplainAnalyzeContext(ctx context.Context, params ...value.Value) (string, error) {
 	if !p.explainAnalyze {
-		return "", fmt.Errorf("sqlish: statement is not EXPLAIN ANALYZE")
+		return "", requestError("statement is not EXPLAIN ANALYZE")
 	}
 	if err := plan.CheckParams(p.NumParams, params); err != nil {
-		return "", fmt.Errorf("sqlish: %v", err)
+		return "", requestError("%s", paramErrMsg(err))
 	}
-	text, _, err := plan.ExplainAnalyze(p.root, plan.NewExecCtx(params...))
+	text, _, err := plan.ExplainAnalyze(p.root, plan.NewExecCtxContext(ctx, params...))
 	return text, err
 }
 
@@ -197,12 +218,34 @@ func (p *Prepared) ExplainAnalyze(params ...value.Value) (string, error) {
 // it. Execute is safe to call concurrently.
 func (p *Prepared) Execute(params ...value.Value) (*relation.Relation, error) {
 	if p.explain {
-		return nil, fmt.Errorf("sqlish: cannot Execute an EXPLAIN statement")
+		return nil, requestError("cannot Execute an EXPLAIN statement")
 	}
 	if err := plan.CheckParams(p.NumParams, params); err != nil {
-		return nil, fmt.Errorf("sqlish: %v", err)
+		return nil, requestError("%s", paramErrMsg(err))
 	}
 	return plan.RunParams(p.root, params...)
+}
+
+// paramErrMsg strips the plan-layer prefix off a CheckParams error.
+func paramErrMsg(err error) string {
+	return strings.TrimPrefix(err.Error(), "plan: ")
+}
+
+// ParseNormalized runs the Parse stage and derives the normalized
+// plan-cache key text from ONE shared lex of sql: parse errors point
+// into the original statement text (line/col of the offending token),
+// and the caller gets the cache key without lexing again. It is the
+// entry point the server uses for ad-hoc statements.
+func ParseNormalized(sql string) (*Statement, string, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, "", err
+	}
+	ast, err := parseTokens(sql, toks)
+	if err != nil {
+		return nil, "", err
+	}
+	return &Statement{SQL: sql, ast: ast}, renderNormalized(toks), nil
 }
 
 // Normalize canonicalizes a statement's text for plan-cache keying: it
@@ -215,6 +258,12 @@ func Normalize(sql string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return renderNormalized(toks), nil
+}
+
+// renderNormalized renders a token stream in the canonical cache-key
+// form.
+func renderNormalized(toks []token) string {
 	var b strings.Builder
 	for i, t := range toks {
 		if t.kind == tokEOF {
@@ -235,7 +284,7 @@ func Normalize(sql string) (string, error) {
 			b.WriteString(t.text)
 		}
 	}
-	return b.String(), nil
+	return b.String()
 }
 
 // StatsCatalog is a Catalog that also resolves per-table ANALYZE
@@ -264,7 +313,10 @@ func (c engineCatalog) TableStats(name string) *stats.Table {
 // each statement through Prepare + Execute. It preserves the pre-server
 // one-shot API used by the shell, the examples and the tests; long-lived
 // multi-client use wants the server package (COW catalog, plan cache,
-// admission control) instead. An Engine is not safe for concurrent use.
+// admission control) instead, and NEW consumer code should reach for the
+// public talign package at the module root — context-aware streaming
+// cursors over this same pipeline, embedded or remote — rather than this
+// internal shim. An Engine is not safe for concurrent use.
 type Engine struct {
 	catalog engineCatalog
 	flags   plan.Flags

@@ -163,4 +163,7 @@ type statement struct {
 	With    []withClause
 	Body    *queryExpr
 	OrderBy []orderKey
+	// Limit and Offset are the LIMIT/OFFSET clause values (nil = absent).
+	Limit  *int64
+	Offset *int64
 }

@@ -1,0 +1,104 @@
+package sqlish
+
+import (
+	"context"
+
+	"talign/internal/exec"
+	"talign/internal/plan"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// Cursor is an incremental result stream over one execution of a Prepared
+// statement: it pulls batches straight out of the batch executor instead
+// of materializing the result relation, which is what the public talign
+// package's Rows and the server's wire-level row streaming are built on.
+// The execution's context is armed into every operator, so cancelling it
+// aborts the pipeline cooperatively between batches; reaching a LIMIT
+// stops the pipeline without draining it.
+//
+// A Cursor is single-use and not safe for concurrent use; Close is
+// idempotent and must be called (it tears down exchange workers and
+// releases operator state).
+type Cursor struct {
+	it     exec.Iterator
+	sch    schema.Schema
+	opened bool
+	closed bool
+	err    error
+}
+
+// Stream runs the Execute stage incrementally: it binds params to $1..$N,
+// builds a fresh executor tree under ctx and returns a cursor over its
+// batches. EXPLAIN statements cannot be streamed (use Explain); an
+// ANALYZE statement never reaches Prepare in the first place.
+func (p *Prepared) Stream(ctx context.Context, params ...value.Value) (*Cursor, error) {
+	if p.explain {
+		return nil, requestError("cannot Stream an EXPLAIN statement")
+	}
+	if err := plan.CheckParams(p.NumParams, params); err != nil {
+		return nil, requestError("%s", paramErrMsg(err))
+	}
+	ec := plan.NewExecCtxContext(ctx, params...)
+	it, err := p.root.Build(ec)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{it: it, sch: p.root.Schema()}, nil
+}
+
+// Schema describes the cursor's output tuples' nontemporal attributes.
+func (c *Cursor) Schema() schema.Schema { return c.sch }
+
+// Next returns the next batch of tuples; an empty batch signals
+// exhaustion. The batch follows the executor's ownership contract: it is
+// valid only until the following Next or Close call, so consumers that
+// keep tuples must copy them out. After an error (including context
+// cancellation) the cursor is done and Next keeps returning that error.
+func (c *Cursor) Next() ([]tuple.Tuple, error) {
+	if c.err != nil {
+		return nil, c.err
+	}
+	if c.closed {
+		return nil, nil
+	}
+	if !c.opened {
+		c.opened = true
+		if err := c.it.Open(); err != nil {
+			c.err = err
+			c.Close()
+			return nil, err
+		}
+	}
+	b, err := c.it.Next()
+	if err != nil {
+		c.err = err
+		c.Close()
+		return nil, err
+	}
+	if len(b) == 0 {
+		c.Close()
+		return nil, nil
+	}
+	return b, nil
+}
+
+// Close releases the execution's resources (idempotent). Closing before
+// exhaustion stops the pipeline early — upstream operators, exchange
+// workers included, are torn down without draining.
+func (c *Cursor) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if !c.opened {
+		c.opened = true
+		// The tree was never opened: Close alone must still release any
+		// resources operators pre-allocated at build time.
+	}
+	return c.it.Close()
+}
+
+// Err returns the error that terminated the cursor, if any.
+func (c *Cursor) Err() error { return c.err }

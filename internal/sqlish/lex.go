@@ -13,7 +13,6 @@
 package sqlish
 
 import (
-	"fmt"
 	"strings"
 	"unicode"
 )
@@ -81,7 +80,7 @@ func lex(src string) ([]token, error) {
 				l.pos++
 			}
 			if l.pos == digits {
-				return nil, fmt.Errorf("sqlish: expected parameter number after $ at %d", start)
+				return nil, newErrorAt(l.src, start, "expected parameter number after $")
 			}
 			l.toks = append(l.toks, token{kind: tokParam, text: l.src[digits:l.pos], pos: start})
 		case c == '\'':
@@ -89,7 +88,7 @@ func lex(src string) ([]token, error) {
 			var sb strings.Builder
 			for {
 				if l.pos >= len(l.src) {
-					return nil, fmt.Errorf("sqlish: unterminated string at %d", start)
+					return nil, newErrorAt(l.src, start, "unterminated string")
 				}
 				if l.src[l.pos] == '\'' {
 					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
@@ -107,7 +106,7 @@ func lex(src string) ([]token, error) {
 		default:
 			sym := l.symbol()
 			if sym == "" {
-				return nil, fmt.Errorf("sqlish: unexpected character %q at %d", c, l.pos)
+				return nil, newErrorAt(l.src, l.pos, "unexpected character %q", c)
 			}
 			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
 		}
@@ -170,5 +169,5 @@ var reserved = map[string]bool{
 	"outer": true, "cross": true, "and": true, "or": true, "not": true,
 	"between": true, "is": true, "null": true, "union": true,
 	"intersect": true, "except": true, "true": true, "false": true,
-	"explain": true, "analyze": true,
+	"explain": true, "analyze": true, "limit": true, "offset": true,
 }

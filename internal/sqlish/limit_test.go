@@ -1,0 +1,105 @@
+package sqlish
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"talign/internal/plan"
+	"talign/internal/relation"
+)
+
+func limitEngine(t *testing.T) *Engine {
+	t.Helper()
+	e := NewEngine(plan.DefaultFlags())
+	b := relation.NewBuilder("v int")
+	for i := 0; i < 100; i++ {
+		b.Row(int64(i), int64(i)+1, int64(i))
+	}
+	e.Register("nums", b.MustBuild())
+	return e
+}
+
+// TestLimitOffsetSQL checks the grammar end to end: LIMIT/OFFSET apply
+// after ORDER BY, compose, and accept OFFSET alone.
+func TestLimitOffsetSQL(t *testing.T) {
+	e := limitEngine(t)
+	for _, tc := range []struct {
+		sql   string
+		rows  int
+		first int64
+	}{
+		{"SELECT v FROM nums ORDER BY v LIMIT 5", 5, 0},
+		{"SELECT v FROM nums ORDER BY v LIMIT 5 OFFSET 10", 5, 10},
+		{"SELECT v FROM nums ORDER BY v DESC LIMIT 1", 1, 99},
+		{"SELECT v FROM nums ORDER BY v OFFSET 95", 5, 95},
+		{"SELECT v FROM nums ORDER BY v LIMIT 0", 0, 0},
+		{"SELECT v FROM nums ORDER BY v LIMIT 1000", 100, 0},
+	} {
+		rel, _, err := e.Query(tc.sql)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.sql, err)
+		}
+		if rel.Len() != tc.rows {
+			t.Fatalf("%s: %d rows, want %d", tc.sql, rel.Len(), tc.rows)
+		}
+		if tc.rows > 0 && rel.Tuples[0].Vals[0].Int() != tc.first {
+			t.Fatalf("%s: first row %v, want %d", tc.sql, rel.Tuples[0].Vals[0], tc.first)
+		}
+	}
+}
+
+// TestLimitExplain: the plan renders the Limit node above the sort.
+func TestLimitExplain(t *testing.T) {
+	e := limitEngine(t)
+	_, text, err := e.Query("EXPLAIN SELECT v FROM nums ORDER BY v LIMIT 7 OFFSET 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(text, "Limit 7 offset 3") {
+		t.Fatalf("EXPLAIN does not lead with the Limit node:\n%s", text)
+	}
+}
+
+// TestLimitErrors: LIMIT/OFFSET take non-negative integer literals.
+func TestLimitErrors(t *testing.T) {
+	e := limitEngine(t)
+	for _, sql := range []string{
+		"SELECT v FROM nums LIMIT x",
+		"SELECT v FROM nums LIMIT 1.5",
+		"SELECT v FROM nums OFFSET v",
+		"SELECT v FROM nums LIMIT", // dangling
+	} {
+		if _, _, err := e.Query(sql); err == nil {
+			t.Fatalf("%s: expected an error", sql)
+		}
+	}
+}
+
+// TestStructuredParseErrors: parse errors carry the stage code and the
+// 1-based line/col of the offending token, also across lines.
+func TestStructuredParseErrors(t *testing.T) {
+	for _, tc := range []struct {
+		sql       string
+		line, col int
+	}{
+		{"SELECT v FROM", 1, 14},
+		{"SELECT v\nFROM nums WHERE\n  v >", 3, 6},
+		{"SELECT 'oops", 1, 8},
+	} {
+		_, err := Parse(tc.sql)
+		if err == nil {
+			t.Fatalf("%q: expected a parse error", tc.sql)
+		}
+		var se *Error
+		if !errors.As(err, &se) {
+			t.Fatalf("%q: error %v is not a structured *Error", tc.sql, err)
+		}
+		if se.Code != ErrParse {
+			t.Fatalf("%q: code %q, want parse", tc.sql, se.Code)
+		}
+		if se.Line != tc.line || se.Col != tc.col {
+			t.Fatalf("%q: position %d:%d, want %d:%d (%v)", tc.sql, se.Line, se.Col, tc.line, tc.col, se)
+		}
+	}
+}

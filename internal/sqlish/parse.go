@@ -1,12 +1,12 @@
 package sqlish
 
 import (
-	"fmt"
 	"strconv"
 )
 
 // parser is a recursive-descent parser over the token stream.
 type parser struct {
+	src  string
 	toks []token
 	pos  int
 }
@@ -17,7 +17,13 @@ func parse(src string) (*statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &parser{toks: toks}
+	return parseTokens(src, toks)
+}
+
+// parseTokens parses an already-lexed statement; src backs error
+// positions.
+func parseTokens(src string, toks []token) (*statement, error) {
+	p := &parser{src: src, toks: toks}
 	st, err := p.statement()
 	if err != nil {
 		return nil, err
@@ -33,7 +39,7 @@ func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("sqlish: %s (near position %d)", fmt.Sprintf(format, args...), p.peek().pos)
+	return newErrorAt(p.src, p.peek().pos, format, args...)
 }
 
 // kw reports whether the next token is the given keyword and consumes it.
@@ -80,6 +86,7 @@ func (p *parser) ident() (string, error) {
 // statement := ANALYZE table
 //
 //	| [EXPLAIN [ANALYZE]] [WITH ...] queryExpr [ORDER BY ...]
+//	  [LIMIT n] [OFFSET m]
 func (p *parser) statement() (*statement, error) {
 	st := &statement{}
 	if p.kw("analyze") {
@@ -147,7 +154,35 @@ func (p *parser) statement() (*statement, error) {
 			}
 		}
 	}
+	if p.kw("limit") {
+		n, err := p.intLiteral("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		st.Limit = &n
+	}
+	if p.kw("offset") {
+		n, err := p.intLiteral("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		st.Offset = &n
+	}
 	return st, nil
+}
+
+// intLiteral parses a non-negative integer literal (LIMIT/OFFSET counts).
+func (p *parser) intLiteral(clause string) (int64, error) {
+	t := p.peek()
+	if t.kind != tokNumber {
+		return 0, p.errf("%s expects an integer literal, found %q", clause, t.text)
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil {
+		return 0, p.errf("%s expects an integer literal, found %q", clause, t.text)
+	}
+	p.pos++
+	return n, nil
 }
 
 // queryExpr := select { (UNION|INTERSECT|EXCEPT) select }

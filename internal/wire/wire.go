@@ -1,0 +1,180 @@
+// Package wire defines talignd's wire-level streaming protocol: the
+// NDJSON frame shapes of POST /query/stream, the structured error object
+// every endpoint returns, and the JSON encoding of engine values. The
+// server (internal/server) and the public streaming client (package
+// talign) share these types, so the two ends of the protocol cannot
+// drift apart.
+//
+// A stream response is a sequence of newline-delimited JSON frames:
+//
+//	{"frame":"schema","columns":[...],"types":[...],"cache_hit":true}
+//	{"frame":"rows","rows":[[...],...]}          // one per executor batch
+//	{"frame":"status","row_count":123}           // terminal: success
+//
+// Statements that render a plan instead of rows (EXPLAIN, EXPLAIN
+// ANALYZE, ANALYZE) send a single plan frame before the status frame.
+// An error — before the schema frame or mid-stream — terminates the
+// sequence with an error frame carrying the structured error object.
+// The schema frame always lists the visible attributes followed by the
+// valid-time bounds "ts" and "te".
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"talign/internal/interval"
+	"talign/internal/sqlish"
+	"talign/internal/value"
+)
+
+// Frame kinds.
+const (
+	// FrameSchema opens a row-producing response with columns and types.
+	FrameSchema = "schema"
+	// FrameRows carries one executor batch of rows.
+	FrameRows = "rows"
+	// FramePlan carries an EXPLAIN/ANALYZE plan rendering.
+	FramePlan = "plan"
+	// FrameStatus terminates a successful response with the row count.
+	FrameStatus = "status"
+	// FrameError terminates a failed response with the structured error.
+	FrameError = "error"
+)
+
+// Frame is one NDJSON line of a streaming query response.
+type Frame struct {
+	// Frame discriminates the kind (one of the Frame* constants).
+	Frame string `json:"frame"`
+	// Columns and Types describe the result schema (schema frames): the
+	// visible attributes followed by the valid-time bounds "ts", "te".
+	Columns []string `json:"columns,omitempty"`
+	Types   []string `json:"types,omitempty"`
+	// CacheHit reports whether the plan came from the plan cache (schema
+	// and plan frames).
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Rows carries the batch's rows (rows frames), each cell encoded by
+	// Cell.
+	Rows [][]any `json:"rows,omitempty"`
+	// Plan carries the rendering of EXPLAIN-style statements.
+	Plan string `json:"plan,omitempty"`
+	// RowCount is the total rows streamed (status frames; omitted when
+	// zero — readers treat absence as 0).
+	RowCount int64 `json:"row_count,omitempty"`
+	// Error is the structured failure (error frames).
+	Error *Error `json:"error,omitempty"`
+}
+
+// Error is the structured wire error {code, message, line, col}: the
+// pipeline stage code and, for parse errors, the 1-based statement
+// position of the offending token.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Line    int    `json:"line,omitempty"`
+	Col     int    `json:"col,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Line > 0 {
+		return fmt.Sprintf("%s: %s (line %d, col %d)", e.Code, e.Message, e.Line, e.Col)
+	}
+	return fmt.Sprintf("%s: %s", e.Code, e.Message)
+}
+
+// FromError converts any pipeline error into the wire error object,
+// preserving the stage code and position of structured sqlish errors and
+// classifying everything else under defaultCode.
+func FromError(err error, defaultCode string) *Error {
+	se := sqlish.AsError(err, defaultCode)
+	return &Error{Code: se.Code, Message: se.Msg, Line: se.Line, Col: se.Col}
+}
+
+// Cell converts an engine value to its JSON representation; periods
+// render as their "[ts, te)" string form, and non-finite floats as
+// strings (JSON has no NaN/Inf).
+func Cell(v value.Value) any {
+	switch v.Kind() {
+	case value.KindNull:
+		return nil
+	case value.KindBool:
+		return v.Bool()
+	case value.KindInt:
+		return v.Int()
+	case value.KindFloat:
+		f := v.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Sprint(f)
+		}
+		return f
+	case value.KindString:
+		return v.Str()
+	case value.KindInterval:
+		return v.Interval().String()
+	}
+	return v.String()
+}
+
+// ValueAs converts a decoded JSON cell back to an engine value under a
+// known column type (the schema frame carries the type names), undoing
+// the string escapes Cell applies to values JSON cannot carry natively:
+// non-finite floats ("NaN", "+Inf", "-Inf") and periods ("[ts, te)").
+// Without the type hint those strings would decode as strings and the
+// remote backend would diverge from the embedded one.
+func ValueAs(x any, typ string) (value.Value, error) {
+	if s, ok := x.(string); ok {
+		switch typ {
+		case "float":
+			switch s {
+			case "NaN":
+				return value.NewFloat(math.NaN()), nil
+			case "+Inf":
+				return value.NewFloat(math.Inf(1)), nil
+			case "-Inf":
+				return value.NewFloat(math.Inf(-1)), nil
+			}
+		case "interval":
+			var ts, te int64
+			if _, err := fmt.Sscanf(s, "[%d, %d)", &ts, &te); err == nil {
+				return value.NewInterval(interval.New(ts, te)), nil
+			}
+		}
+	}
+	return Value(x)
+}
+
+// Value converts one decoded JSON cell (or request parameter) to an
+// engine value. Numbers must have been decoded with json.Number (use a
+// decoder with UseNumber) so integers survive exactly.
+func Value(x any) (value.Value, error) {
+	switch t := x.(type) {
+	case nil:
+		return value.Null, nil
+	case bool:
+		return value.NewBool(t), nil
+	case string:
+		return value.NewString(t), nil
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return value.NewInt(i), nil
+		}
+		f, err := t.Float64()
+		if err != nil {
+			return value.Null, fmt.Errorf("bad number %q", t.String())
+		}
+		return value.NewFloat(f), nil
+	case int64:
+		// Cell's own integer output, for in-process round trips that
+		// never passed through a JSON decoder.
+		return value.NewInt(t), nil
+	case float64:
+		// A decoder without UseNumber hands numbers over as float64.
+		if f := t; f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+			return value.NewInt(int64(f)), nil
+		}
+		return value.NewFloat(t), nil
+	}
+	return value.Null, fmt.Errorf("unsupported JSON type %T (use null, bool, number or string)", x)
+}

@@ -1,0 +1,46 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"talign/internal/interval"
+	"talign/internal/value"
+)
+
+// TestCellValueRoundTrip: every engine value must survive
+// Cell → ValueAs under its column type, including the string-escaped
+// forms JSON cannot carry natively.
+func TestCellValueRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		v   value.Value
+		typ string
+	}{
+		{value.Null, "int"},
+		{value.NewBool(true), "bool"},
+		{value.NewInt(-42), "int"},
+		{value.NewInt(1 << 60), "int"},
+		{value.NewFloat(3.25), "float"},
+		{value.NewFloat(math.NaN()), "float"},
+		{value.NewFloat(math.Inf(1)), "float"},
+		{value.NewFloat(math.Inf(-1)), "float"},
+		{value.NewString("ω and 'quotes'"), "string"},
+		{value.NewString("[1, 2)"), "string"}, // interval-looking string stays a string
+		{value.NewInterval(interval.New(3, 9)), "interval"},
+	} {
+		got, err := ValueAs(Cell(tc.v), tc.typ)
+		if err != nil {
+			t.Fatalf("%v (%s): %v", tc.v, tc.typ, err)
+		}
+		if got.Kind() != tc.v.Kind() {
+			t.Fatalf("%v (%s): kind %s, want %s", tc.v, tc.typ, got.Kind(), tc.v.Kind())
+		}
+		same := got.Compare(tc.v) == 0
+		if tc.v.Kind() == value.KindFloat && math.IsNaN(tc.v.Float()) {
+			same = math.IsNaN(got.Float())
+		}
+		if !same {
+			t.Fatalf("%v (%s): round-tripped to %v", tc.v, tc.typ, got)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package talign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+
+	"talign/internal/relation"
+	"talign/internal/stats"
+	"talign/internal/value"
+	"talign/internal/wire"
+)
+
+// remoteDB speaks talignd's wire protocol: prepared statements through
+// POST /prepare and executions through the chunked NDJSON row stream of
+// POST /query/stream. The request context rides on the HTTP request, so
+// cancelling it tears the connection down and — through the server's
+// request context — aborts the query server-side.
+type remoteDB struct {
+	base   string
+	http   *http.Client
+	closed atomic.Bool
+}
+
+// openRemote builds the wire backend for a talignd:// DSN and checks the
+// server is reachable.
+func openRemote(cfg dsnConfig) (backend, error) {
+	r := &remoteDB{base: cfg.remote, http: &http.Client{}}
+	resp, err := r.http.Get(r.base + "/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("talign: cannot reach talignd at %s: %v", cfg.remote, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("talign: talignd at %s: healthz returned %s", cfg.remote, resp.Status)
+	}
+	return r, nil
+}
+
+// wireRequest is the /query, /query/stream and /prepare body.
+type wireRequest struct {
+	Session string `json:"session,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Stmt    string `json:"stmt,omitempty"`
+	SQL     string `json:"sql,omitempty"`
+	Params  []any  `json:"params,omitempty"`
+}
+
+func (r *remoteDB) post(ctx context.Context, path string, body wireRequest) (*http.Response, error) {
+	if r.closed.Load() {
+		return nil, fmt.Errorf("talign: DB is closed")
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return r.http.Do(req)
+}
+
+// httpErr decodes a non-200 response's structured error body.
+func httpErr(resp *http.Response) error {
+	defer resp.Body.Close()
+	var out struct {
+		Error *wire.Error `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err == nil && out.Error != nil {
+		return out.Error
+	}
+	return fmt.Errorf("talign: server returned %s", resp.Status)
+}
+
+func (r *remoteDB) query(ctx context.Context, session, stmt, sql string, params []value.Value) (*Rows, error) {
+	cells := make([]any, len(params))
+	for i, p := range params {
+		cells[i] = wire.Cell(p)
+	}
+	resp, err := r.post(ctx, "/query/stream", wireRequest{Session: session, Stmt: stmt, SQL: sql, Params: cells})
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpErr(resp)
+	}
+	src := &remoteSource{body: resp.Body, dec: newFrameDecoder(resp.Body)}
+	first, err := src.dec.next()
+	if err != nil {
+		src.close()
+		return nil, fmt.Errorf("talign: bad stream: %v", err)
+	}
+	switch first.Frame {
+	case wire.FrameError:
+		src.close()
+		return nil, first.Error
+	case wire.FramePlan:
+		src.close()
+		return &Rows{plan: first.Plan, cacheHit: first.CacheHit}, nil
+	case wire.FrameSchema:
+		src.types = first.Types
+		return &Rows{cols: first.Columns, types: first.Types, cacheHit: first.CacheHit, src: src}, nil
+	}
+	src.close()
+	return nil, fmt.Errorf("talign: bad stream: unexpected %q frame", first.Frame)
+}
+
+func (r *remoteDB) prepare(ctx context.Context, session, name, sql string) (stmtMeta, error) {
+	resp, err := r.post(ctx, "/prepare", wireRequest{Session: session, Name: name, SQL: sql})
+	if err != nil {
+		return stmtMeta{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return stmtMeta{}, httpErr(resp)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Params  int      `json:"params"`
+		Columns []string `json:"columns"`
+		Types   []string `json:"types"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return stmtMeta{}, fmt.Errorf("talign: bad prepare response: %v", err)
+	}
+	return stmtMeta{numParams: out.Params, columns: out.Columns, types: out.Types}, nil
+}
+
+func (r *remoteDB) register(string, *relation.Relation) error {
+	return fmt.Errorf("talign: Register needs an embedded DB; load the catalog on the talignd side")
+}
+
+func (r *remoteDB) analyze(string) (*stats.Table, error) {
+	return nil, fmt.Errorf("talign: Analyze needs an embedded DB; run the ANALYZE statement instead")
+}
+
+func (r *remoteDB) close() error {
+	r.closed.Store(true)
+	r.http.CloseIdleConnections()
+	return nil
+}
+
+// frameDecoder reads NDJSON frames off the wire with UseNumber so int64
+// cells survive exactly.
+type frameDecoder struct{ dec *json.Decoder }
+
+func newFrameDecoder(body io.Reader) *frameDecoder {
+	dec := json.NewDecoder(body)
+	dec.UseNumber()
+	return &frameDecoder{dec: dec}
+}
+
+func (d *frameDecoder) next() (wire.Frame, error) {
+	var f wire.Frame
+	err := d.dec.Decode(&f)
+	return f, err
+}
+
+// remoteSource adapts the frame stream to the Rows contract. A stream
+// that ends without a status frame (server died, connection cut) is an
+// error, never a silent truncation. The schema frame's column types
+// steer cell decoding, so string-escaped NaN/Inf floats and periods
+// come back as their real kinds, identical to the embedded backend.
+type remoteSource struct {
+	body   io.ReadCloser
+	dec    *frameDecoder
+	types  []string
+	rows   [][]any
+	pos    int
+	closed bool
+}
+
+func (s *remoteSource) next() ([]value.Value, error) {
+	for s.pos >= len(s.rows) {
+		f, err := s.dec.next()
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("talign: stream truncated before status frame")
+			}
+			return nil, err
+		}
+		switch f.Frame {
+		case wire.FrameRows:
+			s.rows, s.pos = f.Rows, 0
+		case wire.FrameStatus:
+			return nil, nil
+		case wire.FrameError:
+			return nil, f.Error
+		default:
+			return nil, fmt.Errorf("talign: bad stream: unexpected %q frame", f.Frame)
+		}
+	}
+	cells := s.rows[s.pos]
+	s.pos++
+	row := make([]value.Value, len(cells))
+	for i, c := range cells {
+		typ := ""
+		if i < len(s.types) {
+			typ = s.types[i]
+		}
+		v, err := wire.ValueAs(c, typ)
+		if err != nil {
+			return nil, fmt.Errorf("talign: bad cell: %v", err)
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func (s *remoteSource) close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	// Closing the body mid-stream drops the connection; the server sees
+	// the disconnect through its request context and cancels the query.
+	return s.body.Close()
+}
