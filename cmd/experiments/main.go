@@ -34,6 +34,7 @@ var (
 	dopFlag   = flag.Int("j", 1, "degree of parallelism: when > 1, parallel exchange series are added (0 = all CPUs)")
 	benchFlag = flag.String("bench", "", "write ns/op, allocs/op and rows for the Fig. 13/14 panels to this JSON file (e.g. BENCH_PR2.json) instead of printing figures; an existing 'before' section in the file is preserved")
 	optFlag   = flag.String("bench-opt", "", "write filtered Fig. 13-style SQL workloads to this JSON file (e.g. BENCH_PR4.json), measuring DisableOptimizer as 'before' and the stats-fed optimizer as 'after'")
+	colFlag   = flag.String("bench-col", "", "write filtered Fig. 13-style SQL workloads to this JSON file (e.g. BENCH_PR6.json), measuring the row executor (DisableColumnar) as 'before' and the vectorized pipeline as 'after'; both sides run the stats-fed optimizer")
 )
 
 // dop resolves the -j flag (0 means every CPU; negatives are rejected).
@@ -67,6 +68,13 @@ func main() {
 	if *optFlag != "" {
 		if err := runOptBenchPanels(*optFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-opt: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *colFlag != "" {
+		if err := runColBenchPanels(*colFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-col: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -482,6 +490,91 @@ func runOptBenchPanels(path string) error {
 	}
 	return benchkit.WriteBenchFile(path, benchkit.BenchFile{
 		Description: "Filtered Fig. 13-style SQL workloads on Incumben (n=8000): 'before' runs with plan.Flags.DisableOptimizer (the analyzer's literal plans), 'after' with the PR 4 cost-based optimizer after ANALYZE (stats-fed estimates, predicate pushdown into ALIGN/NORMALIZE/joins). Regenerate: go run ./cmd/experiments -bench-opt BENCH_PR4.json",
+		Before:      before,
+		After:       after,
+	})
+}
+
+// runColBenchPanels measures the PR 4 filtered workloads with the row
+// executor forced (plan.Flags.DisableColumnar, the "before" section) and
+// with the vectorized pipeline (the "after" section). Both sides run the
+// stats-fed optimizer, so the deltas isolate what the columnar batches
+// buy: selection-vector filters, pointer-shuffle projections and the
+// vector-encoded fused adjust.
+func runColBenchPanels(path string) error {
+	const n = 8000
+	relA := incumben(n)
+	relB := dataset.Incumben(dataset.IncumbenConfig{Rows: n, Seed: *seed + 1})
+
+	var maxSSN int64
+	for _, t := range relA.Tuples {
+		if v := t.Vals[0].Int(); v > maxSSN {
+			maxSSN = v
+		}
+	}
+	k := maxSSN / 10
+
+	mkEngine := func(disableCol bool) (*sqlish.Engine, error) {
+		f := plan.DefaultFlags()
+		f.DisableColumnar = disableCol
+		e := sqlish.NewEngine(f)
+		e.Register("a", relA)
+		e.Register("b", relB)
+		for _, name := range []string{"a", "b"} {
+			if _, err := e.Analyze(name); err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	}
+
+	queries := []struct{ name, sql string }{
+		{"pr6/filtered-align", fmt.Sprintf(
+			"SELECT ssn, pcn, Ts, Te FROM (a ALIGN b ON a.ssn = b.ssn) x WHERE ssn <= %d", k)},
+		{"pr6/filtered-normalize", fmt.Sprintf(
+			"SELECT ssn, pcn, Ts, Te FROM (a NORMALIZE b USING (ssn)) x WHERE ssn <= %d", k)},
+		{"pr6/filtered-join", fmt.Sprintf(
+			"SELECT a.ssn s1, b.pcn p2 FROM a JOIN b ON a.ssn = b.ssn WHERE b.pcn <= %d AND a.pcn >= 0", k)},
+	}
+
+	measure := func(disableCol bool) ([]benchkit.BenchPoint, error) {
+		e, err := mkEngine(disableCol)
+		if err != nil {
+			return nil, err
+		}
+		label := "columnar"
+		if disableCol {
+			label = "row"
+		}
+		points := make([]benchkit.BenchPoint, 0, len(queries))
+		for _, q := range queries {
+			pt, err := benchkit.MeasureBench(q.name, n, func() (int, error) {
+				rel, _, err := e.Query(q.sql)
+				if err != nil {
+					return 0, err
+				}
+				return rel.Len(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "%-28s %-8s n=%-6d %12.0f ns/op %8d allocs/op %8d rows\n",
+				pt.Name, label, pt.N, pt.NsPerOp, pt.AllocsPerOp, pt.Rows)
+			points = append(points, pt)
+		}
+		return points, nil
+	}
+
+	before, err := measure(true)
+	if err != nil {
+		return err
+	}
+	after, err := measure(false)
+	if err != nil {
+		return err
+	}
+	return benchkit.WriteBenchFile(path, benchkit.BenchFile{
+		Description: "Filtered Fig. 13-style SQL workloads on Incumben (n=8000): 'before' forces the row executor (plan.Flags.DisableColumnar), 'after' runs the PR 6 vectorized pipeline (columnar batches with selection vectors, vector key encoding, fused-adjust sweep over time columns). Both sides use the stats-fed optimizer. Regenerate: go run ./cmd/experiments -bench-col BENCH_PR6.json",
 		Before:      before,
 		After:       after,
 	})

@@ -16,6 +16,10 @@ type dsnConfig struct {
 	// remote is the base URL of a talignd server; empty for embedded.
 	remote string
 
+	// batch overrides the executor batch size; it applies to both
+	// backends (embedded planner flags, or per-request on the wire).
+	batch int
+
 	// Embedded options.
 	demo    bool
 	loads   [][2]string // name, csv path
@@ -38,24 +42,38 @@ func parseDSN(dsn string) (dsnConfig, error) {
 			return cfg, fmt.Errorf("talign: DSN %q needs host:port", dsn)
 		}
 		cfg.remote = "http://" + u.Host
-		return cfg, nil
 	case "http", "https":
 		cfg.remote = strings.TrimRight(u.Scheme+"://"+u.Host, "/")
-		return cfg, nil
 	case "talign":
-		// Embedded; options below.
+		// Embedded; catalog and options below.
 	default:
 		return cfg, fmt.Errorf("talign: DSN %q: unknown scheme %q (use talign:// or talignd://)", dsn, u.Scheme)
 	}
-	switch u.Host {
-	case "", "mem":
-	case "demo":
-		cfg.demo = true
-	default:
-		return cfg, fmt.Errorf("talign: DSN %q: unknown embedded catalog %q (use \"demo\" or none)", dsn, u.Host)
+	if cfg.remote == "" {
+		switch u.Host {
+		case "", "mem":
+		case "demo":
+			cfg.demo = true
+		default:
+			return cfg, fmt.Errorf("talign: DSN %q: unknown embedded catalog %q (use \"demo\" or none)", dsn, u.Host)
+		}
 	}
 	q := u.Query()
 	for key, vals := range q {
+		// Options shared by both backends.
+		switch key {
+		case "batch":
+			if cfg.batch, err = dsnInt(key, vals); err != nil {
+				return cfg, err
+			}
+			continue
+		}
+		// Everything else configures the embedded engine; rejecting it
+		// on remote DSNs beats silently ignoring a load= or j= the
+		// server can never honor.
+		if cfg.remote != "" {
+			return cfg, fmt.Errorf("talign: DSN option %q applies to embedded talign:// only", key)
+		}
 		switch key {
 		case "load":
 			for _, v := range vals {
@@ -103,6 +121,9 @@ func (c dsnConfig) flags() plan.Flags {
 	f := plan.DefaultFlags()
 	if c.dop > 0 {
 		f.DOP = c.dop
+	}
+	if c.batch > 0 {
+		f.BatchSize = c.batch
 	}
 	return f
 }

@@ -1,0 +1,82 @@
+package talign
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"talign/internal/plan"
+)
+
+// TestDSNBatchOption covers the batch= option on both schemes: it must
+// reach the embedded planner flags, survive on remote DSNs (whose other
+// query options are embedded-only), and reject junk.
+func TestDSNBatchOption(t *testing.T) {
+	cfg, err := parseDSN("talign://mem?batch=512")
+	if err != nil {
+		t.Fatalf("parseDSN: %v", err)
+	}
+	if cfg.batch != 512 {
+		t.Fatalf("embedded batch = %d, want 512", cfg.batch)
+	}
+	if got := cfg.flags().BatchSize; got != 512 {
+		t.Fatalf("flags().BatchSize = %d, want 512", got)
+	}
+
+	cfg, err = parseDSN("talignd://localhost:7171?batch=256")
+	if err != nil {
+		t.Fatalf("parseDSN remote: %v", err)
+	}
+	if cfg.remote == "" || cfg.batch != 256 {
+		t.Fatalf("remote cfg = %+v, want remote host with batch 256", cfg)
+	}
+
+	// Without the option the default batch size stays in force.
+	cfg, err = parseDSN("talign://")
+	if err != nil {
+		t.Fatalf("parseDSN: %v", err)
+	}
+	if got, want := cfg.flags().BatchSize, plan.DefaultFlags().BatchSize; got != want {
+		t.Fatalf("default BatchSize = %d, want %d", got, want)
+	}
+
+	if _, err := parseDSN("talign://?batch=nope"); err == nil {
+		t.Fatal("batch=nope parsed")
+	}
+	if _, err := parseDSN("talignd://localhost:7171?batch=-1"); err == nil {
+		t.Fatal("batch=-1 parsed")
+	}
+	// Embedded-only options must be rejected, not swallowed, on remote
+	// DSNs.
+	_, err = parseDSN("talignd://localhost:7171?load=a=b.csv")
+	if err == nil || !strings.Contains(err.Error(), "embedded") {
+		t.Fatalf("remote load= error = %v, want embedded-only rejection", err)
+	}
+}
+
+// TestDSNBatchAppliesRemote runs a query over the wire with batch=1 and
+// checks results still match the default: the override changes batch
+// framing, never rows.
+func TestDSNBatchAppliesRemote(t *testing.T) {
+	db := openRemoteTest(t)
+	dbSmall, err := Open("talignd://" + strings.TrimPrefix(db.dsn, "http://") + "?batch=1")
+	if err != nil {
+		t.Fatalf("Open with batch=1: %v", err)
+	}
+	defer dbSmall.Close()
+	const q = "SELECT n, Ts, Te FROM (r a NORMALIZE r b USING (n)) x ORDER BY n, Ts"
+	ctx := context.Background()
+	wr, err := db.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := dbSmall.Query(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := collect(t, wr), collect(t, gr)
+	if len(want) == 0 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("batch=1 rows diverge: %v vs %v", got, want)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 
+	"talign/internal/colbatch"
 	"talign/internal/interval"
 	"talign/internal/relation"
 	"talign/internal/schema"
@@ -49,10 +50,19 @@ func Read(r io.Reader) (*relation.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel := relation.New(sch)
+	// Decode straight into columnar vectors: typed cells append to flat
+	// per-column storage (parseCell already enforces the schema kinds),
+	// the row tuples are materialized from the batch in one pass, and
+	// the batch is donated as the relation's cached columnar image so
+	// the first vectorized scan pays no conversion.
+	batch := colbatch.New(sch)
+	scratch := make([]value.Value, len(attrs))
 	for line := 2; ; line++ {
 		rec, err := cr.Read()
 		if err == io.EOF {
+			rel := relation.New(sch)
+			rel.Tuples = batch.Materialize(nil)
+			rel.SetColumnar(batch)
 			return rel, nil
 		}
 		if err != nil {
@@ -61,13 +71,12 @@ func Read(r io.Reader) (*relation.Relation, error) {
 		if len(rec) != len(header) {
 			return nil, fmt.Errorf("csvio: line %d: %d fields, want %d", line, len(rec), len(header))
 		}
-		vals := make([]value.Value, len(attrs))
 		for i, cell := range rec[:len(attrs)] {
 			v, err := parseCell(cell, attrs[i].Type)
 			if err != nil {
 				return nil, fmt.Errorf("csvio: line %d, column %s: %w", line, attrs[i].Name, err)
 			}
-			vals[i] = v
+			scratch[i] = v
 		}
 		ts, err := strconv.ParseInt(strings.TrimSpace(rec[len(attrs)]), 10, 64)
 		if err != nil {
@@ -80,9 +89,7 @@ func Read(r io.Reader) (*relation.Relation, error) {
 		if ts >= te {
 			return nil, fmt.Errorf("csvio: line %d: empty interval [%d, %d)", line, ts, te)
 		}
-		if err := rel.Append(tuple.New(interval.New(ts, te), vals...)); err != nil {
-			return nil, fmt.Errorf("csvio: line %d: %w", line, err)
-		}
+		batch.AppendTuple(tuple.Tuple{Vals: scratch, T: interval.New(ts, te)})
 	}
 }
 

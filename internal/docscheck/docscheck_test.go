@@ -101,7 +101,8 @@ func TestExportedDocs(t *testing.T) {
 	for _, pkg := range []string{
 		"internal/sqlish", "internal/plan", "internal/exec",
 		"internal/server", "internal/expr", "internal/stats",
-		"internal/opt", "internal/wire", ".", "sqldriver",
+		"internal/opt", "internal/wire", "internal/colbatch",
+		".", "sqldriver",
 	} {
 		dir := filepath.Join(root, pkg)
 		fset, files := parseDir(t, dir)

@@ -1,0 +1,175 @@
+// Columnar side of the executor. ColIterator is the vectorized twin of
+// Iterator: it streams colbatch.Batch values — flat typed vectors plus a
+// selection vector — instead of []tuple.Tuple. The two sides are bridged
+// by exactly two shims: Materialize (columnar → rows, the single
+// conversion at the API boundary) and ToCol (rows → columnar, so
+// operators can be migrated incrementally). The plan layer decides per
+// operator chain which side runs; see plan's BuildCol protocol.
+//
+// # Batch ownership
+//
+// The contract mirrors the row side, with one addition. A batch returned
+// by NextCol is owned by the producer and valid only until the next
+// NextCol or Close call. Consumers MAY mutate the returned batch in
+// place — in particular they may install or refine its selection vector
+// (that is how Filter and Limit work) — because the producer rewrites
+// every field it cares about on the next call. Consumers must NOT retain
+// the batch or its column storage across calls; to keep data, copy it
+// out (AppendBatch) or materialize rows.
+//
+// Exhaustion is signalled by a nil batch. A non-nil batch with an empty
+// selection is valid and does NOT signal exhaustion; drivers keep
+// pulling. After NextCol returns nil or an error, behaviour of further
+// NextCol calls is undefined.
+package exec
+
+import (
+	"talign/internal/colbatch"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// ColIterator is the vectorized iterator interface.
+type ColIterator interface {
+	// Schema describes the nontemporal attributes of the batches.
+	Schema() schema.Schema
+	// Open prepares the iterator; it must be called exactly once.
+	Open() error
+	// NextCol returns the next batch, or nil when exhausted. See the
+	// package comment for the ownership contract.
+	NextCol() (*colbatch.Batch, error)
+	// Close releases resources; it must be called exactly once.
+	Close() error
+}
+
+// ColScan streams a relation's cached columnar image as zero-copy views.
+type ColScan struct {
+	batching
+	Rel *relation.Relation
+
+	img  *colbatch.Batch
+	pos  int
+	view colbatch.Batch
+}
+
+// NewColScan returns a columnar scan over rel.
+func NewColScan(rel *relation.Relation) *ColScan { return &ColScan{Rel: rel} }
+
+// Schema implements ColIterator.
+func (s *ColScan) Schema() schema.Schema { return s.Rel.Schema }
+
+// Open implements ColIterator; it acquires (and on first use builds) the
+// relation's columnar image.
+func (s *ColScan) Open() error {
+	s.img = s.Rel.Columnar()
+	s.pos = 0
+	return nil
+}
+
+// NextCol implements ColIterator: each batch is a view of the shared
+// image — no copying. Consumers may set the view's Sel; the view header
+// is rewritten on every call.
+func (s *ColScan) NextCol() (*colbatch.Batch, error) {
+	if s.pos >= s.img.Len() {
+		return nil, nil
+	}
+	end := s.pos + s.batchCap()
+	if end > s.img.Len() {
+		end = s.img.Len()
+	}
+	s.img.SliceInto(&s.view, s.pos, end)
+	s.pos = end
+	return &s.view, nil
+}
+
+// Close implements ColIterator.
+func (s *ColScan) Close() error {
+	s.img = nil
+	return nil
+}
+
+// Materialize adapts a columnar chain to the row Iterator interface: the
+// single columnar→row conversion step at the boundary. Each Next call
+// materializes the selected rows of one (or more, if selections come
+// back empty) columnar batches into fresh tuples.
+type Materialize struct {
+	Input ColIterator
+	out   []tuple.Tuple
+}
+
+// NewMaterialize wraps a columnar iterator as a row iterator.
+func NewMaterialize(in ColIterator) *Materialize { return &Materialize{Input: in} }
+
+// Schema implements Iterator.
+func (m *Materialize) Schema() schema.Schema { return m.Input.Schema() }
+
+// Open implements Iterator.
+func (m *Materialize) Open() error { return m.Input.Open() }
+
+// Next implements Iterator. The returned tuples follow the row-side
+// contract: the slice is reused, the tuples' value slabs are fresh per
+// call and safe to retain.
+func (m *Materialize) Next() ([]tuple.Tuple, error) {
+	m.out = m.out[:0]
+	for {
+		b, err := m.Input.NextCol()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		if b.NumRows() == 0 {
+			continue // fully filtered batch; keep pulling
+		}
+		return b.Materialize(m.out), nil
+	}
+}
+
+// Close implements Iterator.
+func (m *Materialize) Close() error { return m.Input.Close() }
+
+// ToCol adapts a row iterator to the columnar interface — the shim that
+// lets a columnar operator consume a not-yet-migrated child. Each batch
+// is converted by value into a reused columnar buffer.
+type ToCol struct {
+	Input Iterator
+	out   *colbatch.Batch
+}
+
+// NewToCol wraps a row iterator as a columnar iterator.
+func NewToCol(in Iterator) *ToCol { return &ToCol{Input: in} }
+
+// Schema implements ColIterator.
+func (c *ToCol) Schema() schema.Schema { return c.Input.Schema() }
+
+// Open implements ColIterator.
+func (c *ToCol) Open() error { return c.Input.Open() }
+
+// NextCol implements ColIterator.
+func (c *ToCol) NextCol() (*colbatch.Batch, error) {
+	rows, err := c.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	c.out = colbatch.FromTuples(c.out, c.Input.Schema(), rows)
+	return c.out, nil
+}
+
+// Close implements ColIterator.
+func (c *ToCol) Close() error { return c.Input.Close() }
+
+// ApplyColBatch sets the batch size on a columnar operator when it is
+// configurable, mirroring the row side's BatchSizer plumbing.
+func ApplyColBatch(it ColIterator, n int) ColIterator {
+	if n > 0 {
+		if bs, ok := it.(BatchSizer); ok {
+			bs.SetBatchSize(n)
+		}
+	}
+	return it
+}

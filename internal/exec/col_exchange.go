@@ -1,0 +1,220 @@
+// ColSplitter: the columnar partitioning half of the exchange pair. Same
+// lifecycle as the row Splitter (single-use partitions, shared producer
+// goroutine, last-close shutdown) but rows are routed straight from the
+// vectors — the partition of a row is the hash of its encoded key bytes,
+// so no tuple is ever materialized on the way into a fragment.
+//
+// Hash scheme: the row Splitter hashes via value.Hash, the columnar one
+// via maphash.Bytes over order-preserving key encodings. Both send equal
+// keys to equal partitions under a shared seed, but the two schemes are
+// not interchangeable — co-partitioned inputs must either all use row
+// splitters or all use columnar ones. The planner enforces this
+// (ExchangeNode goes columnar only when every source does).
+package exec
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+
+	"talign/internal/colbatch"
+	"talign/internal/expr"
+	"talign/internal/schema"
+)
+
+// ColSplitter routes a columnar stream into dop partition streams.
+type ColSplitter struct {
+	batching
+	input ColIterator
+	keys  []colVal // nil = hash the whole row (values + valid time)
+	dop   int
+	seed  maphash.Seed
+
+	launch     sync.Once
+	stop       sync.Once
+	chans      []chan *colbatch.Batch
+	done       chan struct{}
+	finished   chan struct{}
+	mu         sync.Mutex
+	err        error
+	launched   bool
+	unreleased int
+}
+
+// NewColSplitter builds a columnar splitter; ok=false when a key
+// expression is not a plain column/valid-time reference. Callers
+// co-partitioning several inputs must pass the same seed to every
+// splitter of the group, and must not mix row and columnar splitters.
+func NewColSplitter(input ColIterator, keys []expr.Expr, dop int, seed maphash.Seed) (*ColSplitter, bool, error) {
+	if dop < 1 {
+		return nil, false, fmt.Errorf("exec: splitter needs dop >= 1, got %d", dop)
+	}
+	s := &ColSplitter{
+		input:      input,
+		dop:        dop,
+		seed:       seed,
+		chans:      make([]chan *colbatch.Batch, dop),
+		done:       make(chan struct{}),
+		finished:   make(chan struct{}),
+		unreleased: dop,
+	}
+	for _, k := range keys {
+		kv, ok := compileOperand(k)
+		if !ok {
+			return nil, false, nil
+		}
+		s.keys = append(s.keys, kv)
+	}
+	for i := range s.chans {
+		s.chans[i] = make(chan *colbatch.Batch, chanDepth)
+	}
+	return s, true, nil
+}
+
+// Partition returns the columnar iterator for partition i.
+func (s *ColSplitter) Partition(i int) ColIterator { return &colPartition{s: s, idx: i} }
+
+func (s *ColSplitter) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *ColSplitter) getErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// run is the producer: it drains the input once and routes rows. Routed
+// batches are freshly allocated per send; the consumer owns them.
+func (s *ColSplitter) run() {
+	defer close(s.finished)
+	defer func() {
+		for _, ch := range s.chans {
+			close(ch)
+		}
+	}()
+	if err := s.input.Open(); err != nil {
+		s.setErr(err)
+		return
+	}
+	defer s.input.Close()
+	n := s.batchCap()
+	sch := s.input.Schema()
+	bufs := make([]*colbatch.Batch, s.dop)
+	for i := range bufs {
+		bufs[i] = colbatch.New(sch)
+	}
+	var keyBuf []byte
+	for {
+		b, err := s.input.NextCol()
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		if b == nil {
+			break
+		}
+		for i, nsel := 0, b.NumRows(); i < nsel; i++ {
+			row := b.RowAt(i)
+			if s.keys == nil {
+				keyBuf = b.AppendRowKey(keyBuf[:0], row)
+			} else {
+				keyBuf = keyBuf[:0]
+				for _, kv := range s.keys {
+					keyBuf = kv(b, row).AppendKey(keyBuf)
+				}
+			}
+			p := int(maphash.Bytes(s.seed, keyBuf) % uint64(s.dop))
+			bufs[p].AppendFrom(b, row, b.TS[row], b.TE[row])
+			if bufs[p].Len() >= n {
+				if !s.send(p, bufs[p]) {
+					return
+				}
+				bufs[p] = colbatch.New(sch)
+			}
+		}
+	}
+	for p, buf := range bufs {
+		if buf.Len() > 0 && !s.send(p, buf) {
+			return
+		}
+	}
+}
+
+func (s *ColSplitter) send(p int, b *colbatch.Batch) bool {
+	select {
+	case s.chans[p] <- b:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// release mirrors Splitter.release: the last partition Close shuts the
+// producer down, or unwinds in its place if it never launched.
+func (s *ColSplitter) release() {
+	s.mu.Lock()
+	s.unreleased--
+	last := s.unreleased <= 0
+	s.mu.Unlock()
+	if !last {
+		return
+	}
+	s.stop.Do(func() { close(s.done) })
+	s.launch.Do(func() {})
+	s.mu.Lock()
+	launched := s.launched
+	s.mu.Unlock()
+	if launched {
+		<-s.finished
+		return
+	}
+	for _, ch := range s.chans {
+		close(ch)
+	}
+	s.input.Close()
+}
+
+// colPartition is one output stream of a ColSplitter.
+type colPartition struct {
+	s      *ColSplitter
+	idx    int
+	closed bool
+}
+
+func (p *colPartition) Schema() schema.Schema { return p.s.input.Schema() }
+
+func (p *colPartition) Open() error {
+	p.s.launch.Do(func() {
+		p.s.mu.Lock()
+		p.s.launched = true
+		p.s.mu.Unlock()
+		go p.s.run()
+	})
+	return nil
+}
+
+func (p *colPartition) NextCol() (*colbatch.Batch, error) {
+	b, ok := <-p.s.chans[p.idx]
+	if !ok {
+		return nil, p.s.getErr()
+	}
+	return b, nil
+}
+
+func (p *colPartition) Close() error {
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	go func() {
+		for range p.s.chans[p.idx] {
+		}
+	}()
+	p.s.release()
+	return nil
+}

@@ -1,0 +1,435 @@
+// ColFilter: the vectorized filter. It never copies rows — each input
+// batch comes back with a (possibly refined) selection vector listing the
+// qualifying physical rows. Predicates are compiled once at construction
+// into tri-state row closures (Kleene logic over -1/0/1 for ω/false/true)
+// mirroring expr's Eval semantics exactly; the single-comparison shapes
+// that dominate real filters additionally compile to branch-light batch
+// kernels over the flat int64/float64 column storage.
+package exec
+
+import (
+	"math"
+
+	"talign/internal/colbatch"
+	"talign/internal/expr"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// rowPred evaluates a predicate on one physical row: 1 true, 0 false,
+// -1 unknown (ω).
+type rowPred func(b *colbatch.Batch, row int) int8
+
+// colVal produces one operand value for a physical row.
+type colVal func(b *colbatch.Batch, row int) value.Value
+
+// batchKernel filters a whole batch, appending qualifying physical rows
+// to out. ok=false means the column is not in the expected flat layout
+// for this batch (demoted storage) and the caller must fall back to the
+// row closure.
+type batchKernel func(b *colbatch.Batch, out []int32) (_ []int32, ok bool)
+
+// ColFilter filters a columnar stream by writing selection vectors.
+type ColFilter struct {
+	Input ColIterator
+	Pred  expr.Expr
+
+	pred   rowPred
+	kernel batchKernel
+	selBuf []int32
+}
+
+// NewColFilter compiles pred over in's schema; ok=false when the
+// predicate contains a shape the columnar compiler does not support (the
+// planner then keeps the row filter).
+func NewColFilter(in ColIterator, pred expr.Expr) (*ColFilter, bool) {
+	p, ok := compileRowPred(pred)
+	if !ok {
+		return nil, false
+	}
+	f := &ColFilter{Input: in, Pred: pred, pred: p, kernel: compileKernel(pred)}
+	return f, true
+}
+
+// Schema implements ColIterator.
+func (f *ColFilter) Schema() schema.Schema { return f.Input.Schema() }
+
+// Open implements ColIterator. The selection buffer is pre-allocated
+// here: a nil selection means "all rows", so the empty selection written
+// on a zero-match batch must be non-nil.
+func (f *ColFilter) Open() error {
+	if f.selBuf == nil {
+		f.selBuf = make([]int32, 0, 16)
+	}
+	return f.Input.Open()
+}
+
+// NextCol implements ColIterator. Batches with empty selections are
+// passed through (the contract lets drivers skip them); exhaustion stays
+// the child's nil.
+func (f *ColFilter) NextCol() (*colbatch.Batch, error) {
+	b, err := f.Input.NextCol()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	out := f.selBuf[:0]
+	if f.kernel != nil && b.Sel == nil {
+		if res, ok := f.kernel(b, out); ok {
+			f.selBuf = res
+			b.Sel = res
+			return b, nil
+		}
+	}
+	for i, nsel := 0, b.NumRows(); i < nsel; i++ {
+		row := b.RowAt(i)
+		if f.pred(b, row) == 1 {
+			out = append(out, int32(row))
+		}
+	}
+	f.selBuf = out
+	b.Sel = out
+	return b, nil
+}
+
+// Close implements ColIterator.
+func (f *ColFilter) Close() error { return f.Input.Close() }
+
+// ColFilterable reports whether the columnar compiler supports pred.
+func ColFilterable(pred expr.Expr) bool {
+	_, ok := compileRowPred(pred)
+	return ok
+}
+
+// ColOperandOK reports whether e compiles to a columnar value accessor
+// (plain column, constant or valid-time reference). The planner uses it
+// to vet join keys and partition keys before committing to a columnar
+// build.
+func ColOperandOK(e expr.Expr) bool {
+	_, ok := compileOperand(e)
+	return ok
+}
+
+// compileRowPred builds the tri-state closure for a predicate tree of
+// comparisons, Kleene connectives, NOT, IS [NOT] NULL, BETWEEN and
+// boolean literals over column/constant/valid-time operands.
+func compileRowPred(e expr.Expr) (rowPred, bool) {
+	switch n := e.(type) {
+	case expr.Cmp:
+		l, ok := compileOperand(n.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileOperand(n.R)
+		if !ok {
+			return nil, false
+		}
+		op := n.Op
+		return func(b *colbatch.Batch, row int) int8 {
+			lv, rv := l(b, row), r(b, row)
+			if lv.IsNull() || rv.IsNull() {
+				return -1
+			}
+			return cmpTruth(op, lv.Compare(rv))
+		}, true
+	case expr.Logic:
+		l, ok := compileRowPred(n.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := compileRowPred(n.R)
+		if !ok {
+			return nil, false
+		}
+		if n.Op == expr.AndOp {
+			return func(b *colbatch.Batch, row int) int8 {
+				a := l(b, row)
+				if a == 0 {
+					return 0
+				}
+				c := r(b, row)
+				if c == 0 {
+					return 0
+				}
+				if a == -1 || c == -1 {
+					return -1
+				}
+				return 1
+			}, true
+		}
+		return func(b *colbatch.Batch, row int) int8 {
+			a := l(b, row)
+			if a == 1 {
+				return 1
+			}
+			c := r(b, row)
+			if c == 1 {
+				return 1
+			}
+			if a == -1 || c == -1 {
+				return -1
+			}
+			return 0
+		}, true
+	case expr.Not:
+		x, ok := compileRowPred(n.X)
+		if !ok {
+			return nil, false
+		}
+		return func(b *colbatch.Batch, row int) int8 {
+			switch x(b, row) {
+			case 1:
+				return 0
+			case 0:
+				return 1
+			}
+			return -1
+		}, true
+	case expr.IsNull:
+		x, ok := compileOperand(n.X)
+		if !ok {
+			return nil, false
+		}
+		neg := n.Negate
+		return func(b *colbatch.Batch, row int) int8 {
+			if x(b, row).IsNull() != neg {
+				return 1
+			}
+			return 0
+		}, true
+	case expr.Between:
+		// Same desugaring as Between.Eval.
+		return compileRowPred(expr.Logic{
+			Op: expr.AndOp,
+			L:  expr.Cmp{Op: expr.LE, L: n.Lo, R: n.X},
+			R:  expr.Cmp{Op: expr.LE, L: n.X, R: n.Hi},
+		})
+	case expr.Const:
+		v := n.V
+		if v.IsNull() {
+			return func(*colbatch.Batch, int) int8 { return -1 }, true
+		}
+		if v.Kind() != value.KindBool {
+			return nil, false
+		}
+		var t int8
+		if v.Bool() {
+			t = 1
+		}
+		return func(*colbatch.Batch, int) int8 { return t }, true
+	}
+	return nil, false
+}
+
+// compileOperand builds a value accessor for the leaf operand shapes.
+func compileOperand(e expr.Expr) (colVal, bool) {
+	switch n := e.(type) {
+	case expr.Const:
+		v := n.V
+		return func(*colbatch.Batch, int) value.Value { return v }, true
+	case expr.ColIdx:
+		idx := n.Idx
+		return func(b *colbatch.Batch, row int) value.Value {
+			return b.Cols[idx].Value(row)
+		}, true
+	case expr.TStart:
+		return func(b *colbatch.Batch, row int) value.Value {
+			return value.NewInt(b.TS[row])
+		}, true
+	case expr.TEnd:
+		return func(b *colbatch.Batch, row int) value.Value {
+			return value.NewInt(b.TE[row])
+		}, true
+	case expr.TPeriod:
+		return func(b *colbatch.Batch, row int) value.Value {
+			return value.NewInterval(b.Interval(row))
+		}, true
+	}
+	return nil, false
+}
+
+// cmpTruth maps a Compare result through a comparison operator, exactly
+// as expr.Cmp.Eval does.
+func cmpTruth(op expr.CmpOp, cv int) int8 {
+	var b bool
+	switch op {
+	case expr.EQ:
+		b = cv == 0
+	case expr.NE:
+		b = cv != 0
+	case expr.LT:
+		b = cv < 0
+	case expr.LE:
+		b = cv <= 0
+	case expr.GT:
+		b = cv > 0
+	case expr.GE:
+		b = cv >= 0
+	}
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// compileKernel recognizes the single-comparison shapes worth a flat
+// loop: <int column> op <int const> and <float column> op <float const>,
+// in either operand order, plus TS/TE against an int const. Returns nil
+// when the shape doesn't match; the row closure still handles it.
+func compileKernel(e expr.Expr) batchKernel {
+	c, ok := e.(expr.Cmp)
+	if !ok {
+		return nil
+	}
+	op := c.Op
+	if col, okc := c.L.(expr.ColIdx); okc {
+		if k := constKernel(col, op, c.R); k != nil {
+			return k
+		}
+	}
+	if col, okc := c.R.(expr.ColIdx); okc {
+		if k := constKernel(col, flipOp(op), c.L); k != nil {
+			return k
+		}
+	}
+	if _, okt := c.L.(expr.TStart); okt {
+		if cv, oki := constInt(c.R); oki {
+			return timeKernel(op, cv, true)
+		}
+	}
+	if _, okt := c.L.(expr.TEnd); okt {
+		if cv, oki := constInt(c.R); oki {
+			return timeKernel(op, cv, false)
+		}
+	}
+	if _, okt := c.R.(expr.TStart); okt {
+		if cv, oki := constInt(c.L); oki {
+			return timeKernel(flipOp(op), cv, true)
+		}
+	}
+	if _, okt := c.R.(expr.TEnd); okt {
+		if cv, oki := constInt(c.L); oki {
+			return timeKernel(flipOp(op), cv, false)
+		}
+	}
+	return nil
+}
+
+func constInt(e expr.Expr) (int64, bool) {
+	k, ok := e.(expr.Const)
+	if !ok || k.V.Kind() != value.KindInt {
+		return 0, false
+	}
+	return k.V.Int(), true
+}
+
+// flipOp mirrors an operator across swapped operands (c op x ≡ x flip(op) c).
+func flipOp(op expr.CmpOp) expr.CmpOp {
+	switch op {
+	case expr.LT:
+		return expr.GT
+	case expr.LE:
+		return expr.GE
+	case expr.GT:
+		return expr.LT
+	case expr.GE:
+		return expr.LE
+	}
+	return op // EQ, NE are symmetric
+}
+
+// constKernel builds the col-op-const kernel when the constant's kind
+// matches the flat storage we expect. Mixed int/float comparisons fall
+// back to the row closure (exact cross-kind compare is not a flat loop).
+func constKernel(col expr.ColIdx, op expr.CmpOp, cexpr expr.Expr) batchKernel {
+	k, ok := cexpr.(expr.Const)
+	if !ok {
+		return nil
+	}
+	idx := col.Idx
+	switch k.V.Kind() {
+	case value.KindInt:
+		c := k.V.Int()
+		return func(b *colbatch.Batch, out []int32) ([]int32, bool) {
+			vec := &b.Cols[idx]
+			ints, flat := vec.IntsRaw()
+			if !flat {
+				return out, false
+			}
+			for i := range ints {
+				if vec.IsNull(i) {
+					continue
+				}
+				if cmpTruth(op, cmpI64(ints[i], c)) == 1 {
+					out = append(out, int32(i))
+				}
+			}
+			return out, true
+		}
+	case value.KindFloat:
+		c := k.V.Float()
+		return func(b *colbatch.Batch, out []int32) ([]int32, bool) {
+			vec := &b.Cols[idx]
+			fs, flat := vec.FloatsRaw()
+			if !flat {
+				return out, false
+			}
+			for i := range fs {
+				if vec.IsNull(i) {
+					continue
+				}
+				if cmpTruth(op, cmpF64(fs[i], c)) == 1 {
+					out = append(out, int32(i))
+				}
+			}
+			return out, true
+		}
+	}
+	return nil
+}
+
+// timeKernel compares the TS or TE column against an int constant.
+func timeKernel(op expr.CmpOp, c int64, start bool) batchKernel {
+	return func(b *colbatch.Batch, out []int32) ([]int32, bool) {
+		ts := b.TS
+		if !start {
+			ts = b.TE
+		}
+		for i := range ts {
+			if cmpTruth(op, cmpI64(ts[i], c)) == 1 {
+				out = append(out, int32(i))
+			}
+		}
+		return out, true
+	}
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// cmpF64 is value's total float order (NaN first, NaN == NaN, -0 == 0),
+// replicated so kernel results match Value.Compare bit for bit.
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	case a == b:
+		return 0
+	}
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	}
+	return 1
+}

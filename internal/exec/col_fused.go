@@ -1,0 +1,355 @@
+// ColFusedAdjust: the vectorized fused group-construction + plane-sweep
+// operator. Same algorithm as the row FusedAdjust (see fused_adjust.go
+// for the algorithmic commentary), but the group side accumulates into a
+// columnar store whose equi keys are encoded straight from the vectors,
+// and the sweep reads only the two valid-time columns of the left batch.
+// Output rows are appended columnar — the left row's attribute vectors
+// are copied once per emitted segment, never boxed into tuples.
+//
+// The columnar node supports the hash and nested-loop strategies with
+// fully extracted join conditions (no residual); the planner falls back
+// to the row operator for merge/interval strategies and residual θ.
+package exec
+
+import (
+	"bytes"
+	"hash/maphash"
+	"slices"
+
+	"talign/internal/colbatch"
+	"talign/internal/expr"
+	"talign/internal/schema"
+)
+
+// ColFusedAdjust adjusts left tuples against their group on the right.
+type ColFusedAdjust struct {
+	batching
+	Left, Right ColIterator
+	Mode        AdjustMode
+	Strategy    GroupStrategy
+	Keys        []expr.EquiPair
+	PCol        int
+
+	out schema.Schema
+
+	lkeyVals []colVal // compiled left key accessors
+	rkeyVals []colVal // compiled right key accessors
+
+	store       *colbatch.Batch // accumulated group side
+	sharedStore bool            // store aliases a relation's cached image
+	seed        maphash.Seed
+	heads       []int32 // flat hash table: bucket -> store row index + 1
+	mask        uint64
+	chain       []int32
+	rhash       []uint64 // full hash per store row, pre-filters probes
+	rkeys       [][]byte
+	arena       []byte
+
+	keyBuf   []byte
+	spans    []span
+	outB     colbatch.Batch
+	lb       *colbatch.Batch
+	lpos     int
+	leftDone bool
+}
+
+// NewColFusedAdjust compiles the fused node; ok=false when the mode,
+// strategy or key shapes need the row operator.
+func NewColFusedAdjust(l, r ColIterator, mode AdjustMode, strategy GroupStrategy, keys []expr.EquiPair, pCol int) (*ColFusedAdjust, bool) {
+	if strategy != GroupHash && strategy != GroupNestLoop {
+		return nil, false
+	}
+	if strategy == GroupHash && len(keys) == 0 {
+		return nil, false
+	}
+	if mode == ModeNormalize {
+		if pCol < 0 || pCol >= r.Schema().Len() {
+			return nil, false
+		}
+	} else {
+		pCol = -1
+	}
+	f := &ColFusedAdjust{
+		Left: l, Right: r,
+		Mode: mode, Strategy: strategy,
+		Keys: keys, PCol: pCol,
+		out: l.Schema(),
+	}
+	for _, k := range keys {
+		lv, ok := compileOperand(k.Left)
+		if !ok {
+			return nil, false
+		}
+		rv, ok := compileOperand(k.Right)
+		if !ok {
+			return nil, false
+		}
+		f.lkeyVals = append(f.lkeyVals, lv)
+		f.rkeyVals = append(f.rkeyVals, rv)
+	}
+	return f, true
+}
+
+// Schema implements ColIterator.
+func (f *ColFusedAdjust) Schema() schema.Schema { return f.out }
+
+// Open implements ColIterator: it drains the group side into the
+// columnar store and, under the hash strategy, builds the arena-backed
+// key chains exactly like the row operator.
+func (f *ColFusedAdjust) Open() error {
+	if err := f.Left.Open(); err != nil {
+		return err
+	}
+	if err := f.Right.Open(); err != nil {
+		return err
+	}
+	if cs, ok := f.Right.(*ColScan); ok {
+		// The group side is a bare columnar scan: alias the relation's
+		// cached image (populated by the Open above) instead of copying
+		// it. The store is only ever read, so sharing is safe, and it
+		// skips one full-relation copy per execution.
+		f.store, f.sharedStore = cs.img, true
+	} else {
+		if f.store == nil || f.sharedStore {
+			f.store = colbatch.New(f.Right.Schema())
+		} else {
+			f.store.ResetSchema(f.Right.Schema())
+		}
+		f.sharedStore = false
+		for {
+			b, err := f.Right.NextCol()
+			if err != nil {
+				return err
+			}
+			if b == nil {
+				break
+			}
+			f.store.AppendBatch(b)
+		}
+	}
+	f.outB.ResetSchema(f.out)
+	f.lb, f.lpos, f.leftDone = nil, 0, false
+
+	if f.Strategy == GroupHash {
+		f.arena = f.arena[:0]
+		f.rkeys = f.rkeys[:0]
+		for j := 0; j < f.store.Len(); j++ {
+			start := len(f.arena)
+			kb, hasNull := f.appendStoreKey(f.arena, j)
+			if hasNull {
+				f.rkeys = append(f.rkeys, nil)
+				continue
+			}
+			f.arena = kb
+			f.rkeys = append(f.rkeys, kb[start:len(kb):len(kb)])
+		}
+		// Chained flat hash table instead of a Go map: buckets hold
+		// store-row-index+1, collisions thread through chain, and the
+		// stored full hashes pre-filter probes before the byte compare.
+		f.seed = maphash.MakeSeed()
+		n := f.store.Len()
+		size := 1
+		for size < 2*n {
+			size <<= 1
+		}
+		if cap(f.heads) >= size {
+			f.heads = f.heads[:size]
+			clear(f.heads)
+		} else {
+			f.heads = make([]int32, size)
+		}
+		f.mask = uint64(size - 1)
+		f.chain = f.chain[:0]
+		f.rhash = f.rhash[:0]
+		for j := 0; j < n; j++ {
+			f.chain = append(f.chain, 0)
+			f.rhash = append(f.rhash, 0)
+			if f.rkeys[j] == nil {
+				continue
+			}
+			h := maphash.Bytes(f.seed, f.rkeys[j])
+			f.rhash[j] = h
+			bkt := h & f.mask
+			f.chain[j] = f.heads[bkt]
+			f.heads[bkt] = int32(j) + 1
+		}
+	}
+	return nil
+}
+
+// appendStoreKey encodes the group-side equi key of store row j.
+func (f *ColFusedAdjust) appendStoreKey(dst []byte, j int) (key []byte, hasNull bool) {
+	for _, kv := range f.rkeyVals {
+		v := kv(f.store, j)
+		if v.IsNull() {
+			hasNull = true
+		}
+		dst = v.AppendKey(dst)
+	}
+	return dst, hasNull
+}
+
+// appendLeftKey encodes the left equi key of physical row `row` of b.
+func (f *ColFusedAdjust) appendLeftKey(dst []byte, b *colbatch.Batch, row int) (key []byte, hasNull bool) {
+	for _, kv := range f.lkeyVals {
+		v := kv(b, row)
+		if v.IsNull() {
+			hasNull = true
+		}
+		dst = v.AppendKey(dst)
+	}
+	return dst, hasNull
+}
+
+// NextCol implements ColIterator.
+func (f *ColFusedAdjust) NextCol() (*colbatch.Batch, error) {
+	f.outB.Reset()
+	target := f.batchCap()
+	for f.outB.Len() < target && !f.leftDone {
+		if f.lb == nil || f.lpos >= f.lb.NumRows() {
+			b, err := f.Left.NextCol()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				f.leftDone = true
+				continue
+			}
+			f.lb, f.lpos = b, 0
+			continue
+		}
+		row := f.lb.RowAt(f.lpos)
+		f.lpos++
+		lts, lte := f.lb.TS[row], f.lb.TE[row]
+		f.spans = f.spans[:0]
+		if f.Strategy == GroupHash {
+			kb, hasNull := f.appendLeftKey(f.keyBuf[:0], f.lb, row)
+			f.keyBuf = kb
+			if !hasNull { // ω keys never match: empty group, bare sweep
+				h := maphash.Bytes(f.seed, kb)
+				for j := f.heads[h&f.mask]; j != 0; j = f.chain[j-1] {
+					if f.rhash[j-1] == h && bytes.Equal(f.rkeys[j-1], kb) {
+						f.addCandidate(row, int(j-1), lts, lte)
+					}
+				}
+			}
+		} else {
+			for j := 0; j < f.store.Len(); j++ {
+				f.addCandidate(row, j, lts, lte)
+			}
+		}
+		f.sweep(row, lts, lte)
+	}
+	if f.outB.Len() == 0 {
+		return nil, nil
+	}
+	return &f.outB, nil
+}
+
+// addCandidate reduces one (left row, store row) pair to a span, applying
+// the native temporal predicate and (nested loop) the equi keys — the
+// columnar twin of FusedAdjust.addCandidate, minus error paths (compiled
+// accessors cannot fail).
+func (f *ColFusedAdjust) addCandidate(lrow, j int, lts, lte int64) {
+	var p1, p2 int64
+	if f.Mode == ModeNormalize {
+		pv := &f.store.Cols[f.PCol]
+		if pv.IsNull(j) {
+			return
+		}
+		p := pv.Int(j)
+		if p <= lts || p >= lte {
+			return // only points strictly inside split
+		}
+		p1, p2 = p, p
+	} else {
+		p1, p2 = lts, lte
+		if ts := f.store.TS[j]; ts > p1 {
+			p1 = ts
+		}
+		if te := f.store.TE[j]; te < p2 {
+			p2 = te
+		}
+		if p1 >= p2 {
+			return
+		}
+	}
+	if f.Strategy == GroupNestLoop && len(f.Keys) > 0 {
+		for k := range f.lkeyVals {
+			lv := f.lkeyVals[k](f.lb, lrow)
+			rv := f.rkeyVals[k](f.store, j)
+			if lv.IsNull() || rv.IsNull() || !lv.Equal(rv) {
+				return
+			}
+		}
+	}
+	f.spans = append(f.spans, span{p1: p1, p2: p2})
+}
+
+// sweep is the Fig. 10 plane sweep over the gathered spans of one left
+// row, identical to the row operator's sweep; emitted segments copy the
+// left row's columns into the output batch.
+func (f *ColFusedAdjust) sweep(row int, lts, lte int64) {
+	slices.SortFunc(f.spans, func(a, b span) int {
+		switch {
+		case a.p1 < b.p1:
+			return -1
+		case a.p1 > b.p1:
+			return 1
+		case a.p2 < b.p2:
+			return -1
+		case a.p2 > b.p2:
+			return 1
+		}
+		return 0
+	})
+	emit := func(ts, te int64) {
+		if ts < te {
+			f.outB.AppendFrom(f.lb, row, ts, te)
+		}
+	}
+	sweep := lts
+	if f.Mode == ModeNormalize {
+		for _, sp := range f.spans {
+			if sp.p1 <= sweep {
+				continue // duplicate split point
+			}
+			emit(sweep, sp.p1)
+			sweep = sp.p1
+		}
+		emit(sweep, lte)
+		return
+	}
+	var lastP1, lastP2 int64
+	lastSet := false
+	for _, sp := range f.spans {
+		if sweep < sp.p1 {
+			emit(sweep, sp.p1)
+			sweep = sp.p1
+		}
+		if f.Mode != ModeGaps && (!lastSet || sp.p1 != lastP1 || sp.p2 != lastP2) {
+			emit(sp.p1, sp.p2)
+			lastP1, lastP2, lastSet = sp.p1, sp.p2, true
+		}
+		if sp.p2 > sweep {
+			sweep = sp.p2
+		}
+	}
+	emit(sweep, lte)
+}
+
+// Close implements ColIterator.
+func (f *ColFusedAdjust) Close() error {
+	f.store = nil
+	f.heads = nil
+	f.chain = nil
+	f.rhash = nil
+	f.rkeys = nil
+	f.arena = nil
+	err1 := f.Left.Close()
+	err2 := f.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}

@@ -587,7 +587,15 @@ func funcInfo(name string, arity int) (value.Kind, error) {
 }
 
 func (f Func) Eval(env *Env) (value.Value, error) {
-	args := make([]value.Value, len(f.Args))
+	// Arguments stay on the stack for the built-in arities (all ≤ 2
+	// except GREATEST/LEAST): Eval runs once per row in projections.
+	var buf [4]value.Value
+	var args []value.Value
+	if len(f.Args) <= len(buf) {
+		args = buf[:len(f.Args)]
+	} else {
+		args = make([]value.Value, len(f.Args))
+	}
 	for i, a := range f.Args {
 		v, err := a.Eval(env)
 		if err != nil {

@@ -1,0 +1,237 @@
+// Columnar build protocol. Nodes whose physical operator has a
+// vectorized twin implement colBuilder; Build methods try the columnar
+// path first and finish it with a single exec.Materialize step at the
+// row boundary, so cursors, the wire protocol and the database/sql
+// driver keep seeing rows while the pipeline underneath runs over
+// colbatch vectors.
+//
+// Three invariants keep the protocol safe:
+//
+//  1. BuildCol is consumption-free on refusal: every pure gate (flag,
+//     instrumentation, expression shapes, strategy) is checked before
+//     any child is built, so ok=false never leaves a half-consumed
+//     partition leaf behind and the caller can fall back to the row
+//     path unconditionally.
+//  2. Multi-input nodes never refuse after the first child succeeded:
+//     a row-only sibling is bridged with exec.NewToCol instead. Combined
+//     with (1) this makes refusal propagation sound in exchange
+//     fragments, where inputs are single-use partition streams.
+//  3. Instrumented executions (EXPLAIN ANALYZE) stay entirely on the
+//     row path — colDisabled checks ctx.Instrument — so per-operator
+//     row counters keep their meaning.
+package plan
+
+import (
+	"fmt"
+
+	"talign/internal/exec"
+	"talign/internal/relation"
+)
+
+// colBuilder is implemented by plan nodes that can build a vectorized
+// executor subtree. ok=false means the node (or its input chain) needs
+// the row path; err aborts the whole build.
+type colBuilder interface {
+	BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error)
+}
+
+// buildColNode attempts the columnar build of n.
+func buildColNode(n Node, ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	cb, ok := n.(colBuilder)
+	if !ok {
+		return nil, false, nil
+	}
+	return cb.BuildCol(ctx)
+}
+
+// colDisabled reports whether the columnar path is off for this build:
+// by flag, or because the execution is instrumented (EXPLAIN ANALYZE
+// counts rows through the row iterators).
+func colDisabled(noCol bool, ctx *ExecCtx) bool {
+	return noCol || (ctx != nil && ctx.Instrument != nil)
+}
+
+// materializeColBuild is the shared head of the candidate Build methods:
+// it tries n's columnar build and, on success, finishes the chain at the
+// row boundary. ok=false means the caller should run its row path.
+func materializeColBuild(n Node, ctx *ExecCtx) (exec.Iterator, bool, error) {
+	cit, ok, err := buildColNode(n, ctx)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return ctx.instrument(n, exec.NewMaterialize(cit)), true, nil
+}
+
+// toColInput bridges a child into a columnar pipeline when the child
+// itself cannot build columnar: the row subtree is built as usual and
+// adapted batch-by-batch.
+func toColInput(n Node, ctx *ExecCtx) (exec.ColIterator, error) {
+	cit, ok, err := buildColNode(n, ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return cit, nil
+	}
+	it, err := n.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return exec.NewToCol(it), nil
+}
+
+// BuildCol streams the relation's cached columnar image (zero-copy
+// views, see relation.Columnar).
+func (s *ScanNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	if colDisabled(s.noCol, ctx) {
+		return nil, false, nil
+	}
+	return exec.ApplyColBatch(exec.NewColScan(s.Rel), s.batch), true, nil
+}
+
+// BuildCol evaluates the predicate over vectors, writing only the
+// selection vector.
+func (f *FilterNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	if colDisabled(f.noCol, ctx) {
+		return nil, false, nil
+	}
+	pred := ctx.bind(f.Pred)
+	if !exec.ColFilterable(pred) {
+		return nil, false, nil
+	}
+	in, ok, err := buildColNode(f.Input, ctx)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	cf, ok := exec.NewColFilter(in, pred)
+	if !ok {
+		return nil, false, fmt.Errorf("plan: columnar filter refused a vetted predicate")
+	}
+	return exec.ApplyColBatch(cf, f.batch), true, nil
+}
+
+// BuildCol turns the projection into column pointer shuffling when every
+// output expression is a plain column/TS/TE reference (TFromExpr also
+// runs columnar for the PERIOD-over-int-columns shape).
+func (pr *ProjectNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	if colDisabled(pr.noCol, ctx) {
+		return nil, false, nil
+	}
+	exprs := ctx.bindAll(pr.Exprs)
+	texpr := ctx.bind(pr.TExpr)
+	if !exec.ColProjectable(exprs, pr.TMode, texpr) {
+		return nil, false, nil
+	}
+	in, ok, err := buildColNode(pr.Input, ctx)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	cp, ok := exec.NewColProject(in, exprs, pr.out, pr.TMode, texpr)
+	if !ok {
+		return nil, false, fmt.Errorf("plan: columnar project refused a vetted expression list")
+	}
+	return cp, true, nil
+}
+
+// BuildCol caps the stream counting selected rows (not physical batch
+// rows) and keeps the row operator's early exit.
+func (l *LimitNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	if colDisabled(l.noCol, ctx) || l.Offset < 0 {
+		return nil, false, nil // negative offset: row path reports the error
+	}
+	in, ok, err := buildColNode(l.Input, ctx)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return exec.NewColLimit(in, l.N, l.Offset), true, nil
+}
+
+// BuildCol builds the vectorized fused adjust for the hash and
+// nested-loop strategies with fully extracted equi keys; merge/interval
+// strategies and residual θ keep the row operator. The group side is
+// bridged with ToCol when it cannot build columnar — the operator drains
+// it into a columnar store on Open either way.
+func (n *FusedAdjustNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	if colDisabled(n.noCol, ctx) || n.Residual != nil {
+		return nil, false, nil
+	}
+	if n.Strategy != exec.GroupHash && n.Strategy != exec.GroupNestLoop {
+		return nil, false, nil
+	}
+	keys := bindPairs(ctx, n.Keys)
+	for _, k := range keys {
+		if !exec.ColOperandOK(k.Left) || !exec.ColOperandOK(k.Right) {
+			return nil, false, nil
+		}
+	}
+	if n.Mode == exec.ModeNormalize && (n.PCol < 0 || n.PCol >= n.Right.Schema().Len()) {
+		return nil, false, nil
+	}
+	l, ok, err := buildColNode(n.Left, ctx)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	r, err := toColInput(n.Right, ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	fa, ok := exec.NewColFusedAdjust(l, r, n.Mode, n.Strategy, keys, n.PCol)
+	if !ok {
+		return nil, false, fmt.Errorf("plan: columnar fused adjust refused after gates")
+	}
+	return exec.ApplyColBatch(fa, n.batch), true, nil
+}
+
+// BuildCol streams the union with selection-vector dedup; intersect and
+// except stay on the row path.
+func (s *SetOpNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	if colDisabled(s.noCol, ctx) || s.Kind != exec.UnionOp {
+		return nil, false, nil
+	}
+	if !s.Left.Schema().UnionCompatible(s.Right.Schema()) {
+		return nil, false, nil // row path reports the error
+	}
+	l, ok, err := buildColNode(s.Left, ctx)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	r, err := toColInput(s.Right, ctx)
+	if err != nil {
+		return nil, false, err
+	}
+	op, err := exec.NewColSetOp(l, r)
+	if err != nil {
+		return nil, false, err
+	}
+	return op, true, nil
+}
+
+// BuildCol scans the per-execution shared materialization columnar; the
+// memoized relation is the same one the row path scans, so mixed row and
+// columnar readers of one SharedNode stay consistent.
+func (s *SharedNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
+	if colDisabled(s.noCol, ctx) {
+		return nil, false, nil
+	}
+	rel, err := ctx.sharedGet(s, func() (*relation.Relation, error) {
+		it, err := s.Input.Build(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Collect(it)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return exec.ApplyColBatch(exec.NewColScan(rel), s.batch), true, nil
+}
+
+// BuildCol hands out the pre-built columnar partition stream, once.
+func (l *builtLeaf) BuildCol(*ExecCtx) (exec.ColIterator, bool, error) {
+	if l.colIt == nil {
+		return nil, false, nil
+	}
+	it := l.colIt
+	l.colIt = nil
+	return it, true, nil
+}

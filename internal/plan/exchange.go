@@ -51,6 +51,7 @@ type ExchangeNode struct {
 
 	template Node
 	batch    int
+	noCol    bool
 }
 
 // Exchange builds the node under the planner's DOP. It returns an error if
@@ -78,6 +79,7 @@ func (p *Planner) Exchange(sources []Node, keys [][]expr.Expr, fragment func(par
 		Fragment: fragment,
 		template: tmpl,
 		batch:    p.Flags.BatchSize,
+		noCol:    p.Flags.DisableColumnar,
 	}, nil
 }
 
@@ -125,42 +127,64 @@ func (e *ExchangeNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 	// One shared seed per exchange: co-partitioned sources must agree on
 	// where a key lands.
 	seed := maphash.MakeSeed()
-	parts := make([][]exec.Iterator, len(e.Sources))
-	var created []exec.Iterator
+	var created []interface{ Close() error }
 	cleanup := func() {
 		for _, it := range created {
 			it.Close()
 		}
 	}
-	for si, src := range e.Sources {
-		it, err := src.Build(ctx)
-		if err != nil {
-			cleanup()
-			return nil, err
+	// Columnar routing is all-or-nothing per exchange: the row and
+	// columnar splitters hash with different schemes (value.Hash vs
+	// maphash over key encodings), so co-partitioned sources must not
+	// mix them. Every source and key list must go columnar, or none do.
+	colParts, colOK, err := e.buildColSplitters(ctx, seed)
+	if err != nil {
+		return nil, err
+	}
+	var rowParts [][]exec.Iterator
+	if colOK {
+		for _, ps := range colParts {
+			for _, p := range ps {
+				created = append(created, p)
+			}
 		}
-		sp, err := exec.NewSplitter(it, ctx.bindAll(e.Keys[si]), e.DOP, seed)
-		if err != nil {
-			cleanup()
-			return nil, err
-		}
-		if e.batch > 0 {
-			sp.SetBatchSize(e.batch)
-		}
-		parts[si] = make([]exec.Iterator, e.DOP)
-		for i := 0; i < e.DOP; i++ {
-			parts[si][i] = sp.Partition(i)
-			created = append(created, parts[si][i])
+	} else {
+		rowParts = make([][]exec.Iterator, len(e.Sources))
+		for si, src := range e.Sources {
+			it, err := src.Build(ctx)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			sp, err := exec.NewSplitter(it, ctx.bindAll(e.Keys[si]), e.DOP, seed)
+			if err != nil {
+				cleanup()
+				return nil, err
+			}
+			if e.batch > 0 {
+				sp.SetBatchSize(e.batch)
+			}
+			rowParts[si] = make([]exec.Iterator, e.DOP)
+			for i := 0; i < e.DOP; i++ {
+				rowParts[si][i] = sp.Partition(i)
+				created = append(created, rowParts[si][i])
+			}
 		}
 	}
 	frags := make([]exec.Iterator, e.DOP)
 	for i := 0; i < e.DOP; i++ {
 		leaves := make([]Node, len(e.Sources))
 		for si := range e.Sources {
-			leaves[si] = &builtLeaf{
-				it:   parts[si][i],
+			leaf := &builtLeaf{
 				sch:  e.Sources[si].Schema(),
 				rows: e.Sources[si].Rows() / float64(e.DOP),
 			}
+			if colOK {
+				leaf.colIt = colParts[si][i]
+			} else {
+				leaf.it = rowParts[si][i]
+			}
+			leaves[si] = leaf
 		}
 		fn, err := e.Fragment(leaves)
 		if err != nil {
@@ -178,6 +202,50 @@ func (e *ExchangeNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
 		return nil, err
 	}
 	return ctx.instrument(e, ex), nil
+}
+
+// buildColSplitters attempts to route every source columnar: rows go
+// from the source vectors straight into per-partition batches without
+// ever being materialized as tuples. ok=false (with nothing consumed)
+// when the flag, a key expression or any source keeps the exchange on
+// the row path.
+func (e *ExchangeNode) buildColSplitters(ctx *ExecCtx, seed maphash.Seed) ([][]exec.ColIterator, bool, error) {
+	if colDisabled(e.noCol, ctx) {
+		return nil, false, nil
+	}
+	for si := range e.Sources {
+		for _, k := range ctx.bindAll(e.Keys[si]) {
+			if !exec.ColOperandOK(k) {
+				return nil, false, nil
+			}
+		}
+	}
+	ins := make([]exec.ColIterator, len(e.Sources))
+	for si, src := range e.Sources {
+		in, ok, err := buildColNode(src, ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		ins[si] = in
+	}
+	parts := make([][]exec.ColIterator, len(e.Sources))
+	for si, in := range ins {
+		sp, ok, err := exec.NewColSplitter(in, ctx.bindAll(e.Keys[si]), e.DOP, seed)
+		if err != nil || !ok {
+			return nil, false, err // keys pre-vetted; refusal is unreachable
+		}
+		if e.batch > 0 {
+			sp.SetBatchSize(e.batch)
+		}
+		parts[si] = make([]exec.ColIterator, e.DOP)
+		for i := range parts[si] {
+			parts[si][i] = sp.Partition(i)
+		}
+	}
+	return parts, true, nil
 }
 
 // partitionLeaf stands for one partition of a source inside the template
@@ -207,11 +275,15 @@ func (l *partitionLeaf) Label() string {
 	return fmt.Sprintf("Partition (hash by %s, 1/%d)", by, l.dop)
 }
 
-// builtLeaf hands an already-built partition iterator to a fragment.
+// builtLeaf hands an already-built partition stream (row or columnar) to
+// a fragment. A columnar stream is served natively through BuildCol (see
+// columnar.go) and materialized on demand when the consuming fragment
+// operator needs rows.
 type builtLeaf struct {
-	it   exec.Iterator
-	sch  schema.Schema
-	rows float64
+	it    exec.Iterator
+	colIt exec.ColIterator
+	sch   schema.Schema
+	rows  float64
 }
 
 func (l *builtLeaf) Schema() schema.Schema { return l.sch }
@@ -219,6 +291,11 @@ func (l *builtLeaf) Children() []Node      { return nil }
 func (l *builtLeaf) Rows() float64         { return l.rows }
 func (l *builtLeaf) Cost() float64         { return l.rows * CPUTupleCost }
 func (l *builtLeaf) Build(*ExecCtx) (exec.Iterator, error) {
+	if l.colIt != nil {
+		it := exec.NewMaterialize(l.colIt)
+		l.colIt = nil
+		return it, nil
+	}
 	if l.it == nil {
 		return nil, fmt.Errorf("plan: partition iterator already consumed")
 	}
@@ -240,11 +317,12 @@ type SharedNode struct {
 	Input Node
 
 	batch int
+	noCol bool
 }
 
 // Shared wraps input for reuse across exchange fragments.
 func (p *Planner) Shared(input Node) *SharedNode {
-	return &SharedNode{Input: input, batch: p.Flags.BatchSize}
+	return &SharedNode{Input: input, batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar}
 }
 
 func (s *SharedNode) Schema() schema.Schema { return s.Input.Schema() }

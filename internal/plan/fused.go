@@ -29,6 +29,7 @@ type FusedAdjustNode struct {
 	out   schema.Schema
 	cost  float64
 	batch int
+	noCol bool
 }
 
 // FusedAlign builds the fused aligner for r Φ_θ s (modes align or gaps).
@@ -42,7 +43,7 @@ func (p *Planner) FusedAlign(r, s Node, theta expr.Expr, mode exec.AdjustMode) *
 	n := &FusedAdjustNode{
 		Left: r, Right: s, Mode: mode,
 		Keys: keys, Residual: residual, PCol: -1,
-		out: r.Schema(), batch: p.Flags.BatchSize,
+		out: r.Schema(), batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar,
 	}
 	n.choose(p.Flags)
 	return n
@@ -55,7 +56,7 @@ func (p *Planner) FusedNormalize(r, points Node, keys []expr.EquiPair, pCol int)
 	n := &FusedAdjustNode{
 		Left: r, Right: points, Mode: exec.ModeNormalize,
 		Keys: keys, PCol: pCol,
-		out: r.Schema(), batch: p.Flags.BatchSize,
+		out: r.Schema(), batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar,
 	}
 	n.choose(p.Flags)
 	return n
@@ -69,7 +70,7 @@ func (p *Planner) FusedAdjustFrom(l, r Node, mode exec.AdjustMode, keys []expr.E
 	n := &FusedAdjustNode{
 		Left: l, Right: r, Mode: mode,
 		Keys: keys, Residual: residual, PCol: pCol,
-		out: l.Schema(), batch: p.Flags.BatchSize,
+		out: l.Schema(), batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar,
 	}
 	n.choose(p.Flags)
 	return n
@@ -168,6 +169,9 @@ func (n *FusedAdjustNode) Stats() *stats.Table {
 func (n *FusedAdjustNode) Cost() float64 { return n.cost }
 
 func (n *FusedAdjustNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	if it, ok, err := materializeColBuild(n, ctx); err != nil || ok {
+		return it, err
+	}
 	l, err := n.Left.Build(ctx)
 	if err != nil {
 		return nil, err

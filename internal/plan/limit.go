@@ -20,11 +20,12 @@ type LimitNode struct {
 	Offset int64
 
 	batch int
+	noCol bool
 }
 
 // Limit builds a LIMIT/OFFSET node; n < 0 means unlimited.
 func (p *Planner) Limit(input Node, n, offset int64) *LimitNode {
-	return &LimitNode{Input: input, N: n, Offset: offset, batch: p.Flags.BatchSize}
+	return &LimitNode{Input: input, N: n, Offset: offset, batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar}
 }
 
 func (l *LimitNode) Schema() schema.Schema { return l.Input.Schema() }
@@ -60,6 +61,9 @@ func (l *LimitNode) Stats() *stats.Table {
 }
 
 func (l *LimitNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	if it, ok, err := materializeColBuild(l, ctx); err != nil || ok {
+		return it, err
+	}
 	in, err := l.Input.Build(ctx)
 	if err != nil {
 		return nil, err

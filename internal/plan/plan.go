@@ -88,6 +88,13 @@ type Flags struct {
 	// as the escape hatch for differential testing: optimized and
 	// unoptimized plans must return identical results.
 	DisableOptimizer bool
+	// DisableColumnar keeps every operator on the row ([]tuple.Tuple)
+	// path. The columnar (colbatch vector) path is the default where
+	// supported — scans, compilable filters, column projections, limits,
+	// fused adjust (hash/nestloop), union, exchange — with row fallback
+	// elsewhere; this flag exists for differential testing and as an
+	// escape hatch.
+	DisableColumnar bool
 }
 
 // DefaultFlags enables every paper-faithful access path; parallelism stays
@@ -119,10 +126,11 @@ func (f Flags) Fingerprint() string {
 		}
 		return '0'
 	}
-	return fmt.Sprintf("nl%c,hj%c,mj%c,so%c,ii%c,aj%c,fa%c,dop%d,pmr%g,fp%c,bs%d,op%c",
+	return fmt.Sprintf("nl%c,hj%c,mj%c,so%c,ii%c,aj%c,fa%c,dop%d,pmr%g,fp%c,bs%d,op%c,co%c",
 		b(f.EnableNestLoop), b(f.EnableHashJoin), b(f.EnableMergeJoin), b(f.EnableSort),
 		b(f.EnableIntervalIndex), b(f.EnableAntiJoinRewrite), b(f.DisableFusedAdjust),
-		f.DOP, f.ParallelMinRows, b(f.ForceParallel), f.BatchSize, b(f.DisableOptimizer))
+		f.DOP, f.ParallelMinRows, b(f.ForceParallel), f.BatchSize, b(f.DisableOptimizer),
+		b(f.DisableColumnar))
 }
 
 // applyBatch plumbs a configured batch size into a built operator.
@@ -256,12 +264,13 @@ type ScanNode struct {
 	TableStats *stats.Table
 
 	batch int
+	noCol bool
 }
 
 // Scan builds a scan node; name is used by EXPLAIN and resolves the
 // table's statistics through the planner's StatsSource.
 func (p *Planner) Scan(rel *relation.Relation, name string) *ScanNode {
-	n := &ScanNode{Rel: rel, Name: name, batch: p.Flags.BatchSize}
+	n := &ScanNode{Rel: rel, Name: name, batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar}
 	if p.Stats != nil && name != "" {
 		n.TableStats = p.Stats.TableStats(strings.ToLower(name))
 	}
@@ -301,12 +310,13 @@ type FilterNode struct {
 	Pred  expr.Expr
 
 	batch int
+	noCol bool
 }
 
 // Filter builds a selection node; pred must be bound against input's
 // schema.
 func (p *Planner) Filter(input Node, pred expr.Expr) *FilterNode {
-	return &FilterNode{Input: input, Pred: pred, batch: p.Flags.BatchSize}
+	return &FilterNode{Input: input, Pred: pred, batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar}
 }
 
 func (f *FilterNode) Schema() schema.Schema { return f.Input.Schema() }
@@ -332,6 +342,9 @@ func (f *FilterNode) Stats() *stats.Table {
 }
 
 func (f *FilterNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	if it, ok, err := materializeColBuild(f, ctx); err != nil || ok {
+		return it, err
+	}
 	in, err := f.Input.Build(ctx)
 	if err != nil {
 		return nil, err
@@ -466,6 +479,7 @@ type ProjectNode struct {
 
 	out   schema.Schema
 	batch int
+	noCol bool
 }
 
 // Project builds a projection node.
@@ -474,7 +488,7 @@ func (p *Planner) Project(input Node, names []string, exprs []expr.Expr) *Projec
 	for i := range exprs {
 		attrs[i] = schema.Attr{Name: names[i], Type: exprs[i].Type()}
 	}
-	return &ProjectNode{Input: input, Exprs: exprs, Names: names, out: schema.Schema{Attrs: attrs}, batch: p.Flags.BatchSize}
+	return &ProjectNode{Input: input, Exprs: exprs, Names: names, out: schema.Schema{Attrs: attrs}, batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar}
 }
 
 // ProjectT builds a projection whose valid time comes from a period-typed
@@ -517,6 +531,9 @@ func (pr *ProjectNode) Stats() *stats.Table {
 }
 
 func (pr *ProjectNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	if it, ok, err := materializeColBuild(pr, ctx); err != nil || ok {
+		return it, err
+	}
 	in, err := pr.Input.Build(ctx)
 	if err != nil {
 		return nil, err
@@ -956,11 +973,12 @@ type SetOpNode struct {
 	Kind        exec.SetOpKind
 
 	batch int
+	noCol bool
 }
 
 // SetOp builds a set operation node.
 func (p *Planner) SetOp(l, r Node, kind exec.SetOpKind) *SetOpNode {
-	return &SetOpNode{Left: l, Right: r, Kind: kind, batch: p.Flags.BatchSize}
+	return &SetOpNode{Left: l, Right: r, Kind: kind, batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar}
 }
 
 func (s *SetOpNode) Schema() schema.Schema { return s.Left.Schema() }
@@ -979,6 +997,9 @@ func (s *SetOpNode) Cost() float64 {
 	return s.Left.Cost() + s.Right.Cost() + (s.Left.Rows()+s.Right.Rows())*CPUOperatorCost
 }
 func (s *SetOpNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	if it, ok, err := materializeColBuild(s, ctx); err != nil || ok {
+		return it, err
+	}
 	l, err := s.Left.Build(ctx)
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"talign/internal/interval"
 	"talign/internal/schema"
@@ -22,6 +23,10 @@ import (
 type Relation struct {
 	Schema schema.Schema
 	Tuples []tuple.Tuple
+
+	// colv caches the columnar image of Tuples for the vectorized
+	// executor; see Columnar in columnar.go.
+	colv atomic.Pointer[colImage]
 }
 
 // New returns an empty relation over the given schema.
@@ -52,6 +57,7 @@ func (r *Relation) Append(t tuple.Tuple) error {
 		return fmt.Errorf("relation: attribute %q expects %s, got %s", r.Schema.Attrs[i].Name, want, v.Kind())
 	}
 	r.Tuples = append(r.Tuples, t)
+	r.invalidateColumnar()
 	return nil
 }
 
@@ -160,6 +166,7 @@ func (r *Relation) Span() (interval.Interval, bool) {
 // total, so equal tuples are interchangeable.
 func (r *Relation) SortCanonical() *Relation {
 	tuple.SortByKey(r.Tuples)
+	r.invalidateColumnar()
 	return r
 }
 
@@ -175,6 +182,7 @@ func (r *Relation) Dedup() *Relation {
 		out = append(out, t)
 	}
 	r.Tuples = out
+	r.invalidateColumnar()
 	return r
 }
 

@@ -19,7 +19,7 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	rs, err := s.Stream(r.Context(), req.Session, req.Stmt, req.SQL, params)
+	rs, err := s.StreamBatch(r.Context(), req.Session, req.Stmt, req.SQL, params, req.Batch)
 	if err != nil {
 		// Nothing was sent yet: report the failure as a plain structured
 		// HTTP error, exactly like the buffered endpoint.

@@ -85,10 +85,23 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // plan resolves SQL text to a cached (or freshly prepared) plan against
 // the current catalog snapshot. The second result reports a cache hit.
 func (s *Server) plan(norm string) (*sqlish.Prepared, bool, error) {
+	return s.planWith(norm, 0)
+}
+
+// planWith is plan with a per-request batch-size override (batch <= 0
+// keeps the server's configured flags). Overridden plans are cached like
+// any other: the flags fingerprint in the cache key includes the batch
+// size, so requests with different overrides never share a plan.
+func (s *Server) planWith(norm string, batch int) (*sqlish.Prepared, bool, error) {
+	flags, fp := s.flags, s.flagsFP
+	if batch > 0 && batch != flags.BatchSize {
+		flags.BatchSize = batch
+		fp = flags.Fingerprint()
+	}
 	snap := s.catalog.Snapshot()
-	key := cacheKey{sql: norm, version: snap.Version, stats: snap.StatsVersion, flags: s.flagsFP}
+	key := cacheKey{sql: norm, version: snap.Version, stats: snap.StatsVersion, flags: fp}
 	return s.cache.GetOrPrepare(key, func() (*sqlish.Prepared, error) {
-		return sqlish.Prepare(norm, snap, s.flags)
+		return sqlish.Prepare(norm, snap, flags)
 	})
 }
 
@@ -169,7 +182,13 @@ func (s *Server) Query(sessionID, stmtName, sql string, params []value.Value) (R
 // stream, drained to completion — so buffered and streamed executions
 // can never diverge.
 func (s *Server) QueryContext(ctx context.Context, sessionID, stmtName, sql string, params []value.Value) (Result, error) {
-	rs, err := s.Stream(ctx, sessionID, stmtName, sql, params)
+	return s.QueryBatch(ctx, sessionID, stmtName, sql, params, 0)
+}
+
+// QueryBatch is QueryContext with a per-request batch-size override
+// (batch <= 0 keeps the server's configured batch size).
+func (s *Server) QueryBatch(ctx context.Context, sessionID, stmtName, sql string, params []value.Value, batch int) (Result, error) {
+	rs, err := s.StreamBatch(ctx, sessionID, stmtName, sql, params, batch)
 	if err != nil {
 		return Result{}, err
 	}
@@ -258,6 +277,9 @@ type queryRequest struct {
 	// Params bind $1..$N in order: JSON null, booleans, numbers (integers
 	// stay int64, anything with a fraction becomes float) and strings.
 	Params []any `json:"params,omitempty"`
+	// Batch overrides the executor batch size for this request (from the
+	// client DSN's batch= option); 0 keeps the server default.
+	Batch int `json:"batch,omitempty"`
 }
 
 // queryResponse is the POST /query result. Columns and Types list the
@@ -287,7 +309,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.QueryContext(r.Context(), req.Session, req.Stmt, req.SQL, params)
+	res, err := s.QueryBatch(r.Context(), req.Session, req.Stmt, req.SQL, params, req.Batch)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return

@@ -108,8 +108,15 @@ func (rs *RowStream) Close() error {
 // client, a deadline) aborts the query server-side. The returned
 // RowStream must be Closed.
 func (s *Server) Stream(ctx context.Context, sessionID, stmtName, sql string, params []value.Value) (*RowStream, error) {
+	return s.StreamBatch(ctx, sessionID, stmtName, sql, params, 0)
+}
+
+// StreamBatch is Stream with a per-request batch-size override (batch <=
+// 0 keeps the server's configured batch size); the override participates
+// in the plan-cache key through the flags fingerprint.
+func (s *Server) StreamBatch(ctx context.Context, sessionID, stmtName, sql string, params []value.Value, batch int) (*RowStream, error) {
 	s.queries.Add(1)
-	rs, err := s.stream(ctx, sessionID, stmtName, sql, params)
+	rs, err := s.stream(ctx, sessionID, stmtName, sql, params, batch)
 	if err != nil {
 		s.errors.Add(1)
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -119,7 +126,7 @@ func (s *Server) Stream(ctx context.Context, sessionID, stmtName, sql string, pa
 	return rs, err
 }
 
-func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, params []value.Value) (*RowStream, error) {
+func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, params []value.Value, batch int) (*RowStream, error) {
 	var norm string
 	switch {
 	case stmtName != "" && sql != "":
@@ -161,7 +168,7 @@ func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, pa
 	default:
 		return nil, fmt.Errorf("server: request has neither sql nor stmt")
 	}
-	prep, hit, err := s.plan(norm)
+	prep, hit, err := s.planWith(norm, batch)
 	if err != nil {
 		return nil, err
 	}

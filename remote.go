@@ -22,6 +22,7 @@ import (
 // request context — aborts the query server-side.
 type remoteDB struct {
 	base   string
+	batch  int // batch= DSN option, sent with every query request
 	http   *http.Client
 	closed atomic.Bool
 }
@@ -29,7 +30,7 @@ type remoteDB struct {
 // openRemote builds the wire backend for a talignd:// DSN and checks the
 // server is reachable.
 func openRemote(cfg dsnConfig) (backend, error) {
-	r := &remoteDB{base: cfg.remote, http: &http.Client{}}
+	r := &remoteDB{base: cfg.remote, batch: cfg.batch, http: &http.Client{}}
 	resp, err := r.http.Get(r.base + "/healthz")
 	if err != nil {
 		return nil, fmt.Errorf("talign: cannot reach talignd at %s: %v", cfg.remote, err)
@@ -48,6 +49,7 @@ type wireRequest struct {
 	Stmt    string `json:"stmt,omitempty"`
 	SQL     string `json:"sql,omitempty"`
 	Params  []any  `json:"params,omitempty"`
+	Batch   int    `json:"batch,omitempty"`
 }
 
 func (r *remoteDB) post(ctx context.Context, path string, body wireRequest) (*http.Response, error) {
@@ -83,7 +85,7 @@ func (r *remoteDB) query(ctx context.Context, session, stmt, sql string, params 
 	for i, p := range params {
 		cells[i] = wire.Cell(p)
 	}
-	resp, err := r.post(ctx, "/query/stream", wireRequest{Session: session, Stmt: stmt, SQL: sql, Params: cells})
+	resp, err := r.post(ctx, "/query/stream", wireRequest{Session: session, Stmt: stmt, SQL: sql, Params: cells, Batch: r.batch})
 	if err != nil {
 		return nil, err
 	}
