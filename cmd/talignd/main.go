@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	talignd [-addr :7411] [-j dop] [-cache n] [-max-dop n] [-demo] [name=file.csv ...]
+//	talignd [-addr :7411] [-j dop] [-cache n] [-max-dop n] [-timeout d]
+//	        [-max-rows n] [-max-bytes n] [-drain d] [-demo] [name=file.csv ...]
 //
 // Endpoints:
 //
@@ -17,10 +18,20 @@
 //	                    client disconnect cancels the query
 //	POST /prepare       {"session": "s1", "name": "q1", "sql": "... $1 ..."}
 //	GET  /explain       ?sql=... (or ?session=s1&stmt=q1)
-//	GET  /healthz
+//	GET  /healthz       liveness: 200 while the process runs
+//	GET  /readyz        readiness: 200 while accepting queries, 503 with a
+//	                    structured "unavailable" error while draining
 //	GET  /stats         per-table ANALYZE statistics + plan-cache counters
 //	GET  /metrics       Prometheus text-format counters (plan cache,
-//	                    admission gate, cancellations)
+//	                    admission gate, cancellations, timeouts, budget
+//	                    aborts, recovered panics, drain state)
+//
+// Lifecycle: -timeout arms a per-query deadline, -max-rows/-max-bytes a
+// per-query resource budget (rows/bytes crossing operator boundaries).
+// On SIGTERM or SIGINT the server drains instead of dying mid-stream: it
+// stops admitting queries (new ones get the "unavailable" error code,
+// /readyz turns 503), lets in-flight streams finish for up to -drain,
+// then exits 0.
 //
 // Loaded tables are auto-analyzed at startup, so the cost-based optimizer
 // starts with real statistics; "ANALYZE <table>" via POST /query
@@ -35,12 +46,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"talign/internal/csvio"
 	"talign/internal/dataset"
@@ -53,6 +69,10 @@ func main() {
 	dop := flag.Int("j", 1, "degree of parallelism per query (0 = all CPUs)")
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "prepared-plan cache capacity")
 	maxDOP := flag.Int("max-dop", 0, "total in-flight DOP across queries (0 = 4x CPUs)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline (0 = none)")
+	maxRows := flag.Int64("max-rows", 0, "per-query row budget across operator boundaries (0 = unlimited)")
+	maxBytes := flag.Int64("max-bytes", 0, "per-query byte budget across operator boundaries (0 = unlimited)")
+	drain := flag.Duration("drain", 15*time.Second, "shutdown drain deadline for in-flight queries")
 	demo := flag.Bool("demo", false, "preload the paper's hotel example relations r and p")
 	flag.Parse()
 
@@ -68,7 +88,14 @@ func main() {
 		*maxDOP = 4 * runtime.NumCPU()
 	}
 
-	srv := server.New(server.Config{Flags: flags, CacheSize: *cacheSize, MaxDOP: *maxDOP})
+	srv := server.New(server.Config{
+		Flags:     flags,
+		CacheSize: *cacheSize,
+		MaxDOP:    *maxDOP,
+		Timeout:   *timeout,
+		MaxRows:   *maxRows,
+		MaxBytes:  *maxBytes,
+	})
 	for _, arg := range flag.Args() {
 		parts := strings.SplitN(arg, "=", 2)
 		if len(parts) != 2 {
@@ -90,8 +117,48 @@ func main() {
 
 	fmt.Printf("talignd listening on %s (dop=%d, cache=%d, max in-flight dop=%d)\n",
 		*addr, flags.DOP, *cacheSize, *maxDOP)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-serveErr:
+		// ListenAndServe never returns nil; without a Shutdown in flight
+		// any return is fatal (bad address, closed listener).
 		fatalf("talignd: %v", err)
+	case s := <-sig:
+		// Graceful drain: stop admitting queries (new ones are refused
+		// with the "unavailable" code and /readyz flips to 503), then let
+		// in-flight streams finish under the drain deadline. A clean
+		// drain — or one where only stuck streams remain past the
+		// deadline — exits 0 so orchestrators see a voluntary shutdown.
+		fmt.Printf("talignd: received %v, draining (deadline %s)\n", s, *drain)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		// Keep the listener up while in-flight queries finish: load
+		// balancers need to reach /readyz to observe the 503 flip, and
+		// monitoring keeps /healthz and /metrics. Only once the gate
+		// quiesces (or the deadline passes) does the listener close.
+	quiesce:
+		for srv.GateStats().InUse > 0 {
+			select {
+			case <-ctx.Done():
+				break quiesce
+			case <-time.After(50 * time.Millisecond):
+			}
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "talignd: drain deadline exceeded, closing remaining connections: %v\n", err)
+			httpSrv.Close()
+		} else {
+			fmt.Println("talignd: drained cleanly")
+		}
+		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("talignd: %v", err)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"talign/internal/plan"
 )
@@ -20,18 +21,30 @@ type dsnConfig struct {
 	// backends (embedded planner flags, or per-request on the wire).
 	batch int
 
+	// timeout is the per-query deadline; it applies to both backends
+	// (the embedded server core's deadline, or a client-side context
+	// deadline on every remote request). Zero means no deadline.
+	timeout time.Duration
+
+	// retry is the number of retries (beyond the first attempt) for
+	// idempotent remote requests that fail at the transport level or hit
+	// a draining server; remote-only. -1 means "not set, use default".
+	retry int
+
 	// Embedded options.
-	demo    bool
-	loads   [][2]string // name, csv path
-	dop     int
-	cache   int
-	maxDOP  int
-	analyze bool
+	demo     bool
+	loads    [][2]string // name, csv path
+	dop      int
+	cache    int
+	maxDOP   int
+	maxRows  int
+	maxBytes int
+	analyze  bool
 }
 
 // parseDSN splits a DSN into backend kind and options.
 func parseDSN(dsn string) (dsnConfig, error) {
-	cfg := dsnConfig{dop: 1, analyze: true}
+	cfg := dsnConfig{dop: 1, analyze: true, retry: -1}
 	u, err := url.Parse(dsn)
 	if err != nil {
 		return cfg, fmt.Errorf("talign: bad DSN %q: %v", dsn, err)
@@ -67,6 +80,24 @@ func parseDSN(dsn string) (dsnConfig, error) {
 				return cfg, err
 			}
 			continue
+		case "timeout":
+			d, derr := time.ParseDuration(vals[len(vals)-1])
+			if derr != nil || d < 0 {
+				return cfg, fmt.Errorf("talign: DSN option timeout=%q is not a non-negative duration", vals[len(vals)-1])
+			}
+			cfg.timeout = d
+			continue
+		case "retry":
+			// Retrying is a wire-level concern; an embedded query either
+			// runs or fails deterministically, so retry= there is a
+			// configuration mistake worth surfacing.
+			if cfg.remote == "" {
+				return cfg, fmt.Errorf("talign: DSN option %q applies to remote talignd:// only", key)
+			}
+			if cfg.retry, err = dsnInt(key, vals); err != nil {
+				return cfg, err
+			}
+			continue
 		}
 		// Everything else configures the embedded engine; rejecting it
 		// on remote DSNs beats silently ignoring a load= or j= the
@@ -96,6 +127,14 @@ func parseDSN(dsn string) (dsnConfig, error) {
 			}
 		case "max-dop", "maxdop":
 			if cfg.maxDOP, err = dsnInt(key, vals); err != nil {
+				return cfg, err
+			}
+		case "max-rows", "maxrows":
+			if cfg.maxRows, err = dsnInt(key, vals); err != nil {
+				return cfg, err
+			}
+		case "max-bytes", "maxbytes":
+			if cfg.maxBytes, err = dsnInt(key, vals); err != nil {
 				return cfg, err
 			}
 		case "analyze":

@@ -27,7 +27,14 @@ type embeddedDB struct {
 
 // openEmbedded builds the in-process backend for a talign:// DSN.
 func openEmbedded(cfg dsnConfig) (backend, error) {
-	srv := server.New(server.Config{Flags: cfg.flags(), CacheSize: cfg.cache, MaxDOP: cfg.maxDOP})
+	srv := server.New(server.Config{
+		Flags:     cfg.flags(),
+		CacheSize: cfg.cache,
+		MaxDOP:    cfg.maxDOP,
+		Timeout:   cfg.timeout,
+		MaxRows:   int64(cfg.maxRows),
+		MaxBytes:  int64(cfg.maxBytes),
+	})
 	if cfg.demo {
 		r, p := dataset.Demo()
 		srv.Catalog().Register("r", r)

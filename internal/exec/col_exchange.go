@@ -19,6 +19,7 @@ import (
 
 	"talign/internal/colbatch"
 	"talign/internal/expr"
+	"talign/internal/faultinject"
 	"talign/internal/schema"
 )
 
@@ -89,12 +90,19 @@ func (s *ColSplitter) getErr() error {
 }
 
 // run is the producer: it drains the input once and routes rows. Routed
-// batches are freshly allocated per send; the consumer owns them.
+// batches are freshly allocated per send; the consumer owns them. Like
+// the row producer, a panic anywhere in the input subtree becomes the
+// splitter's error — consumers observe it when the channels close.
 func (s *ColSplitter) run() {
 	defer close(s.finished)
 	defer func() {
 		for _, ch := range s.chans {
 			close(ch)
+		}
+	}()
+	defer func() {
+		if err := Recovered("exec.ColSplitter producer", recover()); err != nil {
+			s.setErr(err)
 		}
 	}()
 	if err := s.input.Open(); err != nil {
@@ -110,6 +118,10 @@ func (s *ColSplitter) run() {
 	}
 	var keyBuf []byte
 	for {
+		if err := faultinject.Hit("exec.colsplitter.run"); err != nil {
+			s.setErr(err)
+			return
+		}
 		b, err := s.input.NextCol()
 		if err != nil {
 			s.setErr(err)

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"talign/internal/expr"
+	"talign/internal/faultinject"
 	"talign/internal/schema"
 	"talign/internal/tuple"
 )
@@ -91,12 +92,21 @@ func (s *Splitter) getErr() error {
 	return s.err
 }
 
-// run is the producer: it drains the input once and routes batches.
+// run is the producer: it drains the input once and routes batches. A
+// panic anywhere below it (the producer drives its whole input subtree
+// on this goroutine) is converted into the splitter's error instead of
+// crashing the process; the deferred channel close then wakes every
+// partition consumer, which sees the error through getErr.
 func (s *Splitter) run() {
 	defer close(s.finished)
 	defer func() {
 		for _, ch := range s.chans {
 			close(ch)
+		}
+	}()
+	defer func() {
+		if err := Recovered("exec.Splitter producer", recover()); err != nil {
+			s.setErr(err)
 		}
 	}()
 	if err := s.input.Open(); err != nil {
@@ -111,6 +121,10 @@ func (s *Splitter) run() {
 	}
 	var mh maphash.Hash
 	for {
+		if err := faultinject.Hit("exec.splitter.run"); err != nil {
+			s.setErr(err)
+			return
+		}
 		batch, err := s.input.Next()
 		if err != nil {
 			s.setErr(err)
@@ -297,34 +311,54 @@ func (e *Exchange) Open() error {
 	return nil
 }
 
+// worker drives one fragment. The fragment's whole operator subtree runs
+// on this goroutine, so the drive loop and the teardown are each behind
+// a recovery boundary: a panicking fragment poisons the query with a
+// structured error (setErr cancels the siblings) and the worker still
+// exits through wg.Done — never a crashed process, never a hung Close.
 func (e *Exchange) worker(in Iterator) {
 	defer e.wg.Done()
-	if err := in.Open(); err != nil {
+	if err := e.drive(in); err != nil {
 		e.setErr(err)
-	} else {
-	loop:
-		for {
-			b, err := in.Next()
-			if err != nil {
-				e.setErr(err)
-				break
-			}
-			if len(b) == 0 {
-				break
-			}
-			// The fragment reuses its batch buffer, so hand a copy over.
-			cp := make([]tuple.Tuple, len(b))
-			copy(cp, b)
-			select {
-			case e.ch <- cp:
-			case <-e.done:
-				break loop
-			}
+	}
+	if err := closeGuarded("exec.Exchange fragment close", in); err != nil {
+		e.setErr(err)
+	}
+}
+
+// drive is the worker's pull loop, panic-isolated.
+func (e *Exchange) drive(in Iterator) (err error) {
+	defer RecoverAsError("exec.Exchange worker", &err)
+	if err := in.Open(); err != nil {
+		return err
+	}
+	for {
+		if err := faultinject.Hit("exec.exchange.worker"); err != nil {
+			return err
+		}
+		b, err := in.Next()
+		if err != nil {
+			return err
+		}
+		if len(b) == 0 {
+			return nil
+		}
+		// The fragment reuses its batch buffer, so hand a copy over.
+		cp := make([]tuple.Tuple, len(b))
+		copy(cp, b)
+		select {
+		case e.ch <- cp:
+		case <-e.done:
+			return nil
 		}
 	}
-	if err := in.Close(); err != nil {
-		e.setErr(err)
-	}
+}
+
+// closeGuarded closes an iterator behind a recovery boundary: teardown
+// of operators a panic left mid-flight must not panic the process.
+func closeGuarded(site string, it Iterator) (err error) {
+	defer RecoverAsError(site, &err)
+	return it.Close()
 }
 
 func (e *Exchange) Next() ([]tuple.Tuple, error) {

@@ -1,0 +1,174 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+
+	"talign/internal/faultinject"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// panicsRecovered counts, process-wide, how many panics the executor's
+// recovery boundaries have converted into errors instead of letting them
+// kill the process. Tests and /metrics read it to prove crash isolation.
+var panicsRecovered atomic.Uint64
+
+// PanicsRecovered reports how many executor panics have been recovered
+// process-wide since start.
+func PanicsRecovered() uint64 { return panicsRecovered.Load() }
+
+// PanicError is a recovered operator panic, rendered as a structured
+// runtime error: the query that contained it fails with the wire code
+// "internal", the process — and every concurrent query — keeps running.
+// The stack is captured at recovery time for server-side diagnostics.
+type PanicError struct {
+	// Site names where the panic was recovered (an operator type or a
+	// goroutine boundary).
+	Site string
+	// Val is the recovered panic value.
+	Val any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: internal error: panic in %s: %v", e.Site, e.Val)
+}
+
+// Recovered converts a recover() result into a *PanicError; a nil r
+// (no panic in flight) returns nil. Every conversion counts into the
+// process-wide PanicsRecovered instrumentation.
+func Recovered(site string, r any) error {
+	if r == nil {
+		return nil
+	}
+	panicsRecovered.Add(1)
+	return &PanicError{Site: site, Val: r, Stack: debug.Stack()}
+}
+
+// RecoverAsError is the defer helper for goroutine and call boundaries:
+//
+//	defer exec.RecoverAsError("site", &err)
+//
+// converts an in-flight panic into a *PanicError assigned to *errp
+// (existing errors are not overwritten by a nil recovery).
+func RecoverAsError(site string, errp *error) {
+	if err := Recovered(site, recover()); err != nil {
+		*errp = err
+	}
+}
+
+// Guard is the per-operator resilience boundary the plan layer wraps
+// around every operator a Build produces. One wrapper does three jobs,
+// all at batch granularity so steady-state cost is amortized over
+// BatchSize tuples:
+//
+//   - panic isolation: a panic in the wrapped operator (or anything
+//     beneath it on the same goroutine, including a columnar subtree
+//     under a Materialize) is recovered and converted into a structured
+//     *PanicError, so a poisoned expression or a corrupted batch tears
+//     down the query, not the process;
+//   - cooperative cancellation: once the execution's context is
+//     cancelled or past its deadline, Open/Next abort with the context
+//     error (counted once per guard into CancelObserved);
+//   - resource budgeting: every output batch is charged against the
+//     execution's shared Budget, and an exhausted budget aborts with a
+//     structured *BudgetError.
+//
+// Exchange worker and splitter producer goroutines carry their own
+// recovery (they are separate stacks); together with Guard that makes
+// every goroutine a query can run on panic-isolated.
+type Guard struct {
+	// Input is the wrapped operator.
+	Input Iterator
+
+	ctx     context.Context
+	budget  *Budget
+	tripped bool
+}
+
+// NewGuard wraps in with the panic/cancellation/budget boundary. A nil
+// (or never-cancellable) ctx skips the cancellation check; a nil budget
+// skips charging; panic recovery is unconditional.
+func NewGuard(ctx context.Context, budget *Budget, in Iterator) Iterator {
+	if ctx != nil && ctx.Done() == nil {
+		ctx = nil
+	}
+	return &Guard{Input: in, ctx: ctx, budget: budget}
+}
+
+// Schema implements Iterator.
+func (g *Guard) Schema() schema.Schema { return g.Input.Schema() }
+
+// Open implements Iterator.
+func (g *Guard) Open() (err error) {
+	defer func() {
+		if rerr := Recovered(g.site(), recover()); rerr != nil {
+			err = rerr
+		}
+	}()
+	if err := g.check(); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("exec.open"); err != nil {
+		return err
+	}
+	return g.Input.Open()
+}
+
+// Next implements Iterator.
+func (g *Guard) Next() (batch []tuple.Tuple, err error) {
+	defer func() {
+		if rerr := Recovered(g.site(), recover()); rerr != nil {
+			batch, err = nil, rerr
+		}
+	}()
+	if err := g.check(); err != nil {
+		return nil, err
+	}
+	if err := faultinject.Hit("exec.next"); err != nil {
+		return nil, err
+	}
+	b, err := g.Input.Next()
+	if err != nil {
+		return nil, err
+	}
+	if err := g.budget.charge(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Close implements Iterator; teardown of an operator a panic left in a
+// broken state must not panic the unwinding query a second time.
+func (g *Guard) Close() (err error) {
+	defer func() {
+		if rerr := Recovered(g.site(), recover()); rerr != nil {
+			err = rerr
+		}
+	}()
+	return g.Input.Close()
+}
+
+// site names the guarded operator for panic diagnostics.
+func (g *Guard) site() string { return fmt.Sprintf("%T", g.Input) }
+
+// check returns the context's error once it is done, counting the first
+// observation into the process-wide instrumentation counter.
+func (g *Guard) check() error {
+	if g.ctx == nil {
+		return nil
+	}
+	if err := g.ctx.Err(); err != nil {
+		if !g.tripped {
+			g.tripped = true
+			cancelObserved.Add(1)
+		}
+		return err
+	}
+	return nil
+}

@@ -583,6 +583,9 @@ func funcInfo(name string, arity int) (value.Kind, error) {
 			return value.KindInt, nil
 		}
 	}
+	if k, ok := registeredInfo(name, arity); ok {
+		return k, nil
+	}
 	return value.KindNull, fmt.Errorf("expr: unknown function %s/%d", name, arity)
 }
 
@@ -653,6 +656,14 @@ func (f Func) Eval(env *Env) (value.Value, error) {
 			return value.NewFloat(x), nil
 		}
 		return value.Null, fmt.Errorf("expr: ABS of %s", args[0].Kind())
+	}
+	if fn, ok := lookupFunc(f.Name); ok {
+		// Copy off the stack buffer: the registered Eval may retain its
+		// argument slice, and handing it `args` directly would force the
+		// buffer to escape on the built-in fast path too.
+		heap := make([]value.Value, len(args))
+		copy(heap, args)
+		return fn.Eval(heap)
 	}
 	return value.Null, fmt.Errorf("expr: unknown function %s", f.Name)
 }

@@ -22,12 +22,19 @@ type ExecCtx struct {
 	Params []value.Value
 
 	// Ctx is the execution's context.Context. When it is cancellable,
-	// every operator a Build produces is wrapped with a cooperative
-	// per-batch cancellation check (exec.WithCancel), so cancelling the
-	// context promptly aborts the whole executor tree — including the
-	// fragment operators driven by exchange worker goroutines. A nil Ctx
-	// (or context.Background()) costs nothing.
+	// every operator a Build produces gains a cooperative per-batch
+	// cancellation check (exec.Guard), so cancelling the context — or
+	// passing its deadline — promptly aborts the whole executor tree,
+	// including the fragment operators driven by exchange worker
+	// goroutines. A nil Ctx (or context.Background()) skips the check.
 	Ctx context.Context
+
+	// Budget, when set, is the execution's shared resource budget: every
+	// guarded operator charges its output batches against it, and an
+	// exhausted budget aborts the query with a structured
+	// *exec.BudgetError (wire code "resource"). One Budget serves every
+	// fragment of a parallel plan — the counters are atomic.
+	Budget *exec.Budget
 
 	// Instrument, when set, wraps every operator a Build produces (after
 	// batch sizing) and is how EXPLAIN ANALYZE attaches its row counters.
@@ -75,17 +82,17 @@ func (c *ExecCtx) bindAll(es []expr.Expr) []expr.Expr {
 }
 
 // instrument finalizes a freshly built operator: it first arms the
-// context's cooperative cancellation check (every operator's batch loop
-// gains one, which is what makes cancellation prompt even inside exchange
-// fragments), then applies the Instrument hook. A nil context passes the
-// operator through untouched.
+// resilience boundary (exec.Guard: panic recovery at every operator
+// call, the context's cooperative cancellation check, and resource
+// budget charging — which is what makes cancellation and crash
+// isolation reach even inside exchange fragments), then applies the
+// Instrument hook. A nil ExecCtx passes the operator through untouched
+// (direct Build calls in benchmarks pay nothing).
 func (c *ExecCtx) instrument(n Node, it exec.Iterator) exec.Iterator {
 	if c == nil {
 		return it
 	}
-	if c.Ctx != nil {
-		it = exec.WithCancel(c.Ctx, it)
-	}
+	it = exec.NewGuard(c.Ctx, c.Budget, it)
 	if c.Instrument == nil {
 		return it
 	}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 
+	"talign/internal/faultinject"
 	"talign/internal/wire"
 )
 
@@ -16,14 +17,14 @@ import (
 func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	req, params, err := decodeRequest(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, err)
 		return
 	}
 	rs, err := s.StreamBatch(r.Context(), req.Session, req.Stmt, req.SQL, params, req.Batch)
 	if err != nil {
 		// Nothing was sent yet: report the failure as a plain structured
 		// HTTP error, exactly like the buffered endpoint.
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, err)
 		return
 	}
 	defer rs.Close()
@@ -55,6 +56,11 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	var total int64
 	for {
 		batch, err := rs.Next()
+		if err == nil {
+			// Chaos-test seam: fail (or stall) the response mid-stream, after
+			// rows have already been flushed to the client.
+			err = faultinject.Hit("server.stream.rows")
+		}
 		if err != nil {
 			send(wire.Frame{Frame: wire.FrameError, Error: wire.FromError(err, errorCode(err))})
 			return

@@ -28,10 +28,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	counter("talignd_queries_total", "Queries accepted (ad-hoc, prepared, streamed).", s.queries.Load())
 	counter("talignd_errors_total", "Queries that ended in an error.", s.errors.Load())
-	counter("talignd_query_cancels_total", "Queries aborted by context cancellation or deadline.", s.cancels.Load())
+	counter("talignd_query_cancels_total", "Queries aborted by context cancellation.", s.cancels.Load())
+	counter("talignd_query_timeouts_total", "Queries aborted by the per-query deadline.", s.timeouts.Load())
+	counter("talignd_resource_aborts_total", "Queries aborted by their resource budget (rows/bytes).", s.resourceAborts.Load())
+	counter("talignd_panics_recovered_total", "Queries that died to a recovered executor panic (the process did not).", s.panics.Load())
 	counter("talignd_streams_total", "Wire-level streaming responses started.", s.streams.Load())
 	counter("talignd_rows_streamed_total", "Rows delivered through streaming cursors.", s.rowsStreamed.Load())
 	counter("talignd_exec_cancel_observed_total", "Operator batch loops that observed a cancelled context (process-wide).", exec.CancelObserved())
+	counter("talignd_exec_panics_recovered_total", "Panics recovered at executor boundaries (process-wide, includes exchange goroutines).", exec.PanicsRecovered())
+	counter("talignd_exec_budget_aborts_total", "Budget trips observed at executor boundaries (process-wide).", exec.BudgetAborts())
 
 	counter("talignd_plan_cache_hits_total", "Plan cache hits.", cs.Hits)
 	counter("talignd_plan_cache_misses_total", "Plan cache misses.", cs.Misses)
@@ -46,4 +51,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	gauge("talignd_sessions", "Live sessions.", s.sess.count())
 	gauge("talignd_catalog_tables", "Registered tables.", snap.Len())
+
+	draining := 0
+	if s.Draining() {
+		draining = 1
+	}
+	gauge("talignd_draining", "1 while the server is draining for shutdown (refusing new queries).", draining)
 }

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"talign/internal/exec"
 	"talign/internal/plan"
 	"talign/internal/relation"
 	"talign/internal/sqlish"
@@ -43,37 +44,74 @@ type Config struct {
 	// MaxDOP bounds the total in-flight degree of parallelism across
 	// concurrent queries; 0 means unlimited.
 	MaxDOP int
+	// Timeout is the per-query deadline: every execution (buffered or
+	// streamed, including its wait at the admission gate) runs under a
+	// context that expires after this long. 0 means no server-side
+	// deadline; clients can still bring their own through the request
+	// context. Expiry aborts with the wire code "timeout".
+	Timeout time.Duration
+	// MaxRows and MaxBytes are the per-query resource budget: cumulative
+	// tuples / approximate bytes crossing operator boundaries (see
+	// exec.Budget). 0 means unlimited; exhaustion aborts with the wire
+	// code "resource".
+	MaxRows  int64
+	MaxBytes int64
 }
 
 // Server is the concurrent query server: it owns the catalog, the plan
 // cache, the session table and the admission gate. All methods are safe
 // for concurrent use.
 type Server struct {
-	flags   plan.Flags
-	flagsFP string
-	catalog *Catalog
-	cache   *PlanCache
-	gate    *Gate
-	sess    sessions
-	start   time.Time
+	flags    plan.Flags
+	flagsFP  string
+	catalog  *Catalog
+	cache    *PlanCache
+	gate     *Gate
+	sess     sessions
+	start    time.Time
+	timeout  time.Duration
+	maxRows  int64
+	maxBytes int64
+	draining atomic.Bool
 
-	queries      atomic.Uint64
-	errors       atomic.Uint64
-	cancels      atomic.Uint64
-	streams      atomic.Uint64
-	rowsStreamed atomic.Uint64
+	queries        atomic.Uint64
+	errors         atomic.Uint64
+	cancels        atomic.Uint64
+	timeouts       atomic.Uint64
+	resourceAborts atomic.Uint64
+	panics         atomic.Uint64
+	streams        atomic.Uint64
+	rowsStreamed   atomic.Uint64
 }
 
 // New creates a server with an empty catalog.
 func New(cfg Config) *Server {
 	return &Server{
-		flags:   cfg.Flags,
-		flagsFP: cfg.Flags.Fingerprint(),
-		catalog: NewCatalog(),
-		cache:   NewPlanCache(cfg.CacheSize),
-		gate:    NewGate(cfg.MaxDOP),
-		start:   time.Now(),
+		flags:    cfg.Flags,
+		flagsFP:  cfg.Flags.Fingerprint(),
+		catalog:  NewCatalog(),
+		cache:    NewPlanCache(cfg.CacheSize),
+		gate:     NewGate(cfg.MaxDOP),
+		start:    time.Now(),
+		timeout:  cfg.Timeout,
+		maxRows:  cfg.MaxRows,
+		maxBytes: cfg.MaxBytes,
 	}
+}
+
+// BeginDrain flips the server into draining mode: /readyz starts
+// reporting 503, and new queries are refused with the wire code
+// "unavailable" while in-flight executions (streaming cursors included)
+// run to completion. Draining is one-way — a drained server is on its
+// way down.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errDraining is the structured refusal new queries get while draining.
+func errDraining() error {
+	return &sqlish.Error{Code: sqlish.ErrUnavailable, Msg: "server is draining; not accepting new queries", Pos: -1}
 }
 
 // Catalog exposes the server's relation registry (for loading data).
@@ -81,6 +119,10 @@ func (s *Server) Catalog() *Catalog { return s.catalog }
 
 // CacheStats exposes the plan-cache counters (tests and /healthz).
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// GateStats exposes the admission-gate counters; a drained idle server
+// must report zero in-flight DOP.
+func (s *Server) GateStats() GateStats { return s.gate.Stats() }
 
 // plan resolves SQL text to a cached (or freshly prepared) plan against
 // the current catalog snapshot. The second result reports a cache hit.
@@ -246,6 +288,7 @@ func (s *Server) Explain(sessionID, stmtName, sql string) (string, error) {
 //	POST /prepare       {"session": "s", "name": "q1", "sql": "... $1 ..."}
 //	GET  /explain       ?sql=... | ?session=s&stmt=name     (text/plain)
 //	GET  /healthz       liveness + catalog/cache/gate statistics
+//	GET  /readyz        readiness: 200 while serving, 503 once draining
 //	GET  /stats         per-table ANALYZE statistics + plan-cache counters
 //	GET  /metrics       Prometheus text-format counters
 //
@@ -259,6 +302,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /prepare", s.handlePrepare)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -306,12 +350,12 @@ type prepareResponse struct {
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	req, params, err := decodeRequest(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, err)
 		return
 	}
 	res, err := s.QueryBatch(r.Context(), req.Session, req.Stmt, req.SQL, params, req.Batch)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, err)
 		return
 	}
 	if res.Plan != "" {
@@ -324,12 +368,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	req, _, err := decodeRequest(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, err)
 		return
 	}
 	prep, err := s.Prepare(req.Session, req.Name, req.SQL)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, err)
 		return
 	}
 	cols, types := SchemaColumns(prep)
@@ -350,7 +394,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	text, err := s.Explain(q.Get("session"), q.Get("stmt"), q.Get("sql"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		httpError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -372,6 +416,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"cache": s.cache.Stats(),
 		"gate":  s.gate.Stats(),
 	})
+}
+
+// handleReadyz is the readiness probe, distinct from /healthz liveness:
+// a draining server is still alive (in-flight streams are finishing) but
+// must stop receiving new work, so load balancers watch this endpoint.
+// While draining it returns 503 with the structured "unavailable" error
+// body every refused query also gets.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		httpError(w, errDraining())
+		return
+	}
+	writeJSON(w, map[string]any{"ready": true})
 }
 
 // columnStatsJSON is one column's statistics in the GET /stats response.
@@ -506,24 +563,56 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-// httpError renders a structured JSON error {code, message, line, col}:
-// parse errors keep the offending token's statement position, other
-// pipeline stages classify by code (see errorCode).
-func httpError(w http.ResponseWriter, code int, err error) {
+// httpError renders a structured JSON error {code, message, line, col}
+// with the HTTP status the code implies: parse errors keep the offending
+// token's statement position, other pipeline stages classify by code
+// (see errorCode).
+func httpError(w http.ResponseWriter, err error) {
+	we := wire.FromError(err, errorCode(err))
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]any{"error": wire.FromError(err, errorCode(err))})
+	w.WriteHeader(statusForCode(we.Code))
+	json.NewEncoder(w).Encode(map[string]any{"error": we})
 }
 
-// errorCode picks the default wire code for a non-structured error:
-// server-side request/protocol problems report "request", everything
-// else that reached execution reports "execute" (analyzer errors carry
-// the sqlish prefix and report "analyze").
+// statusForCode maps wire error codes to HTTP statuses: caller mistakes
+// are 400s, lifecycle refusals and resource aborts get their
+// conventional 5xx/429 statuses so proxies and retry layers can react
+// without parsing the body.
+func statusForCode(code string) int {
+	switch code {
+	case sqlish.ErrInternal:
+		return http.StatusInternalServerError
+	case sqlish.ErrUnavailable:
+		return http.StatusServiceUnavailable
+	case sqlish.ErrTimeout:
+		return http.StatusGatewayTimeout
+	case sqlish.ErrResource:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// errorCode picks the wire code for a non-structured error. Resilience
+// outcomes come first — recovered panics report "internal", budget
+// aborts "resource", deadline expiry "timeout" (whichever side set the
+// deadline), plain cancellation "cancelled" — then server-side
+// request/protocol problems report "request" and everything else that
+// reached execution reports "execute" (analyzer errors carry the sqlish
+// prefix and report "analyze").
 func errorCode(err error) string {
+	var pe *exec.PanicError
+	var be *exec.BudgetError
 	msg := err.Error()
 	switch {
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		return "cancelled"
+	case errors.As(err, &pe):
+		return sqlish.ErrInternal
+	case errors.As(err, &be):
+		return sqlish.ErrResource
+	case errors.Is(err, context.DeadlineExceeded):
+		return sqlish.ErrTimeout
+	case errors.Is(err, context.Canceled):
+		return sqlish.ErrCancelled
 	case strings.HasPrefix(msg, "server:"):
 		return "request"
 	case strings.HasPrefix(msg, "sqlish:"):

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strings"
 
+	"talign/internal/exec"
+	"talign/internal/faultinject"
 	"talign/internal/sqlish"
 	"talign/internal/tuple"
 	"talign/internal/value"
@@ -32,6 +34,7 @@ type RowStream struct {
 	s       *Server
 	cur     *sqlish.Cursor
 	release func()
+	cancel  func()
 	counted bool
 	done    bool
 }
@@ -52,10 +55,19 @@ func (rs *RowStream) CacheHit() bool { return rs.cacheHit }
 
 // Next returns the next batch of tuples; an empty batch signals
 // exhaustion. The batch is only valid until the following Next or Close
-// (the executor's ownership contract). Errors — including context
-// cancellation, which is counted into the server's cancellation metric —
-// are terminal.
-func (rs *RowStream) Next() ([]tuple.Tuple, error) {
+// (the executor's ownership contract). Errors — cancellations,
+// timeouts, budget aborts and recovered panics, each counted into its
+// own server metric — are terminal.
+func (rs *RowStream) Next() (batch []tuple.Tuple, err error) {
+	defer func() {
+		// The executor guards every operator, but the stream layer itself
+		// (batch encoding, instrumentation hooks) must not crash the
+		// process either.
+		if rerr := exec.Recovered("server.RowStream", recover()); rerr != nil {
+			batch, err = nil, rerr
+			rs.fail(rerr)
+		}
+	}()
 	if rs.cur == nil || rs.done {
 		return nil, nil
 	}
@@ -72,19 +84,19 @@ func (rs *RowStream) Next() ([]tuple.Tuple, error) {
 	return b, nil
 }
 
-// fail records a terminal error and tears the execution down.
+// fail records a terminal error (classified once per stream) and tears
+// the execution down.
 func (rs *RowStream) fail(err error) {
-	if (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) && !rs.counted {
+	if !rs.counted {
 		rs.counted = true
-		rs.s.cancels.Add(1)
+		rs.s.countFailure(err)
 	}
-	rs.s.errors.Add(1)
 	rs.Close()
 }
 
-// Close tears the execution down and releases its admission-gate units;
-// it is idempotent and safe to call mid-stream (the pipeline stops
-// without draining).
+// Close tears the execution down, releases its admission-gate units and
+// cancels its per-query deadline context; it is idempotent and safe to
+// call mid-stream (the pipeline stops without draining).
 func (rs *RowStream) Close() error {
 	if rs.done {
 		return nil
@@ -98,7 +110,31 @@ func (rs *RowStream) Close() error {
 		rs.release()
 		rs.release = nil
 	}
+	if rs.cancel != nil {
+		rs.cancel()
+		rs.cancel = nil
+	}
 	return err
+}
+
+// countFailure classifies a terminal query error into the server's
+// failure counters: every failure counts as an error, and the
+// resilience outcomes — cancellation, deadline expiry, budget abort,
+// recovered panic — additionally count into their own metric.
+func (s *Server) countFailure(err error) {
+	s.errors.Add(1)
+	var pe *exec.PanicError
+	var be *exec.BudgetError
+	switch {
+	case errors.As(err, &pe):
+		s.panics.Add(1)
+	case errors.As(err, &be):
+		s.resourceAborts.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Add(1)
+	case errors.Is(err, context.Canceled):
+		s.cancels.Add(1)
+	}
 }
 
 // Stream executes ad-hoc SQL (stmtName == "") or a session's named
@@ -114,16 +150,46 @@ func (s *Server) Stream(ctx context.Context, sessionID, stmtName, sql string, pa
 // StreamBatch is Stream with a per-request batch-size override (batch <=
 // 0 keeps the server's configured batch size); the override participates
 // in the plan-cache key through the flags fingerprint.
+//
+// The query lifecycle seams live here: a draining server refuses new
+// work with the code "unavailable", the server's per-query deadline is
+// armed around the whole execution (gate wait included), and a panic
+// anywhere in the planning path is recovered into a structured internal
+// error rather than crashing the process.
 func (s *Server) StreamBatch(ctx context.Context, sessionID, stmtName, sql string, params []value.Value, batch int) (*RowStream, error) {
 	s.queries.Add(1)
-	rs, err := s.stream(ctx, sessionID, stmtName, sql, params, batch)
-	if err != nil {
-		s.errors.Add(1)
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-			s.cancels.Add(1)
-		}
+	if s.Draining() {
+		err := errDraining()
+		s.countFailure(err)
+		return nil, err
 	}
-	return rs, err
+	cancel := func() {}
+	if s.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+	}
+	rs, err := s.streamGuarded(ctx, sessionID, stmtName, sql, params, batch)
+	if err != nil {
+		cancel()
+		s.countFailure(err)
+		return nil, err
+	}
+	if rs.cur != nil {
+		// Row-producing streams own the deadline context until Close; the
+		// plan-frame shapes (EXPLAIN, ANALYZE) are already done.
+		rs.cancel = cancel
+	} else {
+		cancel()
+	}
+	return rs, nil
+}
+
+// streamGuarded is stream behind the server-level panic boundary.
+func (s *Server) streamGuarded(ctx context.Context, sessionID, stmtName, sql string, params []value.Value, batch int) (rs *RowStream, err error) {
+	defer exec.RecoverAsError("server.stream", &err)
+	if err := faultinject.Hit("server.stream"); err != nil {
+		return nil, err
+	}
+	return s.stream(ctx, sessionID, stmtName, sql, params, batch)
 }
 
 func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, params []value.Value, batch int) (*RowStream, error) {
@@ -197,7 +263,11 @@ func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, pa
 	if gerr != nil {
 		return nil, gerr
 	}
-	cur, err := prep.Stream(ctx, params...)
+	var bud *exec.Budget
+	if s.maxRows > 0 || s.maxBytes > 0 {
+		bud = exec.NewBudget(s.maxRows, s.maxBytes)
+	}
+	cur, err := prep.StreamBudget(ctx, bud, params...)
 	if err != nil {
 		s.gate.Release(claimed)
 		return nil, err

@@ -34,6 +34,14 @@ type Cursor struct {
 // batches. EXPLAIN statements cannot be streamed (use Explain); an
 // ANALYZE statement never reaches Prepare in the first place.
 func (p *Prepared) Stream(ctx context.Context, params ...value.Value) (*Cursor, error) {
+	return p.StreamBudget(ctx, nil, params...)
+}
+
+// StreamBudget is Stream under a resource budget: every operator of the
+// built tree charges its output batches against budget, and exhausting
+// it aborts the execution with a structured *exec.BudgetError. A nil
+// budget streams unbounded.
+func (p *Prepared) StreamBudget(ctx context.Context, budget *exec.Budget, params ...value.Value) (*Cursor, error) {
 	if p.explain {
 		return nil, requestError("cannot Stream an EXPLAIN statement")
 	}
@@ -41,6 +49,7 @@ func (p *Prepared) Stream(ctx context.Context, params ...value.Value) (*Cursor, 
 		return nil, requestError("%s", paramErrMsg(err))
 	}
 	ec := plan.NewExecCtxContext(ctx, params...)
+	ec.Budget = budget
 	it, err := p.root.Build(ec)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,21 @@ const (
 	// fix before execution starts: wrong parameter counts, streaming an
 	// EXPLAIN, and the server's protocol-shape errors.
 	ErrRequest = "request"
+	// ErrCancelled reports a query aborted by context cancellation (a
+	// disconnected client, an explicit cancel).
+	ErrCancelled = "cancelled"
+	// ErrTimeout reports a query aborted by a deadline: the server's
+	// per-query timeout or the client context's.
+	ErrTimeout = "timeout"
+	// ErrResource reports a query aborted by its resource budget (max
+	// rows / max bytes crossing operator boundaries).
+	ErrResource = "resource"
+	// ErrInternal reports a recovered executor panic: the query died,
+	// the process did not.
+	ErrInternal = "internal"
+	// ErrUnavailable reports a server refusing new work — it is
+	// draining for shutdown; clients should retry elsewhere or later.
+	ErrUnavailable = "unavailable"
 )
 
 // requestError builds an ErrRequest error with no position.

@@ -6,13 +6,32 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"sync/atomic"
+	"time"
 
+	"talign/internal/faultinject"
 	"talign/internal/relation"
 	"talign/internal/stats"
 	"talign/internal/value"
 	"talign/internal/wire"
+)
+
+// Client-side resilience defaults. Control requests (healthz, prepare)
+// are small and bounded, so they get an overall per-request timeout; row
+// streams can legitimately run for minutes, so their client bounds only
+// the phases that must be fast — dialing, the TLS handshake, and the
+// wait for response headers — never the body.
+const (
+	controlTimeout        = 10 * time.Second
+	dialTimeout           = 5 * time.Second
+	tlsHandshakeTimeout   = 5 * time.Second
+	responseHeaderTimeout = 60 * time.Second
+	defaultRetries        = 2 // retries beyond the first attempt
+	retryBaseDelay        = 50 * time.Millisecond
+	retryMaxDelay         = 2 * time.Second
 )
 
 // remoteDB speaks talignd's wire protocol: prepared statements through
@@ -20,18 +39,52 @@ import (
 // POST /query/stream. The request context rides on the HTTP request, so
 // cancelling it tears the connection down and — through the server's
 // request context — aborts the query server-side.
+//
+// Requests that fail before any response bytes arrive (a transport
+// error, or a 503 from a draining server) are retried with exponential
+// backoff and jitter; every request this backend issues is idempotent
+// (the dialect is read-only and prepare is a pure registration), so a
+// retry can at worst repeat work, never duplicate an effect.
 type remoteDB struct {
-	base   string
-	batch  int // batch= DSN option, sent with every query request
-	http   *http.Client
-	closed atomic.Bool
+	base    string
+	batch   int           // batch= DSN option, sent with every query request
+	timeout time.Duration // timeout= DSN option: client-side per-query deadline
+	retry   int           // retry= DSN option: retries beyond the first attempt
+	control *http.Client  // bounded end-to-end: healthz, prepare
+	stream  *http.Client  // row streams: transport-phase timeouts only
+	closed  atomic.Bool
 }
 
 // openRemote builds the wire backend for a talignd:// DSN and checks the
 // server is reachable.
 func openRemote(cfg dsnConfig) (backend, error) {
-	r := &remoteDB{base: cfg.remote, batch: cfg.batch, http: &http.Client{}}
-	resp, err := r.http.Get(r.base + "/healthz")
+	dialer := &net.Dialer{Timeout: dialTimeout, KeepAlive: 30 * time.Second}
+	transport := &http.Transport{
+		DialContext:           dialer.DialContext,
+		TLSHandshakeTimeout:   tlsHandshakeTimeout,
+		ResponseHeaderTimeout: responseHeaderTimeout,
+	}
+	if cfg.timeout > 0 && cfg.timeout+10*time.Second > responseHeaderTimeout {
+		// The server holds headers back while the query waits at the
+		// admission gate, so the header timeout must outlast the query
+		// deadline or slow-but-legal queries die as transport errors.
+		transport.ResponseHeaderTimeout = cfg.timeout + 10*time.Second
+	}
+	retry := cfg.retry
+	if retry < 0 {
+		retry = defaultRetries
+	}
+	r := &remoteDB{
+		base:    cfg.remote,
+		batch:   cfg.batch,
+		timeout: cfg.timeout,
+		retry:   retry,
+		control: &http.Client{Timeout: controlTimeout, Transport: transport},
+		stream:  &http.Client{Transport: transport},
+	}
+	resp, err := r.retryDo(context.Background(), r.control, func() (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, r.base+"/healthz", nil)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("talign: cannot reach talignd at %s: %v", cfg.remote, err)
 	}
@@ -40,6 +93,48 @@ func openRemote(cfg dsnConfig) (backend, error) {
 		return nil, fmt.Errorf("talign: talignd at %s: healthz returned %s", cfg.remote, resp.Status)
 	}
 	return r, nil
+}
+
+// retryDo issues the request up to r.retry+1 times, retrying transport
+// failures and 503 responses (a draining or overloaded server) with
+// exponential backoff plus jitter. mk builds a fresh request per attempt
+// (request bodies are single-use).
+func (r *remoteDB) retryDo(ctx context.Context, client *http.Client, mk func() (*http.Request, error)) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req.WithContext(ctx))
+		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if err != nil {
+			lastErr = err
+		} else {
+			lastErr = httpErr(resp) // decodes the structured body and closes it
+		}
+		if attempt >= r.retry || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		select {
+		case <-time.After(retryBackoff(attempt)):
+		case <-ctx.Done():
+			return nil, lastErr
+		}
+	}
+}
+
+// retryBackoff is exponential (50ms, 100ms, 200ms, ... capped at 2s)
+// plus up to half again of random jitter, so a fleet of clients retrying
+// a drained server does not stampede it in lockstep.
+func retryBackoff(attempt int) time.Duration {
+	d := retryBaseDelay << uint(attempt)
+	if d > retryMaxDelay || d <= 0 {
+		d = retryMaxDelay
+	}
+	return d + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // wireRequest is the /query, /query/stream and /prepare body.
@@ -52,7 +147,7 @@ type wireRequest struct {
 	Batch   int    `json:"batch,omitempty"`
 }
 
-func (r *remoteDB) post(ctx context.Context, path string, body wireRequest) (*http.Response, error) {
+func (r *remoteDB) post(ctx context.Context, client *http.Client, path string, body wireRequest) (*http.Response, error) {
 	if r.closed.Load() {
 		return nil, fmt.Errorf("talign: DB is closed")
 	}
@@ -60,12 +155,14 @@ func (r *remoteDB) post(ctx context.Context, path string, body wireRequest) (*ht
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(data))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return r.http.Do(req)
+	return r.retryDo(ctx, client, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+path, bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 }
 
 // httpErr decodes a non-200 response's structured error body.
@@ -85,14 +182,24 @@ func (r *remoteDB) query(ctx context.Context, session, stmt, sql string, params 
 	for i, p := range params {
 		cells[i] = wire.Cell(p)
 	}
-	resp, err := r.post(ctx, "/query/stream", wireRequest{Session: session, Stmt: stmt, SQL: sql, Params: cells, Batch: r.batch})
+	// The timeout= deadline covers the whole query — connection, server
+	// execution, and reading the stream — and is released when the Rows
+	// close. Retries happen before the first frame is consumed, so a
+	// retried query never splices two executions' rows together.
+	cancel := func() {}
+	if r.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, r.timeout)
+	}
+	resp, err := r.post(ctx, r.stream, "/query/stream", wireRequest{Session: session, Stmt: stmt, SQL: sql, Params: cells, Batch: r.batch})
 	if err != nil {
+		cancel()
 		return nil, err
 	}
 	if resp.StatusCode != http.StatusOK {
+		cancel()
 		return nil, httpErr(resp)
 	}
-	src := &remoteSource{body: resp.Body, dec: newFrameDecoder(resp.Body)}
+	src := &remoteSource{body: resp.Body, dec: newFrameDecoder(resp.Body), cancel: cancel}
 	first, err := src.dec.next()
 	if err != nil {
 		src.close()
@@ -114,7 +221,7 @@ func (r *remoteDB) query(ctx context.Context, session, stmt, sql string, params 
 }
 
 func (r *remoteDB) prepare(ctx context.Context, session, name, sql string) (stmtMeta, error) {
-	resp, err := r.post(ctx, "/prepare", wireRequest{Session: session, Name: name, SQL: sql})
+	resp, err := r.post(ctx, r.control, "/prepare", wireRequest{Session: session, Name: name, SQL: sql})
 	if err != nil {
 		return stmtMeta{}, err
 	}
@@ -143,7 +250,8 @@ func (r *remoteDB) analyze(string) (*stats.Table, error) {
 
 func (r *remoteDB) close() error {
 	r.closed.Store(true)
-	r.http.CloseIdleConnections()
+	r.control.CloseIdleConnections()
+	r.stream.CloseIdleConnections()
 	return nil
 }
 
@@ -158,6 +266,9 @@ func newFrameDecoder(body io.Reader) *frameDecoder {
 }
 
 func (d *frameDecoder) next() (wire.Frame, error) {
+	if err := faultinject.Hit("wire.decode"); err != nil {
+		return wire.Frame{}, err
+	}
 	var f wire.Frame
 	err := d.dec.Decode(&f)
 	return f, err
@@ -171,6 +282,7 @@ func (d *frameDecoder) next() (wire.Frame, error) {
 type remoteSource struct {
 	body   io.ReadCloser
 	dec    *frameDecoder
+	cancel func() // releases the timeout= deadline context, if any
 	types  []string
 	rows   [][]any
 	pos    int
@@ -219,6 +331,9 @@ func (s *remoteSource) close() error {
 		return nil
 	}
 	s.closed = true
+	if s.cancel != nil {
+		s.cancel()
+	}
 	// Closing the body mid-stream drops the connection; the server sees
 	// the disconnect through its request context and cancels the query.
 	return s.body.Close()

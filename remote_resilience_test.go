@@ -1,0 +1,116 @@
+package talign
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"talign/internal/dataset"
+	"talign/internal/relation"
+	"talign/internal/server"
+)
+
+// flaky503 wraps a real talignd handler and fails the first n requests
+// per path with 503, the way a draining replica behind a load balancer
+// would.
+type flaky503 struct {
+	inner http.Handler
+	n     int32
+	seen  atomic.Int32
+}
+
+func (f *flaky503) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.seen.Add(1) <= f.n {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"unavailable","message":"draining"}}`))
+		return
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+// TestClientRetries503 proves the wire client retries transient 503s
+// with backoff: an Open plus a query against a server that refuses the
+// first two requests must still succeed.
+func TestClientRetries503(t *testing.T) {
+	srv := server.New(server.Config{})
+	r, p := dataset.Demo()
+	srv.Catalog().Register("r", r)
+	srv.Catalog().Register("p", p)
+	flaky := &flaky503{inner: srv.Handler(), n: 2}
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(ts.Close)
+
+	db, err := Open(ts.URL) // default retry=2 absorbs both refusals
+	if err != nil {
+		t.Fatalf("Open through flaky server: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+	rows, err := db.Query(context.Background(), "SELECT n FROM r")
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	if err := rows.Err(); err != nil || n == 0 {
+		t.Fatalf("rows: %d, err %v", n, err)
+	}
+	rows.Close()
+}
+
+// TestClientRetryDisabled proves retry=0 turns retries off: the first
+// 503 surfaces as the structured "unavailable" error.
+func TestClientRetryDisabled(t *testing.T) {
+	srv := server.New(server.Config{})
+	flaky := &flaky503{inner: srv.Handler(), n: 1}
+	ts := httptest.NewServer(flaky)
+	t.Cleanup(ts.Close)
+
+	_, err := Open(ts.URL + "?retry=0")
+	if err == nil || !strings.Contains(err.Error(), "unavailable") {
+		t.Fatalf("Open with retry=0 against 503: %v, want unavailable", err)
+	}
+}
+
+// TestRemoteClientTimeout proves the timeout= DSN option arms a
+// client-side deadline over the whole remote stream: a slow ALIGN dies
+// with a deadline error instead of hanging.
+func TestRemoteClientTimeout(t *testing.T) {
+	srv := server.New(server.Config{})
+	b := relation.NewBuilder("v int")
+	for i := 0; i < 3000; i++ {
+		b.Row(int64(i%13), int64(i%13)+50, int64(i))
+	}
+	srv.Catalog().Register("big", b.MustBuild())
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	db, err := Open(ts.URL + "?timeout=100ms")
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	rows, err := db.Query(context.Background(), "SELECT v, Ts, Te FROM (big a ALIGN big b ON true) x")
+	if err == nil {
+		for rows.Next() {
+		}
+		err = rows.Err()
+		rows.Close()
+	}
+	if err == nil {
+		t.Fatal("slow query under timeout=100ms succeeded")
+	}
+	// The deadline can surface client-side (context error on the
+	// connection) or server-side (structured "timeout" frame), depending
+	// on who notices first; both are correct.
+	if !errors.Is(err, context.DeadlineExceeded) && !strings.Contains(err.Error(), "deadline") && !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("got %v, want a deadline error", err)
+	}
+}

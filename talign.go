@@ -14,7 +14,21 @@
 // loop — cancelling it aborts the query wherever it runs, releasing its
 // admission-gate slot.
 //
-// Embedded DSN options (query parameters):
+// DSN options shared by both backends (query parameters):
+//
+//	batch=N         executor batch-size override
+//	timeout=D       per-query deadline, a Go duration ("30s", "2m");
+//	                embedded arms the server core's deadline, remote a
+//	                client-side deadline covering the whole stream
+//
+// Remote-only DSN options:
+//
+//	retry=N         retries beyond the first attempt for idempotent
+//	                requests that fail at the transport level or hit a
+//	                draining server (default 2), with exponential
+//	                backoff and jitter
+//
+// Embedded-only DSN options:
 //
 //	demo            host part "demo" preloads the paper's hotel example
 //	                relations r(n) and p(a, mn, mx)
@@ -22,6 +36,8 @@
 //	j=N             degree of parallelism (0 = all CPUs)
 //	cache=N         prepared-plan cache capacity
 //	max-dop=N       total in-flight DOP across concurrent queries
+//	max-rows=N      per-query row budget across operator boundaries
+//	max-bytes=N     per-query byte budget across operator boundaries
 //	analyze=0       skip the automatic ANALYZE of loaded tables
 //
 // A database/sql driver over this package lives in talign/sqldriver;
