@@ -23,6 +23,7 @@ import (
 	"talign/internal/plan"
 	"talign/internal/relation"
 	"talign/internal/sqlish"
+	"talign/internal/storage"
 )
 
 var (
@@ -35,6 +36,7 @@ var (
 	benchFlag = flag.String("bench", "", "write ns/op, allocs/op and rows for the Fig. 13/14 panels to this JSON file (e.g. BENCH_PR2.json) instead of printing figures; an existing 'before' section in the file is preserved")
 	optFlag   = flag.String("bench-opt", "", "write filtered Fig. 13-style SQL workloads to this JSON file (e.g. BENCH_PR4.json), measuring DisableOptimizer as 'before' and the stats-fed optimizer as 'after'")
 	colFlag   = flag.String("bench-col", "", "write filtered Fig. 13-style SQL workloads to this JSON file (e.g. BENCH_PR6.json), measuring the row executor (DisableColumnar) as 'before' and the vectorized pipeline as 'after'; both sides run the stats-fed optimizer")
+	storFlag  = flag.String("bench-storage", "", "write disk-backed workloads to this JSON file (e.g. BENCH_PR8.json): the PR 6 filtered panels plus valid-time-filtered scans/ALIGN over on-disk segments, measuring plan.Flags.DisablePruning as 'before' and zone-map segment pruning as 'after'")
 )
 
 // dop resolves the -j flag (0 means every CPU; negatives are rejected).
@@ -75,6 +77,13 @@ func main() {
 	if *colFlag != "" {
 		if err := runColBenchPanels(*colFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-col: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storFlag != "" {
+		if err := runStorageBenchPanels(*storFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-storage: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -575,6 +584,132 @@ func runColBenchPanels(path string) error {
 	}
 	return benchkit.WriteBenchFile(path, benchkit.BenchFile{
 		Description: "Filtered Fig. 13-style SQL workloads on Incumben (n=8000): 'before' forces the row executor (plan.Flags.DisableColumnar), 'after' runs the PR 6 vectorized pipeline (columnar batches with selection vectors, vector key encoding, fused-adjust sweep over time columns). Both sides use the stats-fed optimizer. Regenerate: go run ./cmd/experiments -bench-col BENCH_PR6.json",
+		Before:      before,
+		After:       after,
+	})
+}
+
+// runStorageBenchPanels measures the PR 8 disk-serving path: both
+// Incumben relations are persisted as interval-partitioned columnar
+// segments in a throwaway store and loaded back (served from the mapped
+// file bytes), then the PR 6 filtered panels plus valid-time-filtered
+// workloads run with zone-map pruning disabled (plan.Flags.
+// DisablePruning, the "before" section) and enabled (the "after"
+// section). Both sides use the stats-fed optimizer over segment-backed
+// scans, so the deltas isolate what pruning buys — the all-attribute
+// panels double as a disk-vs-disk sanity series (pruning cannot help a
+// filter that every segment satisfies, so those deltas should be noise).
+func runStorageBenchPanels(path string) error {
+	const n = 8000
+	dir, err := os.MkdirTemp("", "talign-bench-storage")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	st, err := storage.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	st.SegmentRows = 512
+
+	rels := map[string]*relation.Relation{
+		"a": incumben(n),
+		"b": dataset.Incumben(dataset.IncumbenConfig{Rows: n, Seed: *seed + 1}),
+	}
+	disk := map[string]*relation.Relation{}
+	for name, rel := range rels {
+		if err := st.CreateTable(name, rel); err != nil {
+			return err
+		}
+		if disk[name], err = st.Load(name); err != nil {
+			return err
+		}
+	}
+
+	maxSSN := rels["a"].Tuples[0].Vals[0].Int()
+	minTS, maxTS := rels["a"].Tuples[0].T.Ts, rels["a"].Tuples[0].T.Ts
+	for _, t := range rels["a"].Tuples {
+		if v := t.Vals[0].Int(); v > maxSSN {
+			maxSSN = v
+		}
+		if t.T.Ts < minTS {
+			minTS = t.T.Ts
+		}
+		if t.T.Ts > maxTS {
+			maxTS = t.T.Ts
+		}
+	}
+	k := maxSSN / 10
+	// Top decile of the valid-time domain: segments are partitioned in
+	// (TS, TE) order, so ~90% of them fall wholly below t0 and prune.
+	t0 := minTS + 9*(maxTS-minTS)/10
+
+	mkEngine := func(disablePrune bool) (*sqlish.Engine, error) {
+		f := plan.DefaultFlags()
+		f.DisablePruning = disablePrune
+		e := sqlish.NewEngine(f)
+		e.Register("a", disk["a"])
+		e.Register("b", disk["b"])
+		for _, name := range []string{"a", "b"} {
+			if _, err := e.Analyze(name); err != nil {
+				return nil, err
+			}
+		}
+		return e, nil
+	}
+
+	queries := []struct{ name, sql string }{
+		{"pr8/time-filtered-scan", fmt.Sprintf(
+			"SELECT ssn, pcn, Ts, Te FROM a WHERE Ts >= %d", t0)},
+		{"pr8/time-filtered-align", fmt.Sprintf(
+			"SELECT ssn, Ts, Te FROM ((SELECT ssn, pcn FROM a WHERE Ts >= %d) q ALIGN b ON q.ssn = b.ssn) x", t0)},
+		{"pr8/filtered-align", fmt.Sprintf(
+			"SELECT ssn, pcn, Ts, Te FROM (a ALIGN b ON a.ssn = b.ssn) x WHERE ssn <= %d", k)},
+		{"pr8/filtered-normalize", fmt.Sprintf(
+			"SELECT ssn, pcn, Ts, Te FROM (a NORMALIZE b USING (ssn)) x WHERE ssn <= %d", k)},
+		{"pr8/filtered-join", fmt.Sprintf(
+			"SELECT a.ssn s1, b.pcn p2 FROM a JOIN b ON a.ssn = b.ssn WHERE b.pcn <= %d AND a.pcn >= 0", k)},
+	}
+
+	measure := func(disablePrune bool) ([]benchkit.BenchPoint, error) {
+		e, err := mkEngine(disablePrune)
+		if err != nil {
+			return nil, err
+		}
+		label := "pruned"
+		if disablePrune {
+			label = "full"
+		}
+		points := make([]benchkit.BenchPoint, 0, len(queries))
+		for _, q := range queries {
+			pt, err := benchkit.MeasureBench(q.name, n, func() (int, error) {
+				rel, _, err := e.Query(q.sql)
+				if err != nil {
+					return 0, err
+				}
+				return rel.Len(), nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "%-28s %-8s n=%-6d %12.0f ns/op %8d allocs/op %8d rows\n",
+				pt.Name, label, pt.N, pt.NsPerOp, pt.AllocsPerOp, pt.Rows)
+			points = append(points, pt)
+		}
+		return points, nil
+	}
+
+	before, err := measure(true)
+	if err != nil {
+		return err
+	}
+	after, err := measure(false)
+	if err != nil {
+		return err
+	}
+	return benchkit.WriteBenchFile(path, benchkit.BenchFile{
+		Description: "Disk-backed workloads on Incumben (n=8000, 512-row interval-partitioned segments loaded from an on-disk store): the PR 6 filtered panels plus valid-time-filtered scan/ALIGN. 'before' sets plan.Flags.DisablePruning (every segment scanned), 'after' enables zone-map segment pruning. Both sides use the stats-fed optimizer over segment-backed scans. Regenerate: go run ./cmd/experiments -bench-storage BENCH_PR8.json",
 		Before:      before,
 		After:       after,
 	})

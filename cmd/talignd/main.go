@@ -7,7 +7,16 @@
 // Usage:
 //
 //	talignd [-addr :7411] [-j dop] [-cache n] [-max-dop n] [-timeout d]
-//	        [-max-rows n] [-max-bytes n] [-drain d] [-demo] [name=file.csv ...]
+//	        [-max-rows n] [-max-bytes n] [-drain d] [-demo]
+//	        [-data dir] [-segment-rows n] [name=file.csv ...]
+//
+// With -data, talignd opens (or creates) a persistent data directory:
+// tables created through "CREATE TABLE <name> FROM CSV '<path>'" are
+// written as interval-partitioned columnar segments plus a WAL, and a
+// restarted talignd warm-boots them — byte-identical results, zone maps
+// ready for segment pruning — before serving. "DROP TABLE <name>"
+// removes a table from the catalog and from disk. Without -data both
+// statements still work but affect only the in-memory catalog.
 //
 // Endpoints:
 //
@@ -62,6 +71,7 @@ import (
 	"talign/internal/dataset"
 	"talign/internal/plan"
 	"talign/internal/server"
+	"talign/internal/storage"
 )
 
 func main() {
@@ -74,6 +84,8 @@ func main() {
 	maxBytes := flag.Int64("max-bytes", 0, "per-query byte budget across operator boundaries (0 = unlimited)")
 	drain := flag.Duration("drain", 15*time.Second, "shutdown drain deadline for in-flight queries")
 	demo := flag.Bool("demo", false, "preload the paper's hotel example relations r and p")
+	dataDir := flag.String("data", "", "data directory for persistent tables (empty = memory-only)")
+	segRows := flag.Int("segment-rows", 0, "rows per on-disk segment (0 = default)")
 	flag.Parse()
 
 	if *dop < 0 {
@@ -96,6 +108,22 @@ func main() {
 		MaxRows:   *maxRows,
 		MaxBytes:  *maxBytes,
 	})
+	var store *storage.Store
+	if *dataDir != "" {
+		var err error
+		store, err = storage.Open(*dataDir)
+		if err != nil {
+			fatalf("opening data directory %s: %v", *dataDir, err)
+		}
+		if *segRows > 0 {
+			store.SegmentRows = *segRows
+		}
+		n, err := srv.UseStore(store)
+		if err != nil {
+			fatalf("loading persisted tables from %s: %v", *dataDir, err)
+		}
+		fmt.Printf("data directory %s: %d persisted table(s) loaded\n", *dataDir, n)
+	}
 	for _, arg := range flag.Args() {
 		parts := strings.SplitN(arg, "=", 2)
 		if len(parts) != 2 {
@@ -158,6 +186,15 @@ func main() {
 		}
 		if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatalf("talignd: %v", err)
+		}
+		if store != nil {
+			// Fold any WAL tail into segments so the next start replays
+			// nothing; failures leave the WAL in place, which the next
+			// open replays — durability never depends on this step.
+			if err := store.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "talignd: checkpoint on shutdown: %v\n", err)
+			}
+			store.Close()
 		}
 	}
 }

@@ -1,0 +1,142 @@
+package colbatch
+
+import (
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// This file exports raw-parts constructors for code that assembles
+// batches from storage rather than by appending tuples: the on-disk
+// segment decoder aliases memory-mapped column regions directly into Vec
+// storage (zero-copy for the int64/float64/TS/TE fast paths). The
+// resulting batches are read-only by contract, like SliceInto views.
+
+// VecFromInts wraps int64 storage plus an optional packed validity
+// bitmap (bit i set means row i is ω) as an int column.
+func VecFromInts(xs []int64, nulls []uint64) Vec {
+	return Vec{Kind: value.KindInt, ph: physInt, Ints: xs, nulls: nulls}
+}
+
+// VecFromFloats is VecFromInts for float64 storage.
+func VecFromFloats(xs []float64, nulls []uint64) Vec {
+	return Vec{Kind: value.KindFloat, ph: physFloat, Floats: xs, nulls: nulls}
+}
+
+// VecFromStrs is VecFromInts for string storage.
+func VecFromStrs(xs []string, nulls []uint64) Vec {
+	return Vec{Kind: value.KindString, ph: physStr, Strs: xs, nulls: nulls}
+}
+
+// VecFromBools is VecFromInts for bool storage.
+func VecFromBools(xs []bool, nulls []uint64) Vec {
+	return Vec{Kind: value.KindBool, ph: physBool, Bools: xs, nulls: nulls}
+}
+
+// VecFromIntervals wraps parallel start/end storage plus an optional
+// validity bitmap as an interval column. len(ts) must equal len(te).
+func VecFromIntervals(ts, te []int64, nulls []uint64) Vec {
+	if len(ts) != len(te) {
+		panic("colbatch: VecFromIntervals length mismatch")
+	}
+	return Vec{Kind: value.KindInterval, ph: physInterval, IvTs: ts, IvTe: te, nulls: nulls}
+}
+
+// VecFromAny wraps boxed storage as a column declared as kind k: the
+// storage form of heterogeneous (demoted) and untyped columns. ω rows
+// are represented by value.Null elements directly; no bitmap is needed.
+func VecFromAny(k value.Kind, xs []value.Value) Vec {
+	v := Vec{Kind: k, ph: physAny, Any: xs}
+	for i, x := range xs {
+		if x.IsNull() {
+			v.setNull(i)
+		}
+	}
+	return v
+}
+
+// StrsRaw returns the flat string storage, or nil,false when the column
+// is not in string layout.
+func (v *Vec) StrsRaw() ([]string, bool) {
+	if v.ph != physStr {
+		return nil, false
+	}
+	return v.Strs, true
+}
+
+// BoolsRaw returns the flat bool storage, or nil,false when the column
+// is not in bool layout.
+func (v *Vec) BoolsRaw() ([]bool, bool) {
+	if v.ph != physBool {
+		return nil, false
+	}
+	return v.Bools, true
+}
+
+// IntervalsRaw returns the parallel start/end storage, or nils,false
+// when the column is not in interval layout.
+func (v *Vec) IntervalsRaw() ([]int64, []int64, bool) {
+	if v.ph != physInterval {
+		return nil, nil, false
+	}
+	return v.IvTs, v.IvTe, true
+}
+
+// AnyRaw returns the boxed storage, or nil,false when the column is in a
+// typed layout. Demoted and untyped columns report true.
+func (v *Vec) AnyRaw() ([]value.Value, bool) {
+	if v.ph != physAny {
+		return nil, false
+	}
+	return v.Any, true
+}
+
+// NullBitmap returns the column's packed validity bitmap in canonical
+// form (nullOff 0), or nil when no row is ω. The result is freshly
+// allocated only when the vector is an offset view.
+func (v *Vec) NullBitmap() []uint64 {
+	if len(v.nulls) == 0 {
+		return nil
+	}
+	if v.nullOff == 0 {
+		any := false
+		for _, w := range v.nulls {
+			if w != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			return nil
+		}
+		return v.nulls
+	}
+	n := v.Len()
+	var out []uint64
+	for i := 0; i < n; i++ {
+		if v.IsNull(i) {
+			for len(out) <= i>>6 {
+				out = append(out, 0)
+			}
+			out[i>>6] |= 1 << (i & 63)
+		}
+	}
+	return out
+}
+
+// NewFromParts assembles a batch from pre-built columns and valid-time
+// arrays. Every column must have physical length len(ts) == len(te).
+// The batch shares the given storage and must be treated as read-only.
+func NewFromParts(s schema.Schema, cols []Vec, ts, te []int64) *Batch {
+	if len(cols) != s.Len() {
+		panic("colbatch: NewFromParts column count does not match schema")
+	}
+	if len(ts) != len(te) {
+		panic("colbatch: NewFromParts TS/TE length mismatch")
+	}
+	for i := range cols {
+		if cols[i].Len() != len(ts) {
+			panic("colbatch: NewFromParts column length mismatch")
+		}
+	}
+	return &Batch{Schema: s, Cols: cols, TS: ts, TE: te, n: len(ts)}
+}

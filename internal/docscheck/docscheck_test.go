@@ -102,7 +102,7 @@ func TestExportedDocs(t *testing.T) {
 		"internal/sqlish", "internal/plan", "internal/exec",
 		"internal/server", "internal/expr", "internal/stats",
 		"internal/opt", "internal/wire", "internal/colbatch",
-		".", "sqldriver",
+		"internal/storage", ".", "sqldriver",
 	} {
 		dir := filepath.Join(root, pkg)
 		fset, files := parseDir(t, dir)

@@ -206,6 +206,18 @@ func (o *optimizer) filter(in plan.Node, pred expr.Expr) plan.Node {
 			return o.keepFilter(o.p.Absorb(o.filter(x.Input, push)), keep)
 		}
 
+	case *plan.ScanNode:
+		// A filter directly above a scan cannot be pushed further, but
+		// its column/TS/TE-vs-constant conjuncts become zone-map prune
+		// bounds on the scan: segments of storage-backed relations whose
+		// zone proves the predicate false are skipped at Build time. The
+		// filter stays in place, so this only ever skips work.
+		if !o.p.Flags.DisablePruning && x.Prune == nil && x.Rel.Segments() != nil {
+			if pb := plan.ExtractPruneBounds(pred, x.Schema().Len()); pb != nil {
+				in = x.WithPrune(pb)
+			}
+		}
+
 	case *plan.AggNode:
 		// HAVING conjuncts over group-by output columns filter whole
 		// groups; substituting the grouping expressions moves them below

@@ -22,6 +22,8 @@ import (
 func ExplainAnalyze(n Node, ctx *ExecCtx) (string, *relation.Relation, error) {
 	var mu sync.Mutex
 	counts := map[Node]*atomic.Int64{}
+	type segCount struct{ scanned, pruned int }
+	segs := map[Node]segCount{}
 	ctx.Instrument = func(node Node, it exec.Iterator) exec.Iterator {
 		mu.Lock()
 		c := counts[node]
@@ -32,6 +34,14 @@ func ExplainAnalyze(n Node, ctx *ExecCtx) (string, *relation.Relation, error) {
 		mu.Unlock()
 		return exec.CountTo(it, c)
 	}
+	ctx.SegObserver = func(node Node, scanned, pruned int) {
+		mu.Lock()
+		sc := segs[node]
+		sc.scanned += scanned
+		sc.pruned += pruned
+		segs[node] = sc
+		mu.Unlock()
+	}
 	rel, err := RunCtx(n, ctx)
 	if err != nil {
 		return "", nil, err
@@ -41,13 +51,17 @@ func ExplainAnalyze(n Node, ctx *ExecCtx) (string, *relation.Relation, error) {
 	walk = func(n Node, depth int) {
 		b.WriteString(strings.Repeat("  ", depth))
 		actual := "-"
+		segInfo := ""
 		mu.Lock()
 		if c, ok := counts[n]; ok {
 			actual = fmt.Sprint(c.Load())
 		}
+		if sc, ok := segs[n]; ok {
+			segInfo = fmt.Sprintf(" (segments scanned=%d pruned=%d)", sc.scanned, sc.pruned)
+		}
 		mu.Unlock()
-		fmt.Fprintf(&b, "%s  (rows=%.0f cost=%.2f) (actual rows=%s)\n",
-			n.Label(), n.Rows(), n.Cost(), actual)
+		fmt.Fprintf(&b, "%s  (rows=%.0f cost=%.2f) (actual rows=%s)%s\n",
+			n.Label(), n.Rows(), n.Cost(), actual, segInfo)
 		for _, c := range n.Children() {
 			walk(c, depth+1)
 		}

@@ -86,6 +86,9 @@ func (s *ScanNode) BuildCol(ctx *ExecCtx) (exec.ColIterator, bool, error) {
 	if colDisabled(s.noCol, ctx) {
 		return nil, false, nil
 	}
+	if segs, _, ok := s.pruneSegments(ctx); ok {
+		return exec.ApplyColBatch(exec.NewColSegScan(s.Rel.Schema, segs), s.batch), true, nil
+	}
 	return exec.ApplyColBatch(exec.NewColScan(s.Rel), s.batch), true, nil
 }
 

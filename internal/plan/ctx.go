@@ -43,6 +43,12 @@ type ExecCtx struct {
 	// nothing.
 	Instrument func(n Node, it exec.Iterator) exec.Iterator
 
+	// SegObserver, when set, receives each pruning-eligible scan's
+	// segment outcome as it is built: how many segments will be read
+	// and how many the zone maps pruned. EXPLAIN ANALYZE uses it to
+	// annotate scan nodes; executions without it pay nothing.
+	SegObserver func(n Node, scanned, pruned int)
+
 	mu     sync.Mutex
 	shared map[*SharedNode]*relation.Relation
 }

@@ -95,6 +95,13 @@ type Flags struct {
 	// elsewhere; this flag exists for differential testing and as an
 	// escape hatch.
 	DisableColumnar bool
+
+	// DisablePruning turns off zone-map segment pruning on scans of
+	// storage-backed relations. Pruning only ever skips segments whose
+	// zone proves the pushed-down predicate false for every row, so
+	// results are identical either way; this flag exists for the
+	// pruning on/off differential test and as an escape hatch.
+	DisablePruning bool
 }
 
 // DefaultFlags enables every paper-faithful access path; parallelism stays
@@ -126,11 +133,11 @@ func (f Flags) Fingerprint() string {
 		}
 		return '0'
 	}
-	return fmt.Sprintf("nl%c,hj%c,mj%c,so%c,ii%c,aj%c,fa%c,dop%d,pmr%g,fp%c,bs%d,op%c,co%c",
+	return fmt.Sprintf("nl%c,hj%c,mj%c,so%c,ii%c,aj%c,fa%c,dop%d,pmr%g,fp%c,bs%d,op%c,co%c,zp%c",
 		b(f.EnableNestLoop), b(f.EnableHashJoin), b(f.EnableMergeJoin), b(f.EnableSort),
 		b(f.EnableIntervalIndex), b(f.EnableAntiJoinRewrite), b(f.DisableFusedAdjust),
 		f.DOP, f.ParallelMinRows, b(f.ForceParallel), f.BatchSize, b(f.DisableOptimizer),
-		b(f.DisableColumnar))
+		b(f.DisableColumnar), b(f.DisablePruning))
 }
 
 // applyBatch plumbs a configured batch size into a built operator.
@@ -263,6 +270,12 @@ type ScanNode struct {
 	// analyzed); derived nodes propagate them upward through Stats().
 	TableStats *stats.Table
 
+	// Prune, when set, carries the zone-checkable bounds of the filter
+	// sitting directly above this scan; Build uses them to skip
+	// segments of storage-backed relations (see prune.go). Relations
+	// without segments ignore it.
+	Prune *PruneBounds
+
 	batch int
 	noCol bool
 }
@@ -273,6 +286,14 @@ func (p *Planner) Scan(rel *relation.Relation, name string) *ScanNode {
 	n := &ScanNode{Rel: rel, Name: name, batch: p.Flags.BatchSize, noCol: p.Flags.DisableColumnar}
 	if p.Stats != nil && name != "" {
 		n.TableStats = p.Stats.TableStats(strings.ToLower(name))
+	}
+	if n.TableStats == nil {
+		// Never-ANALYZEd storage-backed tables still get coarse
+		// statistics from their segment zone maps (row count, per-column
+		// Min/Max and null fractions).
+		if segs := rel.Segments(); segs != nil {
+			n.TableStats = stats.FromSegments(segs)
+		}
 	}
 	return n
 }
@@ -292,12 +313,40 @@ func (s *ScanNode) Cost() float64 {
 func (s *ScanNode) Stats() *stats.Table { return s.TableStats }
 
 func (s *ScanNode) Build(ctx *ExecCtx) (exec.Iterator, error) {
+	if segs, _, ok := s.pruneSegments(ctx); ok {
+		return ctx.instrument(s, applyBatch(exec.NewSegScan(s.Rel, segs), s.batch)), nil
+	}
 	return ctx.instrument(s, applyBatch(exec.NewScan(s.Rel), s.batch)), nil
 }
+
+// pruneSegments resolves the relation's segments under s.Prune: the
+// survivors, the pruned count, and whether a segment scan should be
+// used at all (false when the relation has no segments or nothing to
+// prune on). It also feeds the process-wide pruning counters and the
+// context's SegObserver (EXPLAIN ANALYZE).
+func (s *ScanNode) pruneSegments(ctx *ExecCtx) ([]relation.Segment, int, bool) {
+	if s.Prune == nil {
+		return nil, 0, false
+	}
+	segs := s.Rel.Segments()
+	if segs == nil {
+		return nil, 0, false
+	}
+	keep, pruned := s.Prune.Filter(segs)
+	exec.SegmentsObserve(len(keep), pruned)
+	if ctx != nil && ctx.SegObserver != nil {
+		ctx.SegObserver(s, len(keep), pruned)
+	}
+	return keep, pruned, true
+}
+
 func (s *ScanNode) Label() string {
 	name := s.Name
 	if name == "" {
 		name = "relation"
+	}
+	if s.Prune != nil {
+		return "SeqScan " + name + " [prune: " + s.Prune.String() + "]"
 	}
 	return "SeqScan " + name
 }

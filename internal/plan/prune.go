@@ -1,0 +1,198 @@
+// Zone-map segment pruning. Relations loaded from on-disk storage carry
+// interval-partitioned segments with zone maps (min/max TS/TE, per-column
+// min/max — see relation.Segments). When the optimizer lands a filter
+// directly above a scan, it extracts the conjuncts that compare one
+// column (or TS/TE) against a constant into PruneBounds and attaches
+// them to the scan; at Build time the scan skips every segment whose
+// zone proves the predicate false for all of its rows. The filter stays
+// in place above the scan, so pruning can only skip work, never change
+// results — which is exactly what the pruning differential test asserts.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"talign/internal/colbatch"
+	"talign/internal/expr"
+	"talign/internal/relation"
+	"talign/internal/value"
+)
+
+// Prune targets: attribute columns are their non-negative index; the
+// valid-time endpoints get the two sentinels.
+const (
+	pruneTS = -1
+	pruneTE = -2
+)
+
+// pruneCond is one extracted conjunct: target op constant.
+type pruneCond struct {
+	target int
+	op     expr.CmpOp
+	v      value.Value
+}
+
+// PruneBounds is the set of zone-checkable conjuncts of a scan's
+// pushed-down predicate.
+type PruneBounds struct {
+	conds []pruneCond
+}
+
+// ExtractPruneBounds collects the zone-checkable conjuncts of pred:
+// column-vs-constant and TS/TE-vs-constant comparisons plus BETWEEN
+// over those operands. Conjuncts of any other shape (column-column,
+// $N parameters, disjunctions, computed operands) contribute nothing —
+// they are simply not used for pruning. Returns nil when no conjunct
+// qualifies.
+func ExtractPruneBounds(pred expr.Expr, width int) *PruneBounds {
+	var pb PruneBounds
+	add := func(target int, op expr.CmpOp, v value.Value) {
+		if v.IsNull() || (target >= 0 && target >= width) {
+			return // a null constant never compares true; leave it to the filter
+		}
+		pb.conds = append(pb.conds, pruneCond{target: target, op: op, v: v})
+	}
+	for _, c := range expr.Conjuncts(pred) {
+		switch e := c.(type) {
+		case expr.Cmp:
+			if target, ok := pruneTargetOf(e.L); ok {
+				if cv, isConst := constVal(e.R); isConst {
+					add(target, e.Op, cv)
+				}
+				continue
+			}
+			if target, ok := pruneTargetOf(e.R); ok {
+				if cv, isConst := constVal(e.L); isConst {
+					add(target, flipCmp(e.Op), cv)
+				}
+			}
+		case expr.Between:
+			target, ok := pruneTargetOf(e.X)
+			if !ok {
+				continue
+			}
+			lo, okLo := constVal(e.Lo)
+			hi, okHi := constVal(e.Hi)
+			if okLo {
+				add(target, expr.GE, lo)
+			}
+			if okHi {
+				add(target, expr.LE, hi)
+			}
+		}
+	}
+	if len(pb.conds) == 0 {
+		return nil
+	}
+	return &pb
+}
+
+// pruneTargetOf maps an operand to a prune target.
+func pruneTargetOf(e expr.Expr) (int, bool) {
+	switch x := e.(type) {
+	case expr.ColIdx:
+		return x.Idx, true
+	case expr.TStart:
+		return pruneTS, true
+	case expr.TEnd:
+		return pruneTE, true
+	}
+	return 0, false
+}
+
+// Admits reports whether the zone may contain a row satisfying every
+// extracted conjunct; false proves the segment empty under the
+// predicate and prunes it.
+func (pb *PruneBounds) Admits(z *colbatch.Zone) bool {
+	if z.Rows == 0 {
+		return false
+	}
+	for _, c := range pb.conds {
+		var min, max value.Value
+		switch c.target {
+		case pruneTS:
+			min, max = value.NewInt(z.MinTS), value.NewInt(z.MaxTS)
+		case pruneTE:
+			min, max = value.NewInt(z.MinTE), value.NewInt(z.MaxTE)
+		default:
+			if c.target >= len(z.Cols) {
+				continue // zone from an older schema; do not prune on it
+			}
+			zc := z.Cols[c.target]
+			if zc.AllNull() {
+				return false // comparing ω never yields TRUE: no row passes
+			}
+			min, max = zc.Min, zc.Max
+		}
+		if rangeExcludes(min, max, c.op, c.v) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeExcludes reports whether no x in [min, max] can satisfy
+// "x op v". Cross-kind comparisons (beyond int/float mixing) never
+// exclude: the filter's own semantics decide those rows.
+func rangeExcludes(min, max value.Value, op expr.CmpOp, v value.Value) bool {
+	comparable := v.Kind() == min.Kind() && v.Kind() == max.Kind() ||
+		(v.Kind().Numeric() && min.Kind().Numeric() && max.Kind().Numeric())
+	if !comparable {
+		return false
+	}
+	switch op {
+	case expr.EQ:
+		return v.Compare(min) < 0 || v.Compare(max) > 0
+	case expr.NE:
+		return min.Compare(max) == 0 && min.Compare(v) == 0
+	case expr.LT:
+		return min.Compare(v) >= 0
+	case expr.LE:
+		return min.Compare(v) > 0
+	case expr.GT:
+		return max.Compare(v) <= 0
+	case expr.GE:
+		return max.Compare(v) < 0
+	}
+	return false
+}
+
+// Filter partitions segs into the survivors and the pruned count.
+func (pb *PruneBounds) Filter(segs []relation.Segment) ([]relation.Segment, int) {
+	keep := make([]relation.Segment, 0, len(segs))
+	for _, sg := range segs {
+		if pb.Admits(&sg.Zone) {
+			keep = append(keep, sg)
+		}
+	}
+	return keep, len(segs) - len(keep)
+}
+
+// WithPrune returns a copy of the scan carrying pb. The receiver is
+// left untouched: plans are immutable and may be shared.
+func (s *ScanNode) WithPrune(pb *PruneBounds) *ScanNode {
+	c := *s
+	c.Prune = pb
+	return &c
+}
+
+// String renders the bounds for EXPLAIN labels.
+func (pb *PruneBounds) String() string {
+	var b strings.Builder
+	for i, c := range pb.conds {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		switch c.target {
+		case pruneTS:
+			b.WriteString("TS")
+		case pruneTE:
+			b.WriteString("TE")
+		default:
+			fmt.Fprintf(&b, "#%d", c.target)
+		}
+		b.WriteString(" " + c.op.String() + " " + c.v.String())
+	}
+	return b.String()
+}

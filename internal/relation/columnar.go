@@ -61,4 +61,5 @@ func (r *Relation) invalidateColumnar() {
 	if r.colv.Load() != nil {
 		r.colv.Store(nil)
 	}
+	r.invalidateSegments()
 }

@@ -27,6 +27,10 @@ type Relation struct {
 	// colv caches the columnar image of Tuples for the vectorized
 	// executor; see Columnar in columnar.go.
 	colv atomic.Pointer[colImage]
+
+	// segv caches the interval-partitioned segment list a storage
+	// loader assembled the relation from; see Segments in segments.go.
+	segv atomic.Pointer[segImage]
 }
 
 // New returns an empty relation over the given schema.

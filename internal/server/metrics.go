@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"talign/internal/exec"
+	"talign/internal/storage"
 )
 
 // handleMetrics renders the server's operational counters in Prometheus
@@ -37,6 +38,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("talignd_exec_cancel_observed_total", "Operator batch loops that observed a cancelled context (process-wide).", exec.CancelObserved())
 	counter("talignd_exec_panics_recovered_total", "Panics recovered at executor boundaries (process-wide, includes exchange goroutines).", exec.PanicsRecovered())
 	counter("talignd_exec_budget_aborts_total", "Budget trips observed at executor boundaries (process-wide).", exec.BudgetAborts())
+
+	counter("talignd_segments_scanned_total", "Segments read by pruning-eligible scans (process-wide).", exec.SegmentsScanned())
+	counter("talignd_segments_pruned_total", "Segments skipped by zone-map pruning (process-wide).", exec.SegmentsPruned())
+	counter("talignd_storage_wal_appends_total", "WAL records durably appended (process-wide).", storage.WALAppends())
+	counter("talignd_storage_wal_replayed_total", "WAL records replayed at store open (process-wide).", storage.WALReplayed())
+	counter("talignd_storage_checkpoints_total", "Store checkpoints completed (process-wide).", storage.Checkpoints())
+	counter("talignd_storage_segments_written_total", "Segment files written and synced (process-wide).", storage.SegmentsWritten())
+	counter("talignd_storage_segments_loaded_total", "Segment files mapped and decoded (process-wide).", storage.SegmentsLoaded())
 
 	counter("talignd_plan_cache_hits_total", "Plan cache hits.", cs.Hits)
 	counter("talignd_plan_cache_misses_total", "Plan cache misses.", cs.Misses)

@@ -29,6 +29,7 @@ import (
 	"talign/internal/relation"
 	"talign/internal/sqlish"
 	"talign/internal/stats"
+	"talign/internal/storage"
 	"talign/internal/value"
 	"talign/internal/wire"
 )
@@ -68,6 +69,7 @@ type Server struct {
 	cache    *PlanCache
 	gate     *Gate
 	sess     sessions
+	store    *storage.Store
 	start    time.Time
 	timeout  time.Duration
 	maxRows  int64

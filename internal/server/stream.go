@@ -230,6 +230,33 @@ func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, pa
 			}
 			return &RowStream{s: s, plan: fmt.Sprintf("ANALYZE %s: %d rows, %d columns", name, t.Rows, len(t.Cols))}, nil
 		}
+		// CREATE TABLE and DROP TABLE mutate the catalog (and the data
+		// directory when a store is attached); like ANALYZE they bypass
+		// the plan cache but pay one admission-gate unit — the CSV load
+		// and segment writes are real work.
+		if name, path, ok := st.CreateTarget(); ok {
+			claimed, gerr := s.gate.AcquireCtx(ctx, 1)
+			if gerr != nil {
+				return nil, gerr
+			}
+			defer s.gate.Release(claimed)
+			rel, cerr := s.CreateTable(name, path)
+			if cerr != nil {
+				return nil, cerr
+			}
+			return &RowStream{s: s, plan: fmt.Sprintf("CREATE TABLE %s: %d rows, %d columns", name, rel.Len(), rel.Schema.Len())}, nil
+		}
+		if name, ok := st.DropTarget(); ok {
+			claimed, gerr := s.gate.AcquireCtx(ctx, 1)
+			if gerr != nil {
+				return nil, gerr
+			}
+			defer s.gate.Release(claimed)
+			if derr := s.DropTable(name); derr != nil {
+				return nil, derr
+			}
+			return &RowStream{s: s, plan: "DROP TABLE " + name}, nil
+		}
 		norm = norm0
 	default:
 		return nil, fmt.Errorf("server: request has neither sql nor stmt")

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"talign/internal/csvio"
 	"talign/internal/opt"
 	"talign/internal/plan"
 	"talign/internal/relation"
@@ -55,6 +56,25 @@ func (st *Statement) IsExplain() bool { return st.ast.Explain }
 // Prepare.
 func (st *Statement) AnalyzeTarget() (name string, ok bool) {
 	return st.ast.Analyze, st.ast.Analyze != ""
+}
+
+// CreateTarget returns the table name and CSV path of a CREATE TABLE
+// ... FROM CSV statement; ok is false for every other statement kind.
+// CREATE TABLE mutates the catalog (and the data directory, when the
+// server runs with one) and is executed by the server, never through
+// Prepare.
+func (st *Statement) CreateTarget() (name, csvPath string, ok bool) {
+	if st.ast.Create == nil {
+		return "", "", false
+	}
+	return st.ast.Create.Name, st.ast.Create.CSVPath, true
+}
+
+// DropTarget returns the table name of a DROP TABLE statement; ok is
+// false for every other statement kind. Like CREATE TABLE, it is
+// executed by the server, never through Prepare.
+func (st *Statement) DropTarget() (name string, ok bool) {
+	return st.ast.Drop, st.ast.Drop != ""
 }
 
 // Catalog resolves lower-cased table names during the Analyze stage.
@@ -122,6 +142,12 @@ func Prepare(sql string, cat Catalog, flags plan.Flags) (*Prepared, error) {
 func (st *Statement) Prepare(cat Catalog, flags plan.Flags) (*Prepared, error) {
 	if name, ok := st.AnalyzeTarget(); ok {
 		return nil, fmt.Errorf("sqlish: ANALYZE %s cannot be prepared; execute it through the engine or server", name)
+	}
+	if name, _, ok := st.CreateTarget(); ok {
+		return nil, fmt.Errorf("sqlish: CREATE TABLE %s cannot be prepared; execute it through the server", name)
+	}
+	if name, ok := st.DropTarget(); ok {
+		return nil, fmt.Errorf("sqlish: DROP TABLE %s cannot be prepared; execute it through the server", name)
 	}
 	a := newAnalyzer(cat, flags)
 	for _, w := range st.ast.With {
@@ -364,6 +390,25 @@ func (e *Engine) Query(sql string) (*relation.Relation, string, error) {
 			return nil, "", err
 		}
 		return nil, fmt.Sprintf("ANALYZE %s: %d rows, %d columns", name, ts.Rows, len(ts.Cols)), nil
+	}
+	if name, path, ok := st.CreateTarget(); ok {
+		if _, exists := e.catalog.Lookup(name); exists {
+			return nil, "", fmt.Errorf("sqlish: CREATE TABLE: table %q already exists", name)
+		}
+		rel, err := csvio.ReadFile(path)
+		if err != nil {
+			return nil, "", fmt.Errorf("sqlish: CREATE TABLE %s: %w", name, err)
+		}
+		e.Register(name, rel)
+		return nil, fmt.Sprintf("CREATE TABLE %s: %d rows, %d columns", name, rel.Len(), rel.Schema.Len()), nil
+	}
+	if name, ok := st.DropTarget(); ok {
+		if _, exists := e.catalog.Lookup(name); !exists {
+			return nil, "", fmt.Errorf("sqlish: DROP TABLE: unknown table %q", name)
+		}
+		delete(e.catalog.MapCatalog, strings.ToLower(name))
+		delete(e.catalog.stats, strings.ToLower(name))
+		return nil, "DROP TABLE " + name, nil
 	}
 	p, err := st.Prepare(e.catalog, e.flags)
 	if err != nil {

@@ -151,6 +151,13 @@ type withClause struct {
 	Query *queryExpr
 }
 
+// createStmt is a CREATE TABLE statement: the table name and the CSV
+// file to load it from.
+type createStmt struct {
+	Name    string
+	CSVPath string
+}
+
 // statement is the top-level parse result.
 type statement struct {
 	Explain bool
@@ -160,6 +167,12 @@ type statement struct {
 	// Analyze holds the table name of a standalone "ANALYZE <table>"
 	// statement (Body is nil in that case).
 	Analyze string
+	// Create holds a "CREATE TABLE <name> FROM CSV '<path>'" statement
+	// (Body is nil in that case).
+	Create *createStmt
+	// Drop holds the table name of a "DROP TABLE <name>" statement
+	// (Body is nil in that case).
+	Drop    string
 	With    []withClause
 	Body    *queryExpr
 	OrderBy []orderKey

@@ -85,6 +85,8 @@ func (p *parser) ident() (string, error) {
 
 // statement := ANALYZE table
 //
+//	| CREATE TABLE table FROM CSV 'path'
+//	| DROP TABLE table
 //	| [EXPLAIN [ANALYZE]] [WITH ...] queryExpr [ORDER BY ...]
 //	  [LIMIT n] [OFFSET m]
 func (p *parser) statement() (*statement, error) {
@@ -95,6 +97,39 @@ func (p *parser) statement() (*statement, error) {
 			return nil, err
 		}
 		st.Analyze = name
+		return st, nil
+	}
+	if p.kw("create") {
+		if err := p.expectKw("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("from"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("csv"); err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokString {
+			return nil, p.errf("expected a quoted CSV path, found %q", t.text)
+		}
+		p.pos++
+		st.Create = &createStmt{Name: name, CSVPath: t.text}
+		return st, nil
+	}
+	if p.kw("drop") {
+		if err := p.expectKw("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Drop = name
 		return st, nil
 	}
 	if p.kw("explain") {

@@ -93,12 +93,17 @@ type Column struct {
 // vanishing (but positive) selectivity so downstream clamping keeps
 // cardinalities sane.
 func (c *Column) SelEq(v value.Value) (sel float64, ok bool) {
-	if c == nil || c.Distinct <= 0 {
+	if c == nil {
 		return 0, false
 	}
+	// The out-of-range test needs only Min/Max, so it also serves
+	// zone-derived statistics, which carry no distinct counts.
 	if !v.IsNull() && !c.Min.IsNull() &&
 		(v.Compare(c.Min) < 0 || v.Compare(c.Max) > 0) {
 		return 1e-9, true
+	}
+	if c.Distinct <= 0 {
+		return 0, false
 	}
 	return (1 - c.NullFrac) / c.Distinct, true
 }
@@ -245,6 +250,55 @@ func Analyze(rel *relation.Relation) *Table {
 		t.Cols[i] = analyzeColumn(rel, i)
 	}
 	t.T = analyzeIntervals(rel)
+	return t
+}
+
+// FromSegments derives coarse table statistics from the zone maps of a
+// storage-backed relation's segments, for tables that were never
+// ANALYZEd: exact row count, per-column null counts and Min/Max bounds,
+// and the covering valid-time span. Distinct counts and histograms stay
+// zero — estimators that need them keep reporting "no statistics" —
+// but Min/Max alone already lets SelEq recognize out-of-range constants.
+// Returns nil when segs is empty.
+func FromSegments(segs []relation.Segment) *Table {
+	if len(segs) == 0 {
+		return nil
+	}
+	ncols := len(segs[0].Zone.Cols)
+	t := &Table{Cols: make([]Column, ncols)}
+	nulls := make([]int64, ncols)
+	for i := range t.Cols {
+		t.Cols[i] = Column{Min: value.Null, Max: value.Null}
+	}
+	for si, sg := range segs {
+		z := &sg.Zone
+		t.Rows += int64(z.Rows)
+		if si == 0 || int64(z.MinTS) < t.T.Span.Ts {
+			t.T.Span.Ts = z.MinTS
+		}
+		if si == 0 || int64(z.MaxTE) > t.T.Span.Te {
+			t.T.Span.Te = z.MaxTE
+		}
+		for i := 0; i < ncols && i < len(z.Cols); i++ {
+			zc := z.Cols[i]
+			nulls[i] += int64(zc.Nulls)
+			if zc.Min.IsNull() {
+				continue
+			}
+			c := &t.Cols[i]
+			if c.Min.IsNull() || zc.Min.Compare(c.Min) < 0 {
+				c.Min = zc.Min
+			}
+			if c.Max.IsNull() || zc.Max.Compare(c.Max) > 0 {
+				c.Max = zc.Max
+			}
+		}
+	}
+	if t.Rows > 0 {
+		for i := range t.Cols {
+			t.Cols[i].NullFrac = float64(nulls[i]) / float64(t.Rows)
+		}
+	}
 	return t
 }
 

@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"talign/internal/faultinject"
+	"talign/internal/interval"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// faultSites are the storage-layer kill points the torture test crashes
+// at: every site the write paths pass through.
+var faultSites = []string{
+	"storage.seg.write",
+	"storage.seg.sync",
+	"storage.wal.append",
+	"storage.wal.torn",
+	"storage.wal.sync",
+	"storage.wal.truncate",
+	"storage.manifest.write",
+	"storage.manifest.rename",
+	"storage.checkpoint",
+}
+
+var tortureSchema = schema.MustNew(
+	schema.Attr{Name: "a", Type: value.KindInt},
+	schema.Attr{Name: "s", Type: value.KindString},
+)
+
+// randRows builds deterministic random rows for the torture oracle.
+func randRows(rng *rand.Rand, n int) []tuple.Tuple {
+	rows := make([]tuple.Tuple, n)
+	for i := range rows {
+		ts := rng.Int63n(1000)
+		a := value.NewInt(rng.Int63n(50))
+		if rng.Intn(8) == 0 {
+			a = value.Null
+		}
+		rows[i] = tuple.Tuple{
+			Vals: []value.Value{a, value.NewString(string(rune('a' + rng.Intn(26))))},
+			T:    interval.New(ts, ts+1+rng.Int63n(40)),
+		}
+	}
+	return rows
+}
+
+// oracle is the in-memory reference: the rows of every acknowledged
+// table.
+type oracle map[string][]tuple.Tuple
+
+func (o oracle) clone() oracle {
+	c := make(oracle, len(o))
+	for k, v := range o {
+		c[k] = append([]tuple.Tuple(nil), v...)
+	}
+	return c
+}
+
+// asRelation materializes one oracle table for comparison.
+func (o oracle) asRelation(name string) *relation.Relation {
+	rel := relation.New(tortureSchema)
+	rel.Tuples = append(rel.Tuples, o[name]...)
+	return rel
+}
+
+// storeMatches reports whether the reopened store serves exactly the
+// oracle's tables and rows.
+func storeMatches(t *testing.T, s *Store, o oracle) bool {
+	t.Helper()
+	names := s.Tables()
+	if len(names) != len(o) {
+		return false
+	}
+	for _, name := range names {
+		want, ok := o[name]
+		if !ok {
+			return false
+		}
+		got, err := s.Load(name)
+		if err != nil {
+			t.Fatalf("load %s: %v", name, err)
+		}
+		wantRel := relation.New(tortureSchema)
+		wantRel.Tuples = append(wantRel.Tuples, want...)
+		if !relation.SetEqual(got, wantRel) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCrashRecoveryTorture drives a random operation mix (create,
+// append, drop, checkpoint, restart) against a store while injecting a
+// failure at a random storage kill point every few steps, then
+// simulates a crash (close without checkpoint, reset faults, reopen)
+// and checks the crash-consistency contract against an in-memory
+// oracle:
+//
+//   - atomicity: the reopened store equals either the oracle BEFORE the
+//     failed operation or AFTER it — never a partial state;
+//   - durability: every operation acknowledged before the failure is
+//     still visible.
+func TestCrashRecoveryTorture(t *testing.T) {
+	defer faultinject.Reset()
+	tables := []string{"t0", "t1", "t2"}
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("seed %d: open: %v", seed, err)
+		}
+		s.SegmentRows = 8
+		committed := oracle{}
+
+		reopen := func() {
+			s.Close()
+			faultinject.Reset()
+			s2, err := Open(dir)
+			if err != nil {
+				t.Fatalf("seed %d: reopen: %v", seed, err)
+			}
+			s2.SegmentRows = 8
+			s = s2
+		}
+
+		for step := 0; step < 120; step++ {
+			name := tables[rng.Intn(len(tables))]
+			inject := rng.Intn(3) == 0
+			site := ""
+			if inject {
+				site = faultSites[rng.Intn(len(faultSites))]
+				faultinject.Arm(site, faultinject.Fault{Kind: faultinject.KindError})
+			}
+
+			// Pick and run one operation. applied is the state the
+			// operation MEANT to produce — tracked even when the call
+			// errors, because a failed fsync can still leave the record
+			// durable (the bytes reached the file).
+			applied := committed.clone()
+			var opErr error
+			switch op := rng.Intn(10); {
+			case op < 4: // create (replacing tables is not allowed; drop first)
+				if _, exists := committed[name]; exists {
+					delete(applied, name)
+					opErr = s.DropTable(name)
+					break
+				}
+				rows := randRows(rng, 1+rng.Intn(40))
+				rel := relation.New(tortureSchema)
+				rel.Tuples = rows
+				applied[name] = rows
+				opErr = s.CreateTable(name, rel)
+			case op < 8: // append
+				if _, exists := committed[name]; !exists {
+					break
+				}
+				rows := randRows(rng, 1+rng.Intn(10))
+				applied[name] = append(applied[name], rows...)
+				opErr = s.Append(name, rows)
+			case op < 9: // checkpoint: no logical data change either way
+				opErr = s.Checkpoint()
+			default: // clean restart
+				reopen()
+				if !storeMatches(t, s, committed) {
+					t.Fatalf("seed %d step %d: clean restart diverged from oracle", seed, step)
+				}
+			}
+
+			if opErr != nil {
+				// The operation failed (injected or cascading). Crash and
+				// reopen: the store must be wholly before or wholly after
+				// the failed operation.
+				reopen()
+				matchCommitted := storeMatches(t, s, committed)
+				matchApplied := storeMatches(t, s, applied)
+				if !matchCommitted && !matchApplied {
+					t.Fatalf("seed %d step %d: after injected failure at %s the store matches neither pre- nor post-op oracle",
+						seed, step, site)
+				}
+				if matchApplied && !matchCommitted {
+					// The operation turned out durable after all (e.g. a
+					// failed fsync whose bytes still reached the file).
+					committed = applied
+				}
+				continue
+			}
+			committed = applied
+			faultinject.Reset()
+		}
+
+		// Final verdict: a clean close and reopen serves exactly the
+		// acknowledged state.
+		reopen()
+		if !storeMatches(t, s, committed) {
+			t.Fatalf("seed %d: final state diverged from oracle", seed)
+		}
+		s.Close()
+	}
+}
+
+// TestTornWALTailTruncated pins the torn-write behavior precisely: an
+// append that crashes mid-record leaves a torn tail, replay stops
+// before it, the tail is truncated, and the log keeps working.
+func TestTornWALTailTruncated(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	s.SegmentRows = 8
+	rng := rand.New(rand.NewSource(42))
+	base := randRows(rng, 20)
+	rel := relation.New(tortureSchema)
+	rel.Tuples = base
+	if err := s.CreateTable("t", rel); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+
+	faultinject.Arm("storage.wal.torn", faultinject.Fault{Kind: faultinject.KindError})
+	if err := s.Append("t", randRows(rng, 5)); err == nil {
+		t.Fatal("append with torn WAL write succeeded")
+	}
+	s.Close()
+	faultinject.Reset()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	defer s2.Close()
+	got, err := s2.Load("t")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	want := relation.New(tortureSchema)
+	want.Tuples = append(want.Tuples, base...)
+	if !relation.SetEqual(got, want) {
+		t.Fatal("torn append leaked rows (or lost committed ones)")
+	}
+
+	// The truncated log must accept and replay new records.
+	extra := randRows(rng, 3)
+	if err := s2.Append("t", extra); err != nil {
+		t.Fatalf("append after torn-tail truncation: %v", err)
+	}
+	s2.Close()
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer s3.Close()
+	got3, err := s3.Load("t")
+	if err != nil {
+		t.Fatalf("load 3: %v", err)
+	}
+	want.Tuples = append(want.Tuples, extra...)
+	if !relation.SetEqual(got3, want) {
+		t.Fatal("append after truncation not durable")
+	}
+}

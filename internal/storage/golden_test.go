@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"talign/internal/colbatch"
+	"talign/internal/interval"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenRelation is a small fixed relation covering every column
+// encoding: int, float, string, bool, demoted (Any) and ω cells.
+func goldenRelation() *relation.Relation {
+	sch := schema.MustNew(
+		schema.Attr{Name: "id", Type: value.KindInt},
+		schema.Attr{Name: "w", Type: value.KindFloat},
+		schema.Attr{Name: "tag", Type: value.KindString},
+		schema.Attr{Name: "ok", Type: value.KindBool},
+		schema.Attr{Name: "mix", Type: value.KindInt},
+	)
+	rel := relation.New(sch)
+	rows := []struct {
+		id  value.Value
+		w   value.Value
+		tag value.Value
+		ok  value.Value
+		mix value.Value
+		ts  int64
+		te  int64
+	}{
+		{value.NewInt(1), value.NewFloat(0.5), value.NewString("alpha"), value.NewBool(true), value.NewInt(10), 0, 5},
+		{value.NewInt(2), value.NewFloat(-1.25), value.NewString(""), value.NewBool(false), value.NewFloat(2.5), 3, 9},
+		{value.Null, value.Null, value.Null, value.Null, value.Null, 5, 6},
+		{value.NewInt(4), value.NewFloat(3e18), value.NewString("δ (utf-8)"), value.NewBool(true), value.NewFloat(7.75), 7, 12},
+	}
+	for _, r := range rows {
+		rel.MustAppend(tuple.Tuple{
+			Vals: []value.Value{r.id, r.w, r.tag, r.ok, r.mix},
+			T:    interval.New(r.ts, r.te),
+		})
+	}
+	return rel
+}
+
+// goldenManifest is a fixed manifest with two tables.
+func goldenManifest() *manifest {
+	rel := goldenRelation()
+	b := rel.Columnar()
+	z := colbatch.ZoneOf(b)
+	return &manifest{
+		seq:       7,
+		nextSegID: 3,
+		tables: map[string]*tableMeta{
+			"empty": {name: "empty", schema: schema.MustNew(schema.Attr{Name: "x", Type: value.KindInt})},
+			"g": {name: "g", schema: rel.Schema, segs: []segMeta{
+				{file: "seg-00000001.tsg", rows: b.Len(), zone: z},
+			}},
+		},
+	}
+}
+
+// TestSegmentGolden pins the on-disk segment encoding byte-for-byte:
+// any codec change that breaks compatibility with existing data
+// directories fails here before it ships. Regenerate deliberately with
+// go test ./internal/storage -run Golden -update.
+func TestSegmentGolden(t *testing.T) {
+	got := EncodeSegment(goldenRelation().Columnar())
+	path := filepath.Join("testdata", "segment_v1.tsg")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("segment encoding drifted from golden fixture: %d bytes vs %d; if intentional, bump SegmentVersion and regenerate with -update",
+			len(got), len(want))
+	}
+	// The fixture itself must decode to the source rows.
+	dec, _, err := DecodeSegment(want)
+	if err != nil {
+		t.Fatalf("decoding golden fixture: %v", err)
+	}
+	src := goldenRelation().Columnar()
+	for i := 0; i < src.Len(); i++ {
+		if string(src.AppendRowKey(nil, i)) != string(dec.AppendRowKey(nil, i)) {
+			t.Fatalf("golden fixture row %d drifted", i)
+		}
+	}
+}
+
+// TestManifestGolden pins the manifest encoding byte-for-byte.
+func TestManifestGolden(t *testing.T) {
+	got := encodeManifest(goldenManifest())
+	path := filepath.Join("testdata", "manifest_v1.tsm")
+	if *updateGolden {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("manifest encoding drifted from golden fixture: %d bytes vs %d; if intentional, bump ManifestVersion and regenerate with -update",
+			len(got), len(want))
+	}
+	m, err := decodeManifest(want)
+	if err != nil {
+		t.Fatalf("decoding golden fixture: %v", err)
+	}
+	if m.seq != 7 || m.nextSegID != 3 || len(m.tables) != 2 {
+		t.Fatalf("golden manifest decoded to %+v", m)
+	}
+}
+
+// TestVersionedMagicRejection proves forward-incompatible data is
+// refused with structured errors, never misread: a bumped version
+// yields ErrVersion, a wrong magic or flipped payload byte ErrCorrupt.
+func TestVersionedMagicRejection(t *testing.T) {
+	seg := EncodeSegment(goldenRelation().Columnar())
+
+	flip := func(data []byte, off int, to byte) []byte {
+		c := append([]byte(nil), data...)
+		c[off] = to
+		return c
+	}
+
+	// Version byte (u32 LE right after the 8-byte magic) bumped to 2.
+	if _, _, err := DecodeSegment(flip(seg, 8, 2)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+	// Wrong magic.
+	if _, _, err := DecodeSegment(flip(seg, 0, 'X')); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: got %v, want ErrCorrupt", err)
+	}
+	// A flipped payload byte breaks the checksum.
+	if _, _, err := DecodeSegment(flip(seg, len(seg)/2, seg[len(seg)/2]^0xff)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("flipped byte: got %v, want ErrCorrupt", err)
+	}
+	// Truncation at any point is corruption, not a panic.
+	for _, n := range []int{0, 4, 8, 12, 16, len(seg) / 2, len(seg) - 1} {
+		if _, _, err := DecodeSegment(seg[:n]); err == nil {
+			t.Fatalf("truncated to %d bytes decoded successfully", n)
+		}
+	}
+
+	man := encodeManifest(goldenManifest())
+	if _, err := decodeManifest(flip(man, 8, 2)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future manifest version: got %v, want ErrVersion", err)
+	}
+	if _, err := decodeManifest(flip(man, 0, 'X')); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad manifest magic: got %v, want ErrCorrupt", err)
+	}
+}

@@ -1,0 +1,185 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+
+	"talign/internal/colbatch"
+	"talign/internal/faultinject"
+	"talign/internal/schema"
+	"talign/internal/value"
+)
+
+// segMeta describes one committed segment of a table: the file that
+// holds it, its row count, and its zone map (duplicated here so the
+// planner prunes without touching segment files).
+type segMeta struct {
+	file string
+	rows int
+	zone colbatch.Zone
+}
+
+// tableMeta is one table's durable state.
+type tableMeta struct {
+	name   string
+	schema schema.Schema
+	segs   []segMeta
+}
+
+// manifest is the decoded catalog manifest: the durable table set as of
+// sequence number seq, plus the next unused segment file id. WAL
+// records with sequence numbers > seq apply on top.
+type manifest struct {
+	seq       uint64
+	nextSegID uint64
+	tables    map[string]*tableMeta
+}
+
+func newManifest() *manifest {
+	return &manifest{tables: make(map[string]*tableMeta)}
+}
+
+// encodeManifest serializes the manifest deterministically (tables in
+// sorted name order).
+func encodeManifest(m *manifest) []byte {
+	var e enc
+	e.u64(m.seq)
+	e.u64(m.nextSegID)
+	names := make([]string, 0, len(m.tables))
+	for n := range m.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e.u32(uint32(len(names)))
+	for _, n := range names {
+		t := m.tables[n]
+		e.str(t.name)
+		encodeSchema(&e, t.schema)
+		e.u32(uint32(len(t.segs)))
+		for _, sg := range t.segs {
+			e.str(sg.file)
+			e.u32(uint32(sg.rows))
+			encodeZone(&e, sg.zone)
+		}
+	}
+	return frame(manMagic, ManifestVersion, e.b)
+}
+
+func encodeSchema(e *enc, s schema.Schema) {
+	e.u16(uint16(len(s.Attrs)))
+	for _, a := range s.Attrs {
+		e.str(a.Name)
+		e.u8(uint8(a.Type))
+	}
+}
+
+func decodeSchema(d *dec) schema.Schema {
+	n := int(d.u16())
+	if d.err != nil || n > len(d.b) {
+		d.fail("schema arity %d exceeds buffer", n)
+		return schema.Schema{}
+	}
+	attrs := make([]schema.Attr, n)
+	for i := range attrs {
+		attrs[i].Name = d.str()
+		attrs[i].Type = value.Kind(d.u8())
+		if attrs[i].Type > value.KindInterval {
+			d.fail("attribute %d has unknown kind %d", i, attrs[i].Type)
+		}
+	}
+	return schema.Schema{Attrs: attrs}
+}
+
+// decodeManifest parses a manifest file.
+func decodeManifest(data []byte) (*manifest, error) {
+	body, err := unframe(manMagic, ManifestVersion, data, "manifest")
+	if err != nil {
+		return nil, err
+	}
+	d := &dec{b: body, what: "manifest"}
+	m := newManifest()
+	m.seq = d.u64()
+	m.nextSegID = d.u64()
+	ntables := int(d.u32())
+	if d.err != nil || ntables > len(body) {
+		d.fail("table count %d exceeds buffer", ntables)
+		return nil, d.err
+	}
+	for i := 0; i < ntables; i++ {
+		t := &tableMeta{name: d.str()}
+		t.schema = decodeSchema(d)
+		nsegs := int(d.u32())
+		if d.err != nil {
+			return nil, d.err
+		}
+		if nsegs > len(body) {
+			return nil, corruptf("manifest: table %q segment count %d exceeds buffer", t.name, nsegs)
+		}
+		t.segs = make([]segMeta, nsegs)
+		for j := range t.segs {
+			t.segs[j].file = d.str()
+			t.segs[j].rows = int(d.u32())
+			t.segs[j].zone = decodeZone(d, t.schema.Len())
+		}
+		if t.name == "" || m.tables[t.name] != nil {
+			return nil, corruptf("manifest: empty or duplicate table name %q", t.name)
+		}
+		m.tables[t.name] = t
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// writeManifest persists the manifest atomically: temp file, fsync,
+// rename over the live name, fsync the directory. Fault sites:
+// storage.manifest.write (temp write+sync), storage.manifest.rename.
+func writeManifest(dir string, m *manifest) error {
+	if err := faultinject.Hit("storage.manifest.write"); err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "manifest.tmp")
+	if err := writeFileSync(tmp, encodeManifest(m)); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("storage.manifest.rename"); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "manifest.bin")); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// writeFileSync writes a file and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable; best-effort on filesystems that reject directory fsync.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

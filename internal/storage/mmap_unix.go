@@ -1,0 +1,29 @@
+//go:build linux || darwin
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a file read-only. The mapping stays valid until
+// munmapFile; the Store owns that lifetime and releases every mapping
+// on Close.
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, nil
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(b []byte) error {
+	if b == nil {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

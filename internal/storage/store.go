@@ -1,0 +1,511 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"talign/internal/colbatch"
+	"talign/internal/faultinject"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/tuple"
+)
+
+// DefaultSegmentRows is the partition size CreateTable chops tables
+// into when the Store's SegmentRows is left zero.
+const DefaultSegmentRows = 4096
+
+// Process-wide operation counters, exposed through /metrics the same
+// way the exec package exposes its cancellation observations.
+var (
+	walAppendsTotal  atomic.Uint64
+	walReplayedTotal atomic.Uint64
+	checkpointsTotal atomic.Uint64
+	segsWrittenTotal atomic.Uint64
+	segsLoadedTotal  atomic.Uint64
+)
+
+// WALAppends reports WAL records durably appended process-wide.
+func WALAppends() uint64 { return walAppendsTotal.Load() }
+
+// WALReplayed reports WAL records replayed at Open process-wide.
+func WALReplayed() uint64 { return walReplayedTotal.Load() }
+
+// Checkpoints reports completed checkpoints process-wide.
+func Checkpoints() uint64 { return checkpointsTotal.Load() }
+
+// SegmentsWritten reports segment files written process-wide.
+func SegmentsWritten() uint64 { return segsWrittenTotal.Load() }
+
+// SegmentsLoaded reports segment files decoded at load process-wide.
+func SegmentsLoaded() uint64 { return segsLoadedTotal.Load() }
+
+// Store is an open data directory: the durable table catalog plus its
+// write-ahead log. All methods are safe for concurrent use. Loaded
+// relations alias memory-mapped segment files, so the Store must stay
+// open for as long as any relation loaded from it is in use.
+type Store struct {
+	// SegmentRows caps rows per segment when partitioning a table;
+	// set before the first CreateTable (0 means DefaultSegmentRows).
+	SegmentRows int
+
+	dir string
+
+	mu      sync.Mutex
+	man     *manifest
+	wal     *walWriter
+	seq     uint64
+	pending map[string][]tuple.Tuple
+	maps    map[string][]byte
+	closed  bool
+}
+
+// Open opens (creating if needed) a data directory: it reads the
+// manifest, replays the WAL on top — truncating any crash-torn tail —
+// and deletes orphan segment files left by interrupted CreateTables.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:     dir,
+		man:     newManifest(),
+		pending: make(map[string][]tuple.Tuple),
+		maps:    make(map[string][]byte),
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, "manifest.bin")); err == nil {
+		m, err := decodeManifest(data)
+		if err != nil {
+			return nil, err
+		}
+		s.man = m
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	s.seq = s.man.seq
+	walSeq, err := replayWAL(dir, func(r walRecord) {
+		if r.seq <= s.man.seq {
+			return // already folded into the manifest by a checkpoint
+		}
+		walReplayedTotal.Add(1)
+		switch r.typ {
+		case walCreateTable:
+			t := r.table
+			s.man.tables[r.name] = &t
+			s.bumpSegIDs(t.segs)
+		case walDropTable:
+			delete(s.man.tables, r.name)
+			delete(s.pending, r.name)
+		case walAppend:
+			if s.man.tables[r.name] != nil {
+				s.pending[r.name] = append(s.pending[r.name], r.rows...)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if walSeq > s.seq {
+		s.seq = walSeq
+	}
+	if err := s.gcOrphans(); err != nil {
+		return nil, err
+	}
+	w, err := openWAL(dir)
+	if err != nil {
+		return nil, err
+	}
+	s.wal = w
+	return s, nil
+}
+
+// bumpSegIDs advances nextSegID past ids recovered from WAL records.
+func (s *Store) bumpSegIDs(segs []segMeta) {
+	for _, sg := range segs {
+		var id uint64
+		if _, err := fmt.Sscanf(sg.file, "seg-%d.tsg", &id); err == nil && id >= s.man.nextSegID {
+			s.man.nextSegID = id + 1
+		}
+	}
+}
+
+// gcOrphans removes segment files no committed table references:
+// the leftovers of CreateTables that crashed before their WAL commit
+// record, and of dropped tables after a checkpoint.
+func (s *Store) gcOrphans() error {
+	referenced := make(map[string]bool)
+	for _, t := range s.man.tables {
+		for _, sg := range t.segs {
+			referenced[sg.file] = true
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".tsg") || referenced[name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tables returns the committed table names in sorted order.
+func (s *Store) Tables() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.man.tables))
+	for n := range s.man.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Has reports whether a committed table of that name exists.
+func (s *Store) Has(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.man.tables[name]
+	return ok
+}
+
+// segRows resolves the partition size.
+func (s *Store) segRows() int {
+	if s.SegmentRows > 0 {
+		return s.SegmentRows
+	}
+	return DefaultSegmentRows
+}
+
+// CreateTable partitions rel by valid time into columnar segments,
+// writes and syncs them, then commits the table with one WAL record.
+// A crash before the WAL append leaves only orphan files that the next
+// Open garbage-collects; a crash after it leaves a fully durable table.
+func (s *Store) CreateTable(name string, rel *relation.Relation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("storage: empty table name")
+	}
+	if s.man.tables[name] != nil {
+		return fmt.Errorf("storage: table %q already exists", name)
+	}
+
+	// Partition by valid time: sorting by (TS, TE) gives segments with
+	// tight, mostly disjoint time zones, which is what makes zone-map
+	// pruning effective on valid-time predicates.
+	rows := make([]tuple.Tuple, len(rel.Tuples))
+	copy(rows, rel.Tuples)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].T.Ts != rows[j].T.Ts {
+			return rows[i].T.Ts < rows[j].T.Ts
+		}
+		return rows[i].T.Te < rows[j].T.Te
+	})
+
+	t := &tableMeta{name: name, schema: rel.Schema}
+	per := s.segRows()
+	for lo := 0; lo < len(rows); lo += per {
+		hi := lo + per
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		batch := colbatch.FromTuples(nil, rel.Schema, rows[lo:hi])
+		file := fmt.Sprintf("seg-%08d.tsg", s.man.nextSegID)
+		if err := s.writeSegment(file, EncodeSegment(batch)); err != nil {
+			return err
+		}
+		s.man.nextSegID++
+		t.segs = append(t.segs, segMeta{file: file, rows: hi - lo, zone: colbatch.ZoneOf(batch)})
+	}
+	if err := s.commit(encodeWALCreate(s.seq+1, t)); err != nil {
+		return err
+	}
+	s.man.tables[name] = t
+	return nil
+}
+
+// writeSegment durably writes one segment file. Fault sites:
+// storage.seg.write before any bytes, storage.seg.sync after the
+// write but before the fsync.
+func (s *Store) writeSegment(file string, data []byte) error {
+	if err := faultinject.Hit("storage.seg.write"); err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, file)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := faultinject.Hit("storage.seg.sync"); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	segsWrittenTotal.Add(1)
+	return nil
+}
+
+// commit appends one WAL record and advances the sequence number.
+func (s *Store) commit(payload []byte) error {
+	if err := s.wal.append(payload); err != nil {
+		return err
+	}
+	s.seq++
+	walAppendsTotal.Add(1)
+	return nil
+}
+
+// Append durably appends rows to a table through the WAL; they serve
+// from memory until the next Checkpoint folds them into segments.
+func (s *Store) Append(name string, rows []tuple.Tuple) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	t := s.man.tables[name]
+	if t == nil {
+		return fmt.Errorf("storage: unknown table %q", name)
+	}
+	for _, r := range rows {
+		if len(r.Vals) != t.schema.Len() {
+			return fmt.Errorf("storage: append to %q: row arity %d, schema arity %d", name, len(r.Vals), t.schema.Len())
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if err := s.commit(encodeWALAppend(s.seq+1, name, rows)); err != nil {
+		return err
+	}
+	s.pending[name] = append(s.pending[name], rows...)
+	return nil
+}
+
+// DropTable removes a table. The WAL record is the commit point; the
+// segment files are deleted immediately afterwards (mappings handed to
+// loaded relations stay valid — the pages live until munmap).
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	t := s.man.tables[name]
+	if t == nil {
+		return fmt.Errorf("storage: unknown table %q", name)
+	}
+	if err := s.commit(encodeWALDrop(s.seq+1, name)); err != nil {
+		return err
+	}
+	delete(s.man.tables, name)
+	delete(s.pending, name)
+	for _, sg := range t.segs {
+		os.Remove(filepath.Join(s.dir, sg.file))
+	}
+	return nil
+}
+
+// Checkpoint folds WAL-resident rows into fresh segments, writes a new
+// manifest (atomically), and truncates the WAL. Crashing anywhere in
+// between is safe: the WAL replays idempotently over whichever
+// manifest survived, and half-written segments are orphan-collected.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("storage.checkpoint"); err != nil {
+		return err
+	}
+	// Fold pending rows into segments first; only on full success does
+	// the manifest advance past their WAL records.
+	type folded struct {
+		table *tableMeta
+		segs  []segMeta
+	}
+	var folds []folded
+	names := make([]string, 0, len(s.pending))
+	for n := range s.pending {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	per := s.segRows()
+	for _, n := range names {
+		rows := s.pending[n]
+		t := s.man.tables[n]
+		if t == nil || len(rows) == 0 {
+			continue
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			if rows[i].T.Ts != rows[j].T.Ts {
+				return rows[i].T.Ts < rows[j].T.Ts
+			}
+			return rows[i].T.Te < rows[j].T.Te
+		})
+		f := folded{table: t}
+		for lo := 0; lo < len(rows); lo += per {
+			hi := lo + per
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			batch := colbatch.FromTuples(nil, t.schema, rows[lo:hi])
+			file := fmt.Sprintf("seg-%08d.tsg", s.man.nextSegID)
+			if err := s.writeSegment(file, EncodeSegment(batch)); err != nil {
+				return err
+			}
+			s.man.nextSegID++
+			f.segs = append(f.segs, segMeta{file: file, rows: hi - lo, zone: colbatch.ZoneOf(batch)})
+		}
+		folds = append(folds, f)
+	}
+	for _, f := range folds {
+		f.table.segs = append(f.table.segs, f.segs...)
+	}
+	s.man.seq = s.seq
+	if err := writeManifest(s.dir, s.man); err != nil {
+		return err
+	}
+	for _, f := range folds {
+		delete(s.pending, f.table.name)
+	}
+	if err := s.wal.truncate(); err != nil {
+		return err
+	}
+	checkpointsTotal.Add(1)
+	return nil
+}
+
+// Load assembles a table into a relation: one zero-copy columnar image
+// per mapped segment (installed through the SetSegments seam, zone maps
+// included) plus any WAL-resident rows as a trailing in-memory segment.
+func (s *Store) Load(name string) (*relation.Relation, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.usable(); err != nil {
+		return nil, err
+	}
+	t := s.man.tables[name]
+	if t == nil {
+		return nil, fmt.Errorf("storage: unknown table %q", name)
+	}
+	rel := relation.New(t.schema)
+	var segs []relation.Segment
+	lo := 0
+	for _, sg := range t.segs {
+		data, err := s.mapFile(sg.file)
+		if err != nil {
+			return nil, err
+		}
+		batch, zone, err := DecodeSegment(data)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sg.file, err)
+		}
+		if err := sameSchema(batch.Schema, t.schema); err != nil {
+			return nil, corruptf("segment %s schema drifted from catalog: %v", sg.file, err)
+		}
+		if batch.Len() != sg.rows {
+			return nil, corruptf("segment %s holds %d rows, catalog says %d", sg.file, batch.Len(), sg.rows)
+		}
+		rel.Tuples = batch.Materialize(rel.Tuples)
+		segs = append(segs, relation.Segment{Img: batch, Zone: zone, Lo: lo, Hi: lo + batch.Len()})
+		lo += batch.Len()
+		segsLoadedTotal.Add(1)
+	}
+	if rows := s.pending[name]; len(rows) > 0 {
+		batch := colbatch.FromTuples(nil, t.schema, rows)
+		rel.Tuples = batch.Materialize(rel.Tuples)
+		segs = append(segs, relation.Segment{Img: batch, Zone: colbatch.ZoneOf(batch), Lo: lo, Hi: lo + batch.Len()})
+	}
+	rel.SetSegments(segs)
+	return rel, nil
+}
+
+// sameSchema checks name/kind equality between a segment's embedded
+// schema and the catalog's.
+func sameSchema(a, b schema.Schema) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("arity %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Attrs {
+		if !strings.EqualFold(a.Attrs[i].Name, b.Attrs[i].Name) || a.Attrs[i].Type != b.Attrs[i].Type {
+			return fmt.Errorf("attribute %d: %s vs %s", i, a.Attrs[i], b.Attrs[i])
+		}
+	}
+	return nil
+}
+
+// mapFile memory-maps a segment file once and caches the mapping for
+// the Store's lifetime.
+func (s *Store) mapFile(file string) ([]byte, error) {
+	if b, ok := s.maps[file]; ok {
+		return b, nil
+	}
+	f, err := os.Open(filepath.Join(s.dir, file))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	b, err := mmapFile(f)
+	if err != nil {
+		return nil, err
+	}
+	s.maps[file] = b
+	return b, nil
+}
+
+func (s *Store) usable() error {
+	if s.closed {
+		return fmt.Errorf("storage: store is closed")
+	}
+	return nil
+}
+
+// Close releases every mapping and the WAL handle. Relations loaded
+// from this Store must not be used afterwards: their columnar images
+// alias the released mappings.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	for _, b := range s.maps {
+		if err := munmapFile(b); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.maps = nil
+	if err := s.wal.close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

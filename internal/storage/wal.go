@@ -1,0 +1,237 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"talign/internal/faultinject"
+	"talign/internal/interval"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// WAL record types.
+const (
+	walCreateTable = 1 // name, schema, segment list (the commit point of CreateTable)
+	walDropTable   = 2 // name
+	walAppend      = 3 // name, appended rows as tagged cells
+)
+
+// walRecord is one decoded WAL record.
+type walRecord struct {
+	seq  uint64
+	typ  uint8
+	name string
+	// walCreateTable
+	table tableMeta
+	// walAppend
+	rows []tuple.Tuple
+}
+
+// maxWALRecord bounds a single record; longer length prefixes are
+// treated as corruption (they would otherwise allocate unboundedly).
+const maxWALRecord = 1 << 30
+
+// walWriter appends checksummed records to wal.log.
+type walWriter struct {
+	f *os.File
+}
+
+func openWAL(dir string) (*walWriter, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f}, nil
+}
+
+// append frames and durably appends one record payload. Fault sites:
+// storage.wal.append fails before any bytes reach the file,
+// storage.wal.torn fails after writing only a prefix of the record
+// (simulating a crash mid-write), storage.wal.sync fails after the
+// write but before the fsync that makes it durable.
+func (w *walWriter) append(payload []byte) error {
+	if err := faultinject.Hit("storage.wal.append"); err != nil {
+		return err
+	}
+	rec := make([]byte, 0, 8+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	if err := faultinject.Hit("storage.wal.torn"); err != nil {
+		w.f.Write(rec[:len(rec)/2])
+		w.f.Sync()
+		return err
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	if err := faultinject.Hit("storage.wal.sync"); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *walWriter) close() error { return w.f.Close() }
+
+// truncate empties the log after a checkpoint; fault site
+// storage.wal.truncate fails before the truncation happens.
+func (w *walWriter) truncate() error {
+	if err := faultinject.Hit("storage.wal.truncate"); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// encodeWALCreate builds a create-table record payload.
+func encodeWALCreate(seq uint64, t *tableMeta) []byte {
+	var e enc
+	e.u64(seq)
+	e.u8(walCreateTable)
+	e.str(t.name)
+	encodeSchema(&e, t.schema)
+	e.u32(uint32(len(t.segs)))
+	for _, sg := range t.segs {
+		e.str(sg.file)
+		e.u32(uint32(sg.rows))
+		encodeZone(&e, sg.zone)
+	}
+	return e.b
+}
+
+// encodeWALDrop builds a drop-table record payload.
+func encodeWALDrop(seq uint64, name string) []byte {
+	var e enc
+	e.u64(seq)
+	e.u8(walDropTable)
+	e.str(name)
+	return e.b
+}
+
+// encodeWALAppend builds an append record payload: each row's valid
+// time plus its attribute cells in tagged form.
+func encodeWALAppend(seq uint64, name string, rows []tuple.Tuple) []byte {
+	var e enc
+	e.u64(seq)
+	e.u8(walAppend)
+	e.str(name)
+	e.u32(uint32(len(rows)))
+	if len(rows) == 0 {
+		e.u16(0)
+		return e.b
+	}
+	e.u16(uint16(len(rows[0].Vals)))
+	for _, t := range rows {
+		e.i64(t.T.Ts)
+		e.i64(t.T.Te)
+		for _, v := range t.Vals {
+			e.val(v)
+		}
+	}
+	return e.b
+}
+
+// decodeWALRecord parses one record payload.
+func decodeWALRecord(payload []byte) (walRecord, error) {
+	d := &dec{b: payload, what: "wal record"}
+	var r walRecord
+	r.seq = d.u64()
+	r.typ = d.u8()
+	r.name = d.str()
+	switch r.typ {
+	case walCreateTable:
+		r.table.name = r.name
+		r.table.schema = decodeSchema(d)
+		nsegs := int(d.u32())
+		if d.err == nil && nsegs > len(payload) {
+			d.fail("segment count %d exceeds record", nsegs)
+		}
+		if d.err != nil {
+			return r, d.err
+		}
+		r.table.segs = make([]segMeta, nsegs)
+		for i := range r.table.segs {
+			r.table.segs[i].file = d.str()
+			r.table.segs[i].rows = int(d.u32())
+			r.table.segs[i].zone = decodeZone(d, r.table.schema.Len())
+		}
+	case walDropTable:
+	case walAppend:
+		nrows := int(d.u32())
+		ncols := int(d.u16())
+		if d.err == nil && (nrows > len(payload) || ncols > len(payload)) {
+			d.fail("row/column count %d/%d exceeds record", nrows, ncols)
+		}
+		if d.err != nil {
+			return r, d.err
+		}
+		r.rows = make([]tuple.Tuple, 0, nrows)
+		for i := 0; i < nrows; i++ {
+			ts := d.i64()
+			te := d.i64()
+			vals := make([]value.Value, ncols)
+			for c := range vals {
+				vals[c] = d.val()
+			}
+			r.rows = append(r.rows, tuple.Tuple{Vals: vals, T: interval.Interval{Ts: ts, Te: te}})
+		}
+	default:
+		d.fail("unknown record type %d", r.typ)
+	}
+	if err := d.done(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// replayWAL scans wal.log, applies every intact record through apply,
+// and truncates the file at the first torn or corrupt record (the
+// crash-interrupted tail). It returns the highest sequence number seen.
+func replayWAL(dir string, apply func(walRecord)) (uint64, error) {
+	path := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	var maxSeq uint64
+	off := 0
+	good := 0
+	for {
+		if len(data)-off < 8 {
+			break // clean end or torn header
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if n < 9 || n > maxWALRecord || n > len(data)-off-8 {
+			break // torn or garbage length
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // torn or corrupt record
+		}
+		rec, err := decodeWALRecord(payload)
+		if err != nil {
+			break // framed but malformed: treat as the torn tail
+		}
+		if rec.seq > maxSeq {
+			maxSeq = rec.seq
+		}
+		apply(rec)
+		off += 8 + n
+		good = off
+	}
+	if good != len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return maxSeq, err
+		}
+	}
+	return maxSeq, nil
+}
