@@ -1,0 +1,149 @@
+// Distributed scatter-gather benchmark panels (-bench-dist): the Fig. 13
+// ALIGN/NORMALIZE workloads executed through a coordinator over 1, 2 and
+// 4 in-process workers, recording wall time alongside the coordinator's
+// fragment, shipped-row and shipped-byte counters per panel.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"talign/internal/benchkit"
+	"talign/internal/dataset"
+	"talign/internal/distsql"
+	"talign/internal/plan"
+	"talign/internal/server"
+)
+
+// distBenchPoint is a benchkit point plus the distributed shipping
+// counters (per-operation averages over the measured iterations).
+type distBenchPoint struct {
+	benchkit.BenchPoint
+	Workers     int    `json:"workers"`
+	Fragments   uint64 `json:"fragments_per_op"`
+	RowsIn      uint64 `json:"rows_shipped_in_per_op"`
+	RowsOut     uint64 `json:"rows_shipped_out_per_op"`
+	BytesIn     uint64 `json:"bytes_shipped_in_per_op"`
+	BytesOut    uint64 `json:"bytes_shipped_out_per_op"`
+	StageRows   uint64 `json:"stage_rows_total"` // one-time table distribution cost per topology
+	StrategyHit string `json:"strategy"`
+}
+
+// distBenchFile is the committed BENCH_PR10.json shape: the benchkit
+// "after" layout extended with the shipping counters.
+type distBenchFile struct {
+	Description string           `json:"description"`
+	After       []distBenchPoint `json:"after"`
+}
+
+// distCounters snapshots the coordinator's dispatch counters by metric
+// name.
+func distCounters(c *distsql.Coordinator) map[string]uint64 {
+	out := map[string]uint64{}
+	for _, m := range c.DistMetrics() {
+		out[m.Name] = m.Value
+	}
+	return out
+}
+
+// runDistBenchPanels measures the distributed ALIGN/NORMALIZE panels at
+// n = 10^6 (scaled by -scale) over 1, 2 and 4 workers.
+func runDistBenchPanels(path string) error {
+	n := 1_000_000 * *scaleFlag / 100
+	flags := plan.DefaultFlags()
+	relA := dataset.Incumben(dataset.IncumbenConfig{Rows: n, Seed: *seed})
+	relB := dataset.Incumben(dataset.IncumbenConfig{Rows: n, Seed: *seed + 1})
+
+	queries := []struct{ name, sql string }{
+		{"pr10/align-ssn", "SELECT ssn, pcn, Ts, Te FROM (a ALIGN b ON a.ssn = b.ssn) x"},
+		{"pr10/normalize-ssn", "SELECT ssn, pcn, Ts, Te FROM (a NORMALIZE b USING (ssn)) x"},
+	}
+
+	var points []distBenchPoint
+	for _, workers := range []int{1, 2, 4} {
+		var topo distsql.Topology
+		for i := 0; i < workers; i++ {
+			ws := httptest.NewServer(distsql.Handler(server.New(server.Config{Flags: flags, MaxDOP: 64})))
+			defer ws.Close()
+			topo.Workers = append(topo.Workers, distsql.Worker{Name: fmt.Sprintf("w%d", i), URL: ws.URL})
+		}
+		csrv := server.New(server.Config{Flags: flags, MaxDOP: 64})
+		coord := distsql.New(csrv, topo, flags, nil)
+		coord.Attach()
+		if err := coord.DistributeTable(context.Background(), "a", relA); err != nil {
+			return err
+		}
+		if err := coord.DistributeTable(context.Background(), "b", relB); err != nil {
+			return err
+		}
+		if err := coord.AnalyzeWorkers(context.Background()); err != nil {
+			return err
+		}
+		staged := distCounters(coord)["talignd_dist_rows_out_total"]
+
+		for _, q := range queries {
+			explain, err := csrv.QueryContext(context.Background(), "", "", "EXPLAIN "+q.sql, nil)
+			if err != nil {
+				return fmt.Errorf("%s: explain: %v", q.name, err)
+			}
+			before := distCounters(coord)
+			pt, err := benchkit.MeasureBench(q.name, n, func() (int, error) {
+				rs, err := csrv.StreamBatch(context.Background(), "", "", q.sql, nil, 0)
+				if err != nil {
+					return 0, err
+				}
+				defer rs.Close()
+				rows := 0
+				for {
+					b, err := rs.Next()
+					if err != nil {
+						return 0, err
+					}
+					if len(b) == 0 {
+						return rows, nil
+					}
+					rows += len(b)
+				}
+			})
+			if err != nil {
+				return err
+			}
+			after := distCounters(coord)
+			per := func(name string) uint64 { return (after[name] - before[name]) / uint64(pt.Iterations) }
+			dp := distBenchPoint{
+				BenchPoint: pt,
+				Workers:    workers,
+				Fragments:  per("talignd_fragments_total"),
+				RowsIn:     per("talignd_dist_rows_in_total"),
+				RowsOut:    per("talignd_dist_rows_out_total"),
+				BytesIn:    per("talignd_dist_bytes_in_total"),
+				BytesOut:   per("talignd_dist_bytes_out_total"),
+				StageRows:  staged,
+				StrategyHit: func() string {
+					// First line of the EXPLAIN, e.g. "Distributed: scatter over 2 worker(s)".
+					for i := 0; i < len(explain.Plan); i++ {
+						if explain.Plan[i] == '\n' {
+							return explain.Plan[:i]
+						}
+					}
+					return explain.Plan
+				}(),
+			}
+			fmt.Fprintf(os.Stderr, "%-22s workers=%d n=%-8d %14.0f ns/op %10d rows %10d rows-in/op %12d B-in/op\n",
+				dp.Name, dp.Workers, dp.N, dp.NsPerOp, dp.Rows, dp.RowsIn, dp.BytesIn)
+			points = append(points, dp)
+		}
+	}
+
+	raw, err := json.MarshalIndent(distBenchFile{
+		Description: fmt.Sprintf("Distributed Fig. 13 ALIGN/NORMALIZE on Incumben (n=%d per relation, hash-partitioned by ssn) through a coordinator over 1, 2 and 4 in-process workers speaking the fragment protocol over HTTP. Counters are per-operation deltas of the coordinator's shipping metrics; stage_rows_total is the one-time table distribution for that topology. Regenerate: go run ./cmd/experiments -bench-dist BENCH_PR10.json", n),
+		After:       points,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

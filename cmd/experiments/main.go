@@ -37,6 +37,7 @@ var (
 	optFlag   = flag.String("bench-opt", "", "write filtered Fig. 13-style SQL workloads to this JSON file (e.g. BENCH_PR4.json), measuring DisableOptimizer as 'before' and the stats-fed optimizer as 'after'")
 	colFlag   = flag.String("bench-col", "", "write filtered Fig. 13-style SQL workloads to this JSON file (e.g. BENCH_PR6.json), measuring the row executor (DisableColumnar) as 'before' and the vectorized pipeline as 'after'; both sides run the stats-fed optimizer")
 	storFlag  = flag.String("bench-storage", "", "write disk-backed workloads to this JSON file (e.g. BENCH_PR8.json): the PR 6 filtered panels plus valid-time-filtered scans/ALIGN over on-disk segments, measuring plan.Flags.DisablePruning as 'before' and zone-map segment pruning as 'after'")
+	distFlag  = flag.String("bench-dist", "", "write distributed Fig. 13 ALIGN/NORMALIZE workloads (n scaled by -scale from 10^6) to this JSON file (e.g. BENCH_PR10.json): scatter-gather over 1, 2 and 4 in-process workers, with fragment/row/byte-shipped counters per panel")
 )
 
 // dop resolves the -j flag (0 means every CPU; negatives are rejected).
@@ -84,6 +85,13 @@ func main() {
 	if *storFlag != "" {
 		if err := runStorageBenchPanels(*storFlag); err != nil {
 			fmt.Fprintf(os.Stderr, "bench-storage: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *distFlag != "" {
+		if err := runDistBenchPanels(*distFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "bench-dist: %v\n", err)
 			os.Exit(1)
 		}
 		return

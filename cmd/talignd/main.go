@@ -8,7 +8,18 @@
 //
 //	talignd [-addr :7411] [-j dop] [-cache n] [-max-dop n] [-timeout d]
 //	        [-max-rows n] [-max-bytes n] [-drain d] [-demo]
-//	        [-data dir] [-segment-rows n] [name=file.csv ...]
+//	        [-data dir] [-segment-rows n]
+//	        [-role coordinator|worker] [-worker host:port,...]
+//	        [-cluster manifest.json] [-partition table=col,...]
+//	        [name=file.csv ...]
+//
+// With -role, talignd forms a scatter-gather cluster: workers mount
+// POST /fragment beside the full single-node surface, and a coordinator
+// hash-partitions loaded tables by their alignment key across the
+// -worker list (or the -cluster manifest, whose per-table partition
+// columns -partition overrides), scatters query fragments and merges
+// the shard streams — the client-facing protocol is byte-identical to a
+// single node. See docs/API.md "Distributed deployment".
 //
 // With -data, talignd opens (or creates) a persistent data directory:
 // tables created through "CREATE TABLE <name> FROM CSV '<path>'" are
@@ -69,7 +80,9 @@ import (
 
 	"talign/internal/csvio"
 	"talign/internal/dataset"
+	"talign/internal/distsql"
 	"talign/internal/plan"
+	"talign/internal/relation"
 	"talign/internal/server"
 	"talign/internal/storage"
 )
@@ -86,6 +99,10 @@ func main() {
 	demo := flag.Bool("demo", false, "preload the paper's hotel example relations r and p")
 	dataDir := flag.String("data", "", "data directory for persistent tables (empty = memory-only)")
 	segRows := flag.Int("segment-rows", 0, "rows per on-disk segment (0 = default)")
+	role := flag.String("role", "", "cluster role: coordinator, worker, or empty for single-node")
+	workers := flag.String("worker", "", "coordinator worker list: host:port,host:port,...")
+	cluster := flag.String("cluster", "", "coordinator cluster manifest file (JSON: workers + partition columns)")
+	partition := flag.String("partition", "", "coordinator partition overrides: table=col,table=col,...")
 	flag.Parse()
 
 	if *dop < 0 {
@@ -124,6 +141,35 @@ func main() {
 		}
 		fmt.Printf("data directory %s: %d persisted table(s) loaded\n", *dataDir, n)
 	}
+	var coord *distsql.Coordinator
+	switch *role {
+	case "", "worker":
+		if *workers != "" || *cluster != "" {
+			fatalf("-worker and -cluster require -role coordinator")
+		}
+	case "coordinator":
+		topo, partMap, err := clusterConfig(*workers, *cluster, *partition)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		coord = distsql.New(srv, topo, flags, partMap)
+		coord.Attach()
+		fmt.Printf("coordinator: %d worker(s), topology %s\n", len(topo.Workers), topo.Version())
+	default:
+		fatalf("-role must be coordinator, worker or empty, got %q", *role)
+	}
+
+	register := func(name string, rel *relation.Relation) {
+		if coord != nil {
+			if err := coord.DistributeTable(context.Background(), name, rel); err != nil {
+				fatalf("distributing %s: %v", name, err)
+			}
+			fmt.Printf("distributed %s: %d tuples across %d worker(s)\n", name, rel.Len(), len(coord.Topology().Workers))
+			return
+		}
+		srv.Catalog().Register(name, rel)
+		fmt.Printf("loaded %s: %d tuples, schema %s\n", name, rel.Len(), rel.Schema)
+	}
 	for _, arg := range flag.Args() {
 		parts := strings.SplitN(arg, "=", 2)
 		if len(parts) != 2 {
@@ -133,19 +179,32 @@ func main() {
 		if err != nil {
 			fatalf("loading %s: %v", parts[1], err)
 		}
-		srv.Catalog().Register(parts[0], rel)
-		fmt.Printf("loaded %s: %d tuples, schema %s\n", parts[0], rel.Len(), rel.Schema)
+		register(parts[0], rel)
 	}
 	if *demo {
-		loadDemo(srv)
+		r, p := dataset.Demo()
+		register("r", r)
+		register("p", p)
+		fmt.Println("demo relations loaded: r(n), p(a, mn, mx) — months since 2012/1")
+	}
+	if coord != nil {
+		// Workers got the data; give their optimizers statistics too.
+		if err := coord.AnalyzeWorkers(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "talignd: worker analyze broadcast: %v\n", err)
+		}
 	}
 	if n := srv.AnalyzeAll(); n > 0 {
 		fmt.Printf("auto-analyzed %d table(s)\n", n)
 	}
 
+	handler := srv.Handler()
+	if *role == "worker" {
+		handler = distsql.Handler(srv)
+		fmt.Println("worker: fragment endpoint mounted at POST /fragment")
+	}
 	fmt.Printf("talignd listening on %s (dop=%d, cache=%d, max in-flight dop=%d)\n",
 		*addr, flags.DOP, *cacheSize, *maxDOP)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
 
@@ -199,12 +258,56 @@ func main() {
 	}
 }
 
-// loadDemo registers the paper's running hotel example (Example 1).
-func loadDemo(srv *server.Server) {
-	r, p := dataset.Demo()
-	srv.Catalog().Register("r", r)
-	srv.Catalog().Register("p", p)
-	fmt.Println("demo relations loaded: r(n), p(a, mn, mx) — months since 2012/1")
+// clusterConfig resolves the coordinator's topology and partition
+// overrides from the -cluster manifest or the -worker/-partition flags.
+func clusterConfig(workers, cluster, partition string) (distsql.Topology, map[string]string, error) {
+	if cluster != "" {
+		if workers != "" {
+			return distsql.Topology{}, nil, fmt.Errorf("-worker and -cluster are mutually exclusive")
+		}
+		m, err := distsql.LoadManifest(cluster)
+		if err != nil {
+			return distsql.Topology{}, nil, err
+		}
+		part := m.Partition
+		if overrides, err := parsePartition(partition); err != nil {
+			return distsql.Topology{}, nil, err
+		} else {
+			for t, c := range overrides {
+				part[t] = c
+			}
+		}
+		return distsql.Topology{Workers: m.Workers}, part, nil
+	}
+	if workers == "" {
+		return distsql.Topology{}, nil, fmt.Errorf("-role coordinator requires -worker or -cluster")
+	}
+	topo, err := distsql.ParseWorkers(workers)
+	if err != nil {
+		return distsql.Topology{}, nil, err
+	}
+	part, err := parsePartition(partition)
+	if err != nil {
+		return distsql.Topology{}, nil, err
+	}
+	return topo, part, nil
+}
+
+// parsePartition parses "table=col,table=col" overrides.
+func parsePartition(s string) (map[string]string, error) {
+	out := map[string]string{}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("-partition entry %q is not table=col", kv)
+		}
+		out[strings.ToLower(parts[0])] = strings.ToLower(parts[1])
+	}
+	return out, nil
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,36 @@
+// Package backoff provides the shared retry-delay policy used by every
+// layer that re-issues idempotent requests: the public client retrying a
+// draining talignd, and the distsql coordinator retrying fragment
+// dispatch to workers. Centralizing the curve keeps the fleet's retry
+// behavior uniform — exponential growth with a cap, plus randomized
+// jitter so callers never stampede a recovering server in lockstep.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Default curve shared by the wire client and the fragment dispatcher.
+const (
+	// DefaultBase is the first retry's delay.
+	DefaultBase = 50 * time.Millisecond
+	// DefaultMax caps the exponential growth.
+	DefaultMax = 2 * time.Second
+)
+
+// Delay returns the wait before retry attempt (0-based): base<<attempt
+// capped at max, plus up to half again of random jitter.
+func Delay(attempt int, base, max time.Duration) time.Duration {
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// Default is Delay with the package's default curve (50ms, 100ms,
+// 200ms, ... capped at 2s).
+func Default(attempt int) time.Duration {
+	return Delay(attempt, DefaultBase, DefaultMax)
+}

@@ -1,0 +1,359 @@
+package distsql
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"talign/internal/backoff"
+	"talign/internal/faultinject"
+	"talign/internal/interval"
+	"talign/internal/relation"
+	"talign/internal/sqlish"
+	"talign/internal/tuple"
+	"talign/internal/value"
+	"talign/internal/wire"
+)
+
+// fragmentRetries is how many times an idempotent fragment dispatch is
+// re-issued beyond the first attempt. Every fragment operation is
+// idempotent — exec is read-only and retried only before any frame is
+// consumed, stage/unstage are last-write-wins registrations — so a
+// retry can at worst repeat work, never duplicate an effect.
+const fragmentRetries = 2
+
+// workerClient issues fragment operations against the worker fleet with
+// the shared backoff curve, classifying exhausted retries as structured
+// "unavailable" errors naming the worker.
+type workerClient struct {
+	http    *http.Client
+	retries int
+
+	fragments   atomic.Uint64 // fragment operations dispatched
+	retried     atomic.Uint64 // dispatch retries after transport failures/503s
+	unreachable atomic.Uint64 // workers given up on after retry exhaustion
+	rowsIn      atomic.Uint64 // rows decoded off worker streams
+	bytesIn     atomic.Uint64 // response-body bytes read off worker streams
+	rowsOut     atomic.Uint64 // rows staged out to workers
+	bytesOut    atomic.Uint64 // request-body bytes staged out to workers
+}
+
+func newWorkerClient() *workerClient {
+	dialer := &net.Dialer{Timeout: 5 * time.Second, KeepAlive: 30 * time.Second}
+	return &workerClient{
+		http: &http.Client{Transport: &http.Transport{
+			DialContext:           dialer.DialContext,
+			TLSHandshakeTimeout:   5 * time.Second,
+			ResponseHeaderTimeout: 60 * time.Second,
+			MaxIdleConnsPerHost:   16,
+		}},
+		retries: fragmentRetries,
+	}
+}
+
+// unavailable wraps a dispatch failure as the structured error the
+// satellite contract requires: code "unavailable", naming the worker.
+func unavailable(w Worker, err error) error {
+	return &sqlish.Error{
+		Code: sqlish.ErrUnavailable,
+		Msg:  fmt.Sprintf("worker %s (%s) unreachable: %v", w.Name, w.URL, err),
+		Pos:  -1,
+	}
+}
+
+// post sends one fragment request, retrying transport failures and 503s
+// (a draining or restarting worker) with exponential backoff. The body
+// is re-marshaled per attempt; responses with structured error bodies
+// are decoded and returned as their coded errors.
+func (c *workerClient) post(ctx context.Context, w Worker, req *wire.FragmentRequest) (*http.Response, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	c.fragments.Add(1)
+	c.bytesOut.Add(uint64(len(data)))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := faultinject.Hit("distsql.dispatch"); err != nil {
+			lastErr = err
+		} else {
+			hreq, herr := http.NewRequestWithContext(ctx, http.MethodPost, w.URL+"/fragment", bytes.NewReader(data))
+			if herr != nil {
+				return nil, herr
+			}
+			hreq.Header.Set("Content-Type", "application/json")
+			resp, rerr := c.http.Do(hreq)
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				return resp, nil
+			}
+			if rerr != nil {
+				lastErr = rerr
+			} else {
+				lastErr = decodeHTTPError(resp)
+				if resp.StatusCode != http.StatusServiceUnavailable {
+					// A structured non-503 failure (parse error, resource abort)
+					// is the query's real outcome, not a reachability problem.
+					return nil, lastErr
+				}
+			}
+		}
+		if attempt >= c.retries || ctx.Err() != nil {
+			c.unreachable.Add(1)
+			return nil, unavailable(w, lastErr)
+		}
+		c.retried.Add(1)
+		select {
+		case <-time.After(backoff.Default(attempt)):
+		case <-ctx.Done():
+			c.unreachable.Add(1)
+			return nil, unavailable(w, lastErr)
+		}
+	}
+}
+
+// decodeHTTPError converts a non-200 fragment response into its
+// structured error (or a plain description when the body is not ours).
+func decodeHTTPError(resp *http.Response) error {
+	defer resp.Body.Close()
+	var out struct {
+		Error *wire.Error `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err == nil && out.Error != nil {
+		return &sqlish.Error{Code: out.Error.Code, Msg: out.Error.Message, Pos: -1, Line: out.Error.Line, Col: out.Error.Col}
+	}
+	return fmt.Errorf("worker returned %s", resp.Status)
+}
+
+// ack performs one non-exec fragment operation (stage, unstage,
+// analyze) and decodes its acknowledgement.
+func (c *workerClient) ack(ctx context.Context, w Worker, req *wire.FragmentRequest) (wire.FragmentAck, error) {
+	resp, err := c.post(ctx, w, req)
+	if err != nil {
+		return wire.FragmentAck{}, err
+	}
+	defer resp.Body.Close()
+	var out wire.FragmentAck
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return out, fmt.Errorf("distsql: bad %s ack from %s: %v", req.Op, w.Name, err)
+	}
+	return out, nil
+}
+
+// stage registers rel under name on worker w.
+func (c *workerClient) stage(ctx context.Context, w Worker, name string, rel *relation.Relation) error {
+	cols := make([]string, 0, rel.Schema.Len())
+	types := make([]string, 0, rel.Schema.Len())
+	for _, at := range rel.Schema.Attrs {
+		cols = append(cols, at.Name)
+		types = append(types, at.Type.String())
+	}
+	rows := make([][]any, rel.Len())
+	for i, t := range rel.Tuples {
+		row := make([]any, 0, len(t.Vals)+2)
+		for _, v := range t.Vals {
+			row = append(row, wire.Cell(v))
+		}
+		row = append(row, t.T.Ts, t.T.Te)
+		rows[i] = row
+	}
+	c.rowsOut.Add(uint64(len(rows)))
+	_, err := c.ack(ctx, w, &wire.FragmentRequest{
+		Op: wire.FragmentStage, Name: name, Columns: cols, Types: types, Rows: rows,
+	})
+	return err
+}
+
+// countingReader counts bytes read off a worker response body.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(uint64(n))
+	return n, err
+}
+
+// workerStream is one worker's in-flight exec fragment: a goroutine
+// decodes its NDJSON frames into tuple batches on a bounded channel; err
+// is set before the channel closes (read it only after the close).
+type workerStream struct {
+	worker Worker
+	ch     chan []tuple.Tuple
+	err    error
+}
+
+// startExec dispatches an exec fragment to w and streams its decoded
+// batches. The stream ends with a closed channel; a truncated stream (a
+// worker killed mid-query) surfaces as a structured "unavailable" error
+// naming the worker.
+func (c *workerClient) startExec(ctx context.Context, w Worker, sql string, params []any, batch int) *workerStream {
+	ws := &workerStream{worker: w, ch: make(chan []tuple.Tuple, 4)}
+	go func() {
+		defer close(ws.ch)
+		resp, err := c.post(ctx, w, &wire.FragmentRequest{Op: wire.FragmentExec, SQL: sql, Params: params, Batch: batch})
+		if err != nil {
+			ws.err = err
+			return
+		}
+		defer resp.Body.Close()
+		dec := json.NewDecoder(&countingReader{r: resp.Body, n: &c.bytesIn})
+		dec.UseNumber()
+		var types []string
+		for {
+			var f wire.Frame
+			if err := dec.Decode(&f); err != nil {
+				ws.err = &sqlish.Error{
+					Code: sqlish.ErrUnavailable,
+					Msg:  fmt.Sprintf("worker %s (%s): stream truncated: %v", w.Name, w.URL, err),
+					Pos:  -1,
+				}
+				return
+			}
+			switch f.Frame {
+			case wire.FrameSchema:
+				types = f.Types
+			case wire.FrameRows:
+				batchTuples, derr := decodeRows(f.Rows, types)
+				if derr != nil {
+					ws.err = fmt.Errorf("distsql: worker %s: %v", w.Name, derr)
+					return
+				}
+				c.rowsIn.Add(uint64(len(batchTuples)))
+				select {
+				case ws.ch <- batchTuples:
+				case <-ctx.Done():
+					ws.err = ctx.Err()
+					return
+				}
+			case wire.FrameStatus:
+				return
+			case wire.FrameError:
+				ws.err = &sqlish.Error{Code: f.Error.Code, Msg: fmt.Sprintf("worker %s: %s", w.Name, f.Error.Message), Pos: -1}
+				return
+			default:
+				ws.err = fmt.Errorf("distsql: worker %s: unexpected %q frame", w.Name, f.Frame)
+				return
+			}
+		}
+	}()
+	return ws
+}
+
+// decodeRows converts wire rows (visible cells then ts, te) back to
+// tuples, steering cell decoding by the fragment's schema types.
+func decodeRows(rows [][]any, types []string) ([]tuple.Tuple, error) {
+	out := make([]tuple.Tuple, len(rows))
+	for i, row := range rows {
+		if len(row) < 2 {
+			return nil, fmt.Errorf("short row (%d cells)", len(row))
+		}
+		vals := make([]value.Value, len(row)-2)
+		for j := range vals {
+			typ := ""
+			if j < len(types) {
+				typ = types[j]
+			}
+			v, err := wire.ValueAs(row[j], typ)
+			if err != nil {
+				return nil, fmt.Errorf("bad cell: %v", err)
+			}
+			vals[j] = v
+		}
+		ts, err := cellInt(row[len(row)-2])
+		if err != nil {
+			return nil, fmt.Errorf("bad ts: %v", err)
+		}
+		te, err := cellInt(row[len(row)-1])
+		if err != nil {
+			return nil, fmt.Errorf("bad te: %v", err)
+		}
+		out[i] = tuple.Tuple{Vals: vals, T: interval.Interval{Ts: ts, Te: te}}
+	}
+	return out, nil
+}
+
+// cellInt decodes a ts/te bound (int64 in-process, json.Number off the
+// wire).
+func cellInt(x any) (int64, error) {
+	switch t := x.(type) {
+	case int64:
+		return t, nil
+	case json.Number:
+		return t.Int64()
+	case float64:
+		return int64(t), nil
+	}
+	return 0, fmt.Errorf("unsupported bound type %T", x)
+}
+
+// mergeSource concatenates worker streams in worker order (deterministic
+// merge; workers still produce in parallel, buffered by their channels).
+// It implements server.BatchSource.
+type mergeSource struct {
+	cancel  context.CancelFunc
+	streams []*workerStream
+	idx     int
+	done    bool
+}
+
+// Next returns the next batch from the current worker, advancing to the
+// next worker when one finishes. A worker error is terminal for the
+// whole merge.
+func (m *mergeSource) Next() ([]tuple.Tuple, error) {
+	if m.done {
+		return nil, nil
+	}
+	for m.idx < len(m.streams) {
+		ws := m.streams[m.idx]
+		batch, ok := <-ws.ch
+		if ok {
+			return batch, nil
+		}
+		if ws.err != nil {
+			m.Close()
+			return nil, ws.err
+		}
+		m.idx++
+	}
+	m.Close()
+	return nil, nil
+}
+
+// Close cancels the fan-out context, tearing down every in-flight worker
+// request; the decode goroutines exit through their context checks and
+// closed response bodies.
+func (m *mergeSource) Close() error {
+	if m.done {
+		return nil
+	}
+	m.done = true
+	if m.cancel != nil {
+		m.cancel()
+	}
+	return nil
+}
+
+// drain collects a merge stream into a flat tuple slice (the gather
+// stage of final-pass strategies).
+func drain(src *mergeSource) ([]tuple.Tuple, error) {
+	defer src.Close()
+	var out []tuple.Tuple
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if len(b) == 0 {
+			return out, nil
+		}
+		out = append(out, b...)
+	}
+}

@@ -1,0 +1,876 @@
+package distsql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"talign/internal/csvio"
+	"talign/internal/plan"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/server"
+	"talign/internal/sqlish"
+	"talign/internal/tuple"
+	"talign/internal/value"
+	"talign/internal/wire"
+)
+
+// strategy is the distributed execution shape chosen for one statement.
+type strategy int
+
+const (
+	// stratScatter runs the statement (or its ORDER-less body) verbatim
+	// on every worker and concatenates the streams in worker order.
+	stratScatter strategy = iota
+	// stratScatterFinal scatters the body, gathers the shard results into
+	// a coordinator temp and runs a final SELECT for ORDER BY/LIMIT or a
+	// global dedup pass.
+	stratScatterFinal
+	// stratPartialAgg pushes partial COUNT/SUM/MIN/MAX aggregation to the
+	// workers and re-aggregates the gathered partials.
+	stratPartialAgg
+	// stratGatherAll reassembles every referenced table and runs the
+	// original statement on the coordinator — the universal fallback.
+	stratGatherAll
+)
+
+func (s strategy) String() string {
+	switch s {
+	case stratScatter:
+		return "scatter"
+	case stratScatterFinal:
+		return "scatter+final"
+	case stratPartialAgg:
+		return "partial-aggregate"
+	case stratGatherAll:
+		return "gather-all"
+	}
+	return "unknown"
+}
+
+// distPlan is one cached distributed plan: the strategy decision plus
+// the rendered fragments (rendered without table substitution; plans
+// that repartition re-render per execution with the staged names).
+type distPlan struct {
+	strategy  strategy
+	verbatim  bool // workerSQL is the full normalized statement; params pass through
+	redoDedup bool
+	repart    map[string]string // table -> partition column it must be re-hashed on
+	tables    []string
+
+	workerSQL    string
+	workerParams []int
+	finalSQL     string
+	finalParams  []int
+
+	bodySch schema.Schema // schema of the gathered worker results (final strategies)
+	sch     schema.Schema // client-visible result schema
+	cols    []string
+	types   []string
+}
+
+// dcache is the bounded distributed-plan cache (FIFO eviction; the keys
+// already fold in every invalidating version, so stale entries are
+// unreachable rather than wrong).
+type dcache struct {
+	mu    sync.Mutex
+	m     map[string]*distPlan
+	order []string
+	cap   int
+}
+
+func newDcache(capacity int) *dcache {
+	return &dcache{m: make(map[string]*distPlan), cap: capacity}
+}
+
+func (c *dcache) get(key string) *distPlan {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[key]
+}
+
+func (c *dcache) put(key string, pl *distPlan) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[key]; exists {
+		return
+	}
+	for len(c.m) >= c.cap && len(c.order) > 0 {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.m[key] = pl
+	c.order = append(c.order, key)
+}
+
+// Coordinator implements server.Distributor over a static worker
+// topology: it owns the shard map (which partition column each table is
+// currently hashed on), the distributed-plan cache and the worker
+// client, and plugs into the server through SetDistributor.
+type Coordinator struct {
+	srv     *server.Server
+	topo    Topology
+	topoVer string
+	flags   plan.Flags
+	flagsFP string
+	client  *workerClient
+
+	// partOverride maps table -> partition column from the cluster
+	// manifest; tables absent default to their first column.
+	partOverride map[string]string
+
+	mu       sync.Mutex
+	parts    map[string]string // table -> current partition column
+	shardVer uint64
+
+	cache *dcache
+	qid   atomic.Uint64
+
+	queries       atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	scatters      atomic.Uint64
+	scatterFinals atomic.Uint64
+	partialAggs   atomic.Uint64
+	repartitions  atomic.Uint64
+	gatherAlls    atomic.Uint64
+}
+
+// New builds a coordinator over srv and the worker topology. flags must
+// be the planner flags srv was configured with (the coordinator prepares
+// final stages locally under the same flags). partition carries the
+// manifest's per-table partition-column overrides (nil for defaults).
+func New(srv *server.Server, topo Topology, flags plan.Flags, partition map[string]string) *Coordinator {
+	po := map[string]string{}
+	for t, col := range partition {
+		po[strings.ToLower(t)] = strings.ToLower(col)
+	}
+	return &Coordinator{
+		srv:          srv,
+		topo:         topo,
+		topoVer:      topo.Version(),
+		flags:        flags,
+		flagsFP:      flags.Fingerprint(),
+		client:       newWorkerClient(),
+		partOverride: po,
+		parts:        map[string]string{},
+		cache:        newDcache(256),
+	}
+}
+
+// Attach installs the coordinator as srv's distributor.
+func (c *Coordinator) Attach() { c.srv.SetDistributor(c) }
+
+// Topology returns the coordinator's worker set.
+func (c *Coordinator) Topology() Topology { return c.topo }
+
+// PlanKey is the distributed plan-cache fingerprint for one normalized
+// statement: it folds in the planner flags, the topology version, the
+// shard-map version and the catalog version, so a cached distributed
+// plan can never survive a worker-set, partitioning or schema change
+// (the distributed mirror of the local cache's statsVersion discipline).
+func (c *Coordinator) PlanKey(norm string) string {
+	c.mu.Lock()
+	sv := c.shardVer
+	c.mu.Unlock()
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d",
+		norm, c.flagsFP, c.topoVer, sv, c.srv.Catalog().Version())
+}
+
+// partsSnapshot copies the shard map under the lock.
+func (c *Coordinator) partsSnapshot() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.parts))
+	for t, col := range c.parts {
+		out[t] = col
+	}
+	return out
+}
+
+// allSharded reports whether every table is in the shard map; statements
+// touching any other table are declined to the local pipeline (which
+// also produces the proper error for unknown tables).
+func (c *Coordinator) allSharded(tables []string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range tables {
+		if _, ok := c.parts[t]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DistributeTable hash-partitions rel by its manifest-assigned (or
+// first) column, stages one shard per worker under the table's real
+// name, registers a schema-only stub locally (the coordinator plans
+// against schemas, never rows) and records the partitioning in the
+// shard map.
+func (c *Coordinator) DistributeTable(ctx context.Context, name string, rel *relation.Relation) error {
+	name = strings.ToLower(name)
+	if rel.Schema.Len() == 0 {
+		return fmt.Errorf("distsql: cannot partition %s: no columns", name)
+	}
+	col := c.partOverride[name]
+	if col == "" {
+		col = rel.Schema.Attrs[0].Name
+	}
+	shards, err := partitionRelation(rel, col, len(c.topo.Workers))
+	if err != nil {
+		return fmt.Errorf("distsql: partitioning %s: %v", name, err)
+	}
+	for i, w := range c.topo.Workers {
+		if err := c.client.stage(ctx, w, name, shards[i]); err != nil {
+			return err
+		}
+	}
+	c.srv.Catalog().Register(name, relation.New(rel.Schema))
+	c.mu.Lock()
+	c.parts[name] = strings.ToLower(col)
+	c.shardVer++
+	c.mu.Unlock()
+	return nil
+}
+
+// AnalyzeWorkers broadcasts a full ANALYZE to every worker so their
+// cost-based optimizers start with real per-shard statistics (the
+// distributed mirror of single-node startup auto-analyze).
+func (c *Coordinator) AnalyzeWorkers(ctx context.Context) error {
+	for _, w := range c.topo.Workers {
+		if _, err := c.client.ack(ctx, w, &wire.FragmentRequest{Op: wire.FragmentAnalyze}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ------------------------------------------------------- Distributor
+
+// DistStream implements server.Distributor: it classifies the parsed
+// statement, declines anything purely local, and otherwise plans and
+// launches the distributed execution.
+func (c *Coordinator) DistStream(ctx context.Context, st *sqlish.Statement, norm string, params []value.Value, batch int) (*server.DistResult, bool, error) {
+	snap := c.srv.Catalog().Snapshot()
+	info := st.DistInfo(snap)
+	switch info.Kind {
+	case sqlish.DistAnalyze:
+		return c.distAnalyze(ctx, info)
+	case sqlish.DistCreate:
+		return c.distCreate(ctx, info)
+	case sqlish.DistDrop:
+		return c.distDrop(ctx, info)
+	}
+	if len(info.Tables) == 0 || !c.allSharded(info.Tables) {
+		return nil, false, nil
+	}
+	c.queries.Add(1)
+	pl, hit, err := c.plan(st, norm, info)
+	if err != nil {
+		return nil, true, err
+	}
+	if info.Explain {
+		return &server.DistResult{Plan: c.explainText(pl), CacheHit: hit}, true, nil
+	}
+	if pl.strategy == stratGatherAll {
+		res, err := c.runGatherAll(ctx, st, pl, params, batch, hit, info.ExplainAnalyze)
+		return res, true, err
+	}
+	res, err := c.run(ctx, st, pl, params, batch, hit)
+	return res, true, err
+}
+
+// DistExplain implements the never-executing GET /explain path.
+func (c *Coordinator) DistExplain(st *sqlish.Statement, norm string) (string, bool, error) {
+	snap := c.srv.Catalog().Snapshot()
+	info := st.DistInfo(snap)
+	if info.Kind != sqlish.DistSelect || len(info.Tables) == 0 || !c.allSharded(info.Tables) {
+		return "", false, nil
+	}
+	pl, _, err := c.plan(st, norm, info)
+	if err != nil {
+		return "", true, err
+	}
+	return c.explainText(pl), true, nil
+}
+
+// explainText renders the distributed plan for EXPLAIN.
+func (c *Coordinator) explainText(pl *distPlan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Distributed: %s over %d worker(s)\n", pl.strategy, len(c.topo.Workers))
+	for _, t := range sortedKeys(pl.repart) {
+		fmt.Fprintf(&b, "  repartition: %s by %s\n", t, pl.repart[t])
+	}
+	if pl.strategy == stratGatherAll {
+		fmt.Fprintf(&b, "  gather: %s\n", strings.Join(pl.tables, ", "))
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  worker: %s\n", pl.workerSQL)
+	if pl.finalSQL != "" {
+		fmt.Fprintf(&b, "  final:  %s\n", pl.finalSQL)
+	}
+	return b.String()
+}
+
+// ------------------------------------------------------- DDL broadcast
+
+// distAnalyze broadcasts ANALYZE to every worker and sums the per-shard
+// row counts into the single-node acknowledgement format.
+func (c *Coordinator) distAnalyze(ctx context.Context, info *sqlish.DistInfo) (*server.DistResult, bool, error) {
+	target := strings.ToLower(info.Target)
+	if !c.allSharded([]string{target}) {
+		return nil, false, nil
+	}
+	var rows int64
+	for _, w := range c.topo.Workers {
+		ack, err := c.client.ack(ctx, w, &wire.FragmentRequest{Op: wire.FragmentAnalyze, Name: target})
+		if err != nil {
+			return nil, true, err
+		}
+		rows += ack.Rows
+	}
+	cols := 0
+	if stub, ok := c.srv.Catalog().Snapshot().Lookup(target); ok {
+		cols = stub.Schema.Len()
+	}
+	return &server.DistResult{Plan: fmt.Sprintf("ANALYZE %s: %d rows, %d columns", target, rows, cols)}, true, nil
+}
+
+// distCreate loads the CSV on the coordinator, partitions it across the
+// workers and registers the local schema stub, mirroring the
+// single-node CREATE TABLE acknowledgement byte-for-byte.
+func (c *Coordinator) distCreate(ctx context.Context, info *sqlish.DistInfo) (*server.DistResult, bool, error) {
+	target := strings.ToLower(info.Target)
+	if _, exists := c.srv.Catalog().Snapshot().Lookup(target); exists {
+		return nil, true, fmt.Errorf("server: CREATE TABLE: table %q already exists", target)
+	}
+	rel, err := csvio.ReadFile(info.CreatePath)
+	if err != nil {
+		return nil, true, fmt.Errorf("server: CREATE TABLE %s: %v", target, err)
+	}
+	if err := c.DistributeTable(ctx, target, rel); err != nil {
+		return nil, true, err
+	}
+	return &server.DistResult{Plan: fmt.Sprintf("CREATE TABLE %s: %d rows, %d columns", target, rel.Len(), rel.Schema.Len())}, true, nil
+}
+
+// distDrop broadcasts the unstage and drops the local stub.
+func (c *Coordinator) distDrop(ctx context.Context, info *sqlish.DistInfo) (*server.DistResult, bool, error) {
+	target := strings.ToLower(info.Target)
+	if !c.allSharded([]string{target}) {
+		return nil, false, nil
+	}
+	for _, w := range c.topo.Workers {
+		if _, err := c.client.ack(ctx, w, &wire.FragmentRequest{Op: wire.FragmentUnstage, Name: target}); err != nil {
+			return nil, true, err
+		}
+	}
+	c.srv.Catalog().Drop(target)
+	c.mu.Lock()
+	delete(c.parts, target)
+	c.shardVer++
+	c.mu.Unlock()
+	return &server.DistResult{Plan: "DROP TABLE " + target}, true, nil
+}
+
+// ------------------------------------------------------- planning
+
+// plan resolves the distributed plan through the cache.
+func (c *Coordinator) plan(st *sqlish.Statement, norm string, info *sqlish.DistInfo) (*distPlan, bool, error) {
+	key := c.PlanKey(norm)
+	if pl := c.cache.get(key); pl != nil {
+		c.hits.Add(1)
+		return pl, true, nil
+	}
+	c.misses.Add(1)
+	pl, err := c.buildPlan(st, norm, info)
+	if err != nil {
+		return nil, false, err
+	}
+	c.cache.put(key, pl)
+	return pl, false, nil
+}
+
+// buildPlan picks the cheapest strategy the statement's shape admits.
+// Every candidate's rendered fragments are validated by preparing them
+// locally (worker bodies against the schema stubs, final stages against
+// an empty temp of the body schema) — a candidate that fails to prepare
+// falls through to the next, ending at gather-all, so a renderer gap can
+// cost performance but never correctness.
+func (c *Coordinator) buildPlan(st *sqlish.Statement, norm string, info *sqlish.DistInfo) (*distPlan, error) {
+	snap := c.srv.Catalog().Snapshot()
+	prep, err := st.Prepare(snap, c.flags)
+	if err != nil {
+		// The statement does not analyze against the schemas; surface the
+		// same structured error single-node planning would.
+		return nil, err
+	}
+	cols, types := server.SchemaColumns(prep)
+	pl := &distPlan{tables: info.Tables, sch: prep.Schema(), cols: cols, types: types}
+
+	if len(c.topo.Workers) == 1 && !info.ExplainAnalyze {
+		// One worker holds every shard: any statement runs there verbatim.
+		pl.strategy = stratScatter
+		pl.verbatim = true
+		pl.workerSQL = norm
+		return pl, nil
+	}
+
+	gather := func() (*distPlan, error) {
+		pl.strategy = stratGatherAll
+		pl.repart = nil
+		return pl, nil
+	}
+	shape := info.Shape
+	if shape == nil || !shape.Colocatable || info.ExplainAnalyze {
+		return gather()
+	}
+
+	parts := c.partsSnapshot()
+	repart := map[string]string{}
+	eff := map[string]string{}
+	for _, t := range info.Tables {
+		eff[t] = parts[t]
+	}
+	for t, col := range shape.Require {
+		if parts[t] != col {
+			repart[t] = col
+		}
+		eff[t] = col
+	}
+	pl.repart = repart
+	pinned := func(refs []sqlish.TableCol) bool {
+		for _, r := range refs {
+			if eff[r.Table] == r.Col {
+				return true
+			}
+		}
+		return false
+	}
+	ordered := info.OrderLimit
+
+	tryScatter := func() bool {
+		body, ps, rerr := st.RenderDistBody(nil)
+		if rerr != nil {
+			return false
+		}
+		if _, perr := sqlish.Prepare(body, snap, c.flags); perr != nil {
+			return false
+		}
+		pl.strategy = stratScatter
+		pl.workerSQL, pl.workerParams = body, ps
+		return true
+	}
+	tryScatterFinal := func(redo bool) bool {
+		body, ps, rerr := st.RenderDistBody(nil)
+		if rerr != nil {
+			return false
+		}
+		bprep, perr := sqlish.Prepare(body, snap, c.flags)
+		if perr != nil {
+			return false
+		}
+		finalSQL, fps, rerr := st.RenderDistFinal("__g", redo)
+		if rerr != nil {
+			return false
+		}
+		tmp := sqlish.MapCatalog{}
+		tmp.Register("__g", relation.New(bprep.Schema()))
+		if _, perr := sqlish.Prepare(finalSQL, tmp, c.flags); perr != nil {
+			return false
+		}
+		pl.strategy = stratScatterFinal
+		pl.redoDedup = redo
+		pl.workerSQL, pl.workerParams = body, ps
+		pl.finalSQL, pl.finalParams = finalSQL, fps
+		pl.bodySch = bprep.Schema()
+		return true
+	}
+	tryAggSplit := func() bool {
+		agg, rerr := st.RenderDistAgg(nil, "__g")
+		if rerr != nil {
+			return false
+		}
+		wprep, perr := sqlish.Prepare(agg.Worker, snap, c.flags)
+		if perr != nil {
+			return false
+		}
+		tmp := sqlish.MapCatalog{}
+		tmp.Register("__g", relation.New(wprep.Schema()))
+		fprep, perr := sqlish.Prepare(agg.Final, tmp, c.flags)
+		if perr != nil {
+			return false
+		}
+		// The final stage must reproduce the original output shape exactly;
+		// a naming or typing divergence means the split is unsafe.
+		fcols, ftypes := server.SchemaColumns(fprep)
+		if !equalStrings(fcols, pl.cols) || !equalStrings(ftypes, pl.types) {
+			return false
+		}
+		pl.strategy = stratPartialAgg
+		pl.workerSQL, pl.workerParams = agg.Worker, agg.WorkerParams
+		pl.finalSQL, pl.finalParams = agg.Final, agg.FinalParams
+		pl.bodySch = wprep.Schema()
+		return true
+	}
+
+	switch {
+	case shape.HasAgg || shape.HasGroupBy:
+		// Groups pinned to one shard make any aggregation (HAVING included)
+		// shard-exact; otherwise a partial/final split handles the plain
+		// COUNT/SUM/MIN/MAX shapes.
+		pinnedGroups := shape.HasGroupBy && shape.PlainGroup && len(shape.GroupRefs) > 0 && pinned(shape.GroupRefs)
+		if pinnedGroups && !ordered && tryScatter() {
+			return pl, nil
+		}
+		if pinnedGroups && ordered && tryScatterFinal(false) {
+			return pl, nil
+		}
+		if shape.Dedup == "" && shape.CanAggSplit && tryAggSplit() {
+			return pl, nil
+		}
+		return gather()
+	case shape.Dedup != "":
+		// Dedup groups pinned to one shard (some projected column is the
+		// partition column) make shard-local DISTINCT/ABSORB exact and the
+		// shard results disjoint; otherwise the final stage re-applies the
+		// dedup over the union (absorption is compositional: a locally
+		// absorbed tuple is absorbed by the same witness globally).
+		if pinned(shape.ProjRefs) {
+			if !ordered && tryScatter() {
+				return pl, nil
+			}
+			if tryScatterFinal(false) {
+				return pl, nil
+			}
+		}
+		if tryScatterFinal(true) {
+			return pl, nil
+		}
+		return gather()
+	default:
+		if !ordered && tryScatter() {
+			return pl, nil
+		}
+		if ordered && tryScatterFinal(false) {
+			return pl, nil
+		}
+		return gather()
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ------------------------------------------------------- execution
+
+// gatherTable streams every worker's shard of name back into one
+// relation (the stub's schema supplies the attribute kinds; tuples come
+// off the wire).
+func (c *Coordinator) gatherTable(ctx context.Context, name string, sch schema.Schema, batch int) (*relation.Relation, error) {
+	gctx, cancel := context.WithCancel(ctx)
+	streams := make([]*workerStream, len(c.topo.Workers))
+	for i, w := range c.topo.Workers {
+		streams[i] = c.client.startExec(gctx, w, "SELECT * FROM "+name, nil, batch)
+	}
+	tuples, err := drain(&mergeSource{cancel: cancel, streams: streams})
+	if err != nil {
+		return nil, err
+	}
+	// Built directly: gathered columns typed by the stub schema may carry
+	// kinds Append would re-check against ω cells.
+	return &relation.Relation{Schema: sch, Tuples: tuples}, nil
+}
+
+// unstageAll removes staged repartition temps from every worker,
+// best-effort under its own deadline (the query is already answered or
+// failed; a dead worker just keeps a temp until it restarts).
+func (c *Coordinator) unstageAll(names []string) {
+	if len(names) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, name := range names {
+		for _, w := range c.topo.Workers {
+			_, _ = c.client.ack(ctx, w, &wire.FragmentRequest{Op: wire.FragmentUnstage, Name: name})
+		}
+	}
+}
+
+// run executes a scatter-family plan: stage repartitioned tables if the
+// plan needs them, fan the (possibly re-rendered) worker fragment out,
+// then either stream the merged shards straight through (scatter) or
+// gather and run the final stage locally.
+func (c *Coordinator) run(ctx context.Context, st *sqlish.Statement, pl *distPlan, params []value.Value, batch int, hit bool) (res *server.DistResult, err error) {
+	fanCtx, cancel := context.WithCancel(ctx)
+	streaming := false
+	defer func() {
+		if !streaming {
+			cancel()
+		}
+	}()
+
+	// Coordinator-mediated shuffle: gather each mis-partitioned table,
+	// re-hash it on the required column and stage the shards back under a
+	// per-execution temp name the fragment substitutes for the original.
+	subst := map[string]string{}
+	var staged []string
+	cleanup := func() { c.unstageAll(staged) }
+	defer func() {
+		if !streaming && err != nil {
+			cleanup()
+		}
+	}()
+	if len(pl.repart) > 0 {
+		c.repartitions.Add(1)
+		qid := c.qid.Add(1)
+		snap := c.srv.Catalog().Snapshot()
+		for _, t := range sortedKeys(pl.repart) {
+			col := pl.repart[t]
+			stub, found := snap.Lookup(t)
+			if !found {
+				return nil, fmt.Errorf("distsql: table %s vanished during planning", t)
+			}
+			rel, gerr := c.gatherTable(fanCtx, t, stub.Schema, batch)
+			if gerr != nil {
+				return nil, gerr
+			}
+			shards, perr := partitionRelation(rel, col, len(c.topo.Workers))
+			if perr != nil {
+				return nil, perr
+			}
+			name := fmt.Sprintf("__rp%d_%s", qid, t)
+			for i, w := range c.topo.Workers {
+				if serr := c.client.stage(fanCtx, w, name, shards[i]); serr != nil {
+					return nil, serr
+				}
+			}
+			staged = append(staged, name)
+			subst[t] = name
+		}
+	}
+
+	workerSQL, wpIdx := pl.workerSQL, pl.workerParams
+	if len(subst) > 0 {
+		// Staged names are per-execution, so substituted fragments are
+		// re-rendered here; the cached render already validated the shape.
+		if pl.strategy == stratPartialAgg {
+			agg, rerr := st.RenderDistAgg(subst, "__g")
+			if rerr != nil {
+				return nil, rerr
+			}
+			workerSQL, wpIdx = agg.Worker, agg.WorkerParams
+		} else {
+			body, ps, rerr := st.RenderDistBody(subst)
+			if rerr != nil {
+				return nil, rerr
+			}
+			workerSQL, wpIdx = body, ps
+		}
+	}
+	var wparams []any
+	if pl.verbatim {
+		wparams = cellValues(params)
+	} else {
+		mapped, merr := mapParams(wpIdx, params)
+		if merr != nil {
+			return nil, merr
+		}
+		wparams = cellValues(mapped)
+	}
+
+	streams := make([]*workerStream, len(c.topo.Workers))
+	for i, w := range c.topo.Workers {
+		streams[i] = c.client.startExec(fanCtx, w, workerSQL, wparams, batch)
+	}
+	merge := &mergeSource{cancel: cancel, streams: streams}
+
+	if pl.strategy == stratScatter {
+		c.scatters.Add(1)
+		streaming = true
+		return &server.DistResult{
+			Cols: pl.cols, Types: pl.types, Schema: pl.sch, CacheHit: hit,
+			Src: &cleanupSource{mergeSource: merge, cleanup: cleanup},
+		}, nil
+	}
+
+	// Final-stage strategies buffer: gather the shard results into a temp
+	// and run the rendered final statement over it locally.
+	tuples, derr := drain(merge)
+	cleanup()
+	staged = nil
+	if derr != nil {
+		return nil, derr
+	}
+	tmp := sqlish.MapCatalog{}
+	tmp.Register("__g", &relation.Relation{Schema: pl.bodySch, Tuples: tuples})
+	fprep, perr := sqlish.Prepare(pl.finalSQL, tmp, c.flags)
+	if perr != nil {
+		return nil, fmt.Errorf("distsql: final stage: %v", perr)
+	}
+	fparams, merr := mapParams(pl.finalParams, params)
+	if merr != nil {
+		return nil, merr
+	}
+	out, xerr := c.collect(ctx, fprep, fparams)
+	if xerr != nil {
+		return nil, xerr
+	}
+	if pl.strategy == stratPartialAgg {
+		c.partialAggs.Add(1)
+	} else {
+		c.scatterFinals.Add(1)
+	}
+	return &server.DistResult{
+		Cols: pl.cols, Types: pl.types, Schema: fprep.Schema(), CacheHit: hit,
+		Src: &relSource{tuples: out, batch: batchOr(batch)},
+	}, nil
+}
+
+// runGatherAll reassembles every referenced table on the coordinator and
+// runs the original statement locally — correctness for every shape the
+// scatter strategies cannot prove.
+func (c *Coordinator) runGatherAll(ctx context.Context, st *sqlish.Statement, pl *distPlan, params []value.Value, batch int, hit bool, explainAnalyze bool) (*server.DistResult, error) {
+	c.gatherAlls.Add(1)
+	snap := c.srv.Catalog().Snapshot()
+	tmp := sqlish.MapCatalog{}
+	for _, t := range pl.tables {
+		stub, found := snap.Lookup(t)
+		if !found {
+			return nil, fmt.Errorf("distsql: table %s vanished during planning", t)
+		}
+		rel, err := c.gatherTable(ctx, t, stub.Schema, batch)
+		if err != nil {
+			return nil, err
+		}
+		tmp.Register(t, rel)
+	}
+	prep, err := st.Prepare(tmp, c.flags)
+	if err != nil {
+		return nil, err
+	}
+	if explainAnalyze {
+		text, aerr := prep.ExplainAnalyzeContext(ctx, params...)
+		if aerr != nil {
+			return nil, aerr
+		}
+		return &server.DistResult{Plan: text, CacheHit: hit}, nil
+	}
+	out, err := c.collect(ctx, prep, params)
+	if err != nil {
+		return nil, err
+	}
+	return &server.DistResult{
+		Cols: pl.cols, Types: pl.types, Schema: prep.Schema(), CacheHit: hit,
+		Src: &relSource{tuples: out, batch: batchOr(batch)},
+	}, nil
+}
+
+// collect drains one local execution into a tuple slice under ctx.
+func (c *Coordinator) collect(ctx context.Context, prep *sqlish.Prepared, params []value.Value) ([]tuple.Tuple, error) {
+	cur, err := prep.Stream(ctx, params...)
+	if err != nil {
+		return nil, err
+	}
+	defer cur.Close()
+	var out []tuple.Tuple
+	for {
+		b, nerr := cur.Next()
+		if nerr != nil {
+			return nil, nerr
+		}
+		if len(b) == 0 {
+			return out, nil
+		}
+		// Batches are reused by the executor; the tuple structs copy
+		// safely per the batch ownership contract.
+		out = append(out, b...)
+	}
+}
+
+// mapParams rebinds a fragment's gap-free $1..$N to the original
+// statement's bound parameters.
+func mapParams(idxs []int, params []value.Value) ([]value.Value, error) {
+	out := make([]value.Value, len(idxs))
+	for i, idx := range idxs {
+		if idx < 1 || idx > len(params) {
+			return nil, &sqlish.Error{
+				Code: sqlish.ErrRequest,
+				Msg:  fmt.Sprintf("statement references $%d but %d parameter(s) are bound", idx, len(params)),
+				Pos:  -1,
+			}
+		}
+		out[i] = params[idx-1]
+	}
+	return out, nil
+}
+
+// cellValues converts bound parameters to their wire cells.
+func cellValues(vals []value.Value) []any {
+	if len(vals) == 0 {
+		return nil
+	}
+	out := make([]any, len(vals))
+	for i, v := range vals {
+		out[i] = wire.Cell(v)
+	}
+	return out
+}
+
+// cleanupSource runs a cleanup (unstaging repartition temps) when the
+// streamed scatter result is closed.
+type cleanupSource struct {
+	*mergeSource
+	cleanup func()
+	once    sync.Once
+}
+
+func (s *cleanupSource) Close() error {
+	err := s.mergeSource.Close()
+	s.once.Do(s.cleanup)
+	return err
+}
+
+// relSource serves an in-memory result as batches (the final-stage and
+// gather-all strategies buffer at the coordinator by construction).
+type relSource struct {
+	tuples []tuple.Tuple
+	batch  int
+	pos    int
+}
+
+func (r *relSource) Next() ([]tuple.Tuple, error) {
+	if r.pos >= len(r.tuples) {
+		return nil, nil
+	}
+	end := r.pos + r.batch
+	if end > len(r.tuples) {
+		end = len(r.tuples)
+	}
+	b := r.tuples[r.pos:end]
+	r.pos = end
+	return b, nil
+}
+
+func (r *relSource) Close() error { return nil }
+
+func batchOr(batch int) int {
+	if batch > 0 {
+		return batch
+	}
+	return 1024
+}

@@ -1,0 +1,492 @@
+package distsql
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"talign/internal/faultinject"
+	"talign/internal/plan"
+	"talign/internal/randrel"
+	"talign/internal/relation"
+	"talign/internal/schema"
+	"talign/internal/server"
+	"talign/internal/sqlish"
+	"talign/internal/value"
+)
+
+// cluster is an in-process distributed deployment: n worker servers
+// behind httptest listeners and a coordinator attached to its own server.
+type cluster struct {
+	coord   *Coordinator
+	csrv    *server.Server
+	wsrvs   []*server.Server
+	workers []*httptest.Server
+}
+
+func newCluster(t *testing.T, n int, partition map[string]string) *cluster {
+	t.Helper()
+	flags := plan.DefaultFlags()
+	cl := &cluster{}
+	var topo Topology
+	for i := 0; i < n; i++ {
+		wsrv := server.New(server.Config{Flags: flags, MaxDOP: 16})
+		hs := httptest.NewServer(Handler(wsrv))
+		t.Cleanup(hs.Close)
+		cl.wsrvs = append(cl.wsrvs, wsrv)
+		cl.workers = append(cl.workers, hs)
+		topo.Workers = append(topo.Workers, Worker{Name: fmt.Sprintf("w%d", i), URL: hs.URL})
+	}
+	cl.csrv = server.New(server.Config{Flags: flags, MaxDOP: 16})
+	cl.coord = New(cl.csrv, topo, flags, partition)
+	cl.coord.Attach()
+	return cl
+}
+
+func (cl *cluster) load(t *testing.T, rels map[string]*relation.Relation) {
+	t.Helper()
+	for name, rel := range rels {
+		if err := cl.coord.DistributeTable(context.Background(), name, rel); err != nil {
+			t.Fatalf("DistributeTable(%s): %v", name, err)
+		}
+	}
+	if err := cl.coord.AnalyzeWorkers(context.Background()); err != nil {
+		t.Fatalf("AnalyzeWorkers: %v", err)
+	}
+}
+
+// singleNode is the reference: one server holding the full relations.
+func singleNode(t *testing.T, rels map[string]*relation.Relation) *server.Server {
+	t.Helper()
+	s := server.New(server.Config{Flags: plan.DefaultFlags(), MaxDOP: 16})
+	for name, rel := range rels {
+		s.Catalog().Register(name, rel)
+	}
+	s.AnalyzeAll()
+	return s
+}
+
+// testRels builds the r/s/u relations of one differential seed.
+func testRels(seed int) map[string]*relation.Relation {
+	attrs := []schema.Attr{{Name: "a", Type: value.KindInt}, {Name: "b", Type: value.KindInt}}
+	cfg := randrel.DefaultConfig(attrs...)
+	cfg.MaxTuples = 12
+	rng := rand.New(rand.NewSource(int64(1000 + seed)))
+	return map[string]*relation.Relation{
+		"r": randrel.Generate(rng, cfg),
+		"s": randrel.Generate(rng, cfg),
+		"u": randrel.Generate(rng, cfg),
+	}
+}
+
+// canonKeys renders a result as its sorted per-row key encodings, so two
+// results compare byte-equal exactly when every row (values and valid
+// time) is identical.
+func canonKeys(rel *relation.Relation) [][]byte {
+	keys := make([][]byte, rel.Len())
+	for i := range rel.Tuples {
+		keys[i] = rel.Tuples[i].AppendKey(nil)
+	}
+	sort.Slice(keys, func(a, b int) bool { return bytes.Compare(keys[a], keys[b]) < 0 })
+	return keys
+}
+
+func assertSameRows(t *testing.T, tag, q string, got, want *relation.Relation) {
+	t.Helper()
+	gk, wk := canonKeys(got), canonKeys(want)
+	if len(gk) != len(wk) {
+		t.Fatalf("%s: row count diverged on %q: %d vs %d", tag, q, len(gk), len(wk))
+	}
+	for i := range gk {
+		if !bytes.Equal(gk[i], wk[i]) {
+			t.Fatalf("%s: diverged on %q at sorted row %d:\n% x\nvs\n% x", tag, q, i, gk[i], wk[i])
+		}
+	}
+}
+
+// diffQuery is one differential shape; params may be nil.
+type diffQuery struct {
+	sql    string
+	params []value.Value
+}
+
+// distDiffQueries is the single-node optimizer corpus (opt_diff_test.go)
+// plus distributed-specific shapes: repartition-requiring joins and
+// temporal operators, the partial/final aggregate split, global
+// aggregates, ORDER BY + LIMIT finals and bound parameters.
+var distDiffQueries = []diffQuery{
+	{sql: "SELECT a, b FROM r WHERE a = 1 AND b >= 1"},
+	{sql: "SELECT a, b, Ts, Te FROM r WHERE a = 1 AND 1 = 1"},
+	{sql: "SELECT r.a, s.b FROM r JOIN s ON r.a = s.a WHERE s.b >= 1 AND r.b <= 2"},
+	{sql: "SELECT r.a, s.b FROM r LEFT JOIN s ON r.a = s.a WHERE r.b >= 1"},
+	{sql: "SELECT r.a, s.b FROM r RIGHT JOIN s ON r.a = s.a AND r.b >= 1 WHERE s.b <= 2"},
+	{sql: "SELECT r.a ra, s.a sa, u.b ub FROM r JOIN s ON r.a = s.a JOIN u ON s.b = u.b WHERE u.a >= 1"},
+	{sql: "SELECT r.b, s.b, u.b FROM r, s, u WHERE r.a = s.a AND s.b = u.b AND u.a = 1"},
+	{sql: "SELECT a, b, Ts, Te FROM (r ALIGN s ON r.a = s.a) x WHERE a >= 1"},
+	{sql: "SELECT a, b, Ts, Te FROM (r NORMALIZE s USING (a)) x WHERE b = 2"},
+	{sql: "SELECT a, COUNT(*) c FROM r WHERE b >= 0 GROUP BY a HAVING a >= 1"},
+	{sql: "SELECT a, b FROM r WHERE a = 1 UNION SELECT a, b FROM s WHERE b = 1"},
+	{sql: "SELECT DISTINCT a FROM r WHERE b = 0"},
+	{sql: "SELECT ABSORB a, b, Ts, Te FROM r WHERE a >= 1"},
+	{sql: "WITH w AS (SELECT a, b FROM r WHERE a >= 1) SELECT w1.a, w2.b FROM w w1 JOIN w w2 ON w1.a = w2.a"},
+	{sql: "SELECT a, b FROM r WHERE a BETWEEN 0 AND 1 ORDER BY a, b"},
+	// Distributed-specific shapes.
+	{sql: "SELECT r.a, s.b FROM r JOIN s ON r.b = s.b WHERE r.a >= 0"},               // repartition: join key != partition column
+	{sql: "SELECT a, b, Ts, Te FROM (r ALIGN s ON r.b = s.b) x"},                     // repartition under ALIGN
+	{sql: "SELECT a, b, Ts, Te FROM (r NORMALIZE s USING (b)) x"},                    // repartition under NORMALIZE
+	{sql: "SELECT b, COUNT(*) c, SUM(a) sa, MIN(a) mn, MAX(a) mx FROM r GROUP BY b"}, // partial/final agg split
+	{sql: "SELECT COUNT(*) c FROM r WHERE b >= 1"},                                   // global aggregate
+	{sql: "SELECT a, COUNT(*) c FROM r GROUP BY a ORDER BY a"},                       // pinned groups + ordered final
+	{sql: "SELECT a, b FROM r ORDER BY a, b LIMIT 100"},                              // ORDER BY + LIMIT final (limit > |r|)
+	{sql: "SELECT DISTINCT b FROM r"},                                                // dedup off the partition column
+	{sql: "SELECT a, b FROM r WHERE a >= $1 AND b <= $2", params: []value.Value{value.NewInt(0), value.NewInt(2)}},
+	{sql: "SELECT r.a, s.b FROM r JOIN s ON r.a = s.a WHERE s.b >= $1", params: []value.Value{value.NewInt(1)}},
+}
+
+// TestDistributedDifferential is the acceptance differential: for random
+// relations, every corpus shape must return the exact same row set
+// (values and valid time, byte-compared) through a 1-, 2- and 3-worker
+// coordinator as on a single node — buffered and streamed.
+func TestDistributedDifferential(t *testing.T) {
+	for _, workers := range []int{1, 2, 3} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			for seed := 0; seed < 4; seed++ {
+				rels := testRels(seed)
+				single := singleNode(t, rels)
+				cl := newCluster(t, workers, nil)
+				cl.load(t, rels)
+				for _, q := range distDiffQueries {
+					want, werr := single.QueryContext(context.Background(), "", "", q.sql, q.params)
+					got, gerr := cl.csrv.QueryContext(context.Background(), "", "", q.sql, q.params)
+					if (werr == nil) != (gerr == nil) {
+						t.Fatalf("seed %d: error parity diverged on %q: single=%v dist=%v", seed, q.sql, werr, gerr)
+					}
+					if werr != nil {
+						continue
+					}
+					assertSameRows(t, fmt.Sprintf("seed %d buffered", seed), q.sql, got.Rel, want.Rel)
+
+					// Streamed must match buffered byte-for-byte too.
+					rs, serr := cl.csrv.StreamBatch(context.Background(), "", "", q.sql, q.params, 3)
+					if serr != nil {
+						t.Fatalf("seed %d: streamed %q: %v", seed, q.sql, serr)
+					}
+					streamed := relation.New(want.Rel.Schema)
+					for {
+						b, nerr := rs.Next()
+						if nerr != nil {
+							t.Fatalf("seed %d: streamed %q: %v", seed, q.sql, nerr)
+						}
+						if len(b) == 0 {
+							break
+						}
+						streamed.Tuples = append(streamed.Tuples, b...)
+					}
+					rs.Close()
+					assertSameRows(t, fmt.Sprintf("seed %d streamed", seed), q.sql, streamed, want.Rel)
+				}
+			}
+		})
+	}
+}
+
+// TestDistributedStrategies pins the planner's strategy choices via
+// EXPLAIN: colocated scatters stay scatters, mismatched join keys
+// repartition, plain aggregates split, and WITH falls back to gather.
+func TestDistributedStrategies(t *testing.T) {
+	rels := testRels(1)
+	cl := newCluster(t, 2, nil)
+	cl.load(t, rels)
+	cases := []struct {
+		sql  string
+		want string
+	}{
+		{"SELECT a, b FROM r WHERE a = 1", "Distributed: scatter over"},
+		{"SELECT r.a, s.b FROM r JOIN s ON r.a = s.a", "Distributed: scatter over"},
+		{"SELECT r.a, s.b FROM r JOIN s ON r.b = s.b", "repartition:"},
+		{"SELECT b, COUNT(*) c FROM r GROUP BY b", "Distributed: partial-aggregate"},
+		{"SELECT a, COUNT(*) c FROM r GROUP BY a", "Distributed: scatter over"},
+		{"SELECT a, b, Ts, Te FROM (r ALIGN s ON r.a = s.a) x", "Distributed: scatter over"},
+		{"SELECT a, b, Ts, Te FROM (r NORMALIZE s USING (a)) x", "Distributed: scatter over"},
+		{"SELECT a, b FROM r ORDER BY a, b LIMIT 3", "Distributed: scatter+final"},
+		{"WITH w AS (SELECT a FROM r) SELECT a FROM w", "Distributed: gather-all"},
+	}
+	for _, tc := range cases {
+		res, err := cl.csrv.QueryContext(context.Background(), "", "", "EXPLAIN "+tc.sql, nil)
+		if err != nil {
+			t.Fatalf("EXPLAIN %s: %v", tc.sql, err)
+		}
+		if !strings.Contains(res.Plan, tc.want) {
+			t.Errorf("EXPLAIN %s:\n%s\nwant substring %q", tc.sql, res.Plan, tc.want)
+		}
+	}
+}
+
+// TestPlanKeyInvalidation is the plan-cache satellite regression: the
+// distributed fingerprint must change whenever the worker topology or the
+// shard map changes, and repeated statements must hit the cache between
+// those events.
+func TestPlanKeyInvalidation(t *testing.T) {
+	rels := testRels(2)
+	cl2 := newCluster(t, 2, nil)
+	cl2.load(t, rels)
+	cl3 := newCluster(t, 3, nil)
+	cl3.load(t, rels)
+
+	const norm = "select a, b from r"
+	if cl2.coord.PlanKey(norm) == cl3.coord.PlanKey(norm) {
+		t.Fatal("PlanKey identical across different topologies")
+	}
+
+	q := "SELECT a, b FROM r"
+	res, err := cl2.csrv.QueryContext(context.Background(), "", "", q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("first distributed execution reported a cache hit")
+	}
+	res, err = cl2.csrv.QueryContext(context.Background(), "", "", q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("second distributed execution missed the cache")
+	}
+
+	// A shard-map change (new table distributed) must invalidate.
+	before := cl2.coord.PlanKey(norm)
+	extra := testRels(3)["u"]
+	if err := cl2.coord.DistributeTable(context.Background(), "extra", extra); err != nil {
+		t.Fatal(err)
+	}
+	if cl2.coord.PlanKey(norm) == before {
+		t.Fatal("PlanKey unchanged after a shard-map change")
+	}
+	res, err = cl2.csrv.QueryContext(context.Background(), "", "", q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("distributed plan cache served a stale entry across a shard-map change")
+	}
+}
+
+// TestDistributedDDL proves ANALYZE and DROP broadcast through the
+// coordinator with the single-node acknowledgement formats, and that a
+// dropped table stops being distributable.
+func TestDistributedDDL(t *testing.T) {
+	rels := testRels(0)
+	cl := newCluster(t, 2, nil)
+	cl.load(t, rels)
+
+	res, err := cl.csrv.QueryContext(context.Background(), "", "", "ANALYZE r", nil)
+	if err != nil {
+		t.Fatalf("ANALYZE: %v", err)
+	}
+	want := fmt.Sprintf("ANALYZE r: %d rows, 2 columns", rels["r"].Len())
+	if res.Plan != want {
+		t.Fatalf("ANALYZE ack = %q, want %q", res.Plan, want)
+	}
+
+	res, err = cl.csrv.QueryContext(context.Background(), "", "", "DROP TABLE u", nil)
+	if err != nil {
+		t.Fatalf("DROP: %v", err)
+	}
+	if res.Plan != "DROP TABLE u" {
+		t.Fatalf("DROP ack = %q", res.Plan)
+	}
+	for i, w := range cl.wsrvs {
+		if _, ok := w.Catalog().Snapshot().Lookup("u"); ok {
+			t.Fatalf("worker %d still holds a shard of the dropped table", i)
+		}
+	}
+	if _, err := cl.csrv.QueryContext(context.Background(), "", "", "SELECT a FROM u", nil); err == nil {
+		t.Fatal("query over a dropped table succeeded")
+	}
+}
+
+// faultArm arms a fault site for the test and resets the layer on exit.
+func faultArm(t *testing.T, site string, after int, repeat bool) {
+	t.Helper()
+	faultinject.Arm(site, faultinject.Fault{Kind: faultinject.KindError, After: after, Repeat: repeat})
+	t.Cleanup(faultinject.Reset)
+}
+
+// waitFor polls cond until timeout.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWorkerUnreachable is the degradation satellite: with one worker
+// gone before dispatch, a query fails fast with the structured
+// "unavailable" error naming the dead worker, the retry and unreachable
+// counters advance, and the coordinator keeps serving.
+func TestWorkerUnreachable(t *testing.T) {
+	rels := testRels(0)
+	cl := newCluster(t, 2, nil)
+	cl.load(t, rels)
+	cl.coord.client.retries = 0 // keep the failure fast; retry accounting is covered below
+
+	cl.workers[1].Close()
+	_, err := cl.csrv.QueryContext(context.Background(), "", "", "SELECT a, b FROM r", nil)
+	var se *sqlish.Error
+	if !errors.As(err, &se) || se.Code != sqlish.ErrUnavailable {
+		t.Fatalf("got %v, want structured %q error", err, sqlish.ErrUnavailable)
+	}
+	if !strings.Contains(se.Msg, "w1") {
+		t.Fatalf("unavailable error does not name the dead worker: %q", se.Msg)
+	}
+	if cl.coord.client.unreachable.Load() == 0 {
+		t.Fatal("talignd_worker_unreachable_total did not advance")
+	}
+	waitFor(t, 5*time.Second, "coordinator gate to drain", func() bool {
+		return cl.csrv.GateStats().InUse == 0
+	})
+}
+
+// TestDispatchRetry proves a transient dispatch failure is retried with
+// backoff and succeeds, advancing talignd_fragment_retries_total without
+// touching the unreachable counter.
+func TestDispatchRetry(t *testing.T) {
+	rels := testRels(0)
+	cl := newCluster(t, 2, nil)
+	cl.load(t, rels)
+
+	faultArm(t, "distsql.dispatch", 1, false)
+	res, err := cl.csrv.QueryContext(context.Background(), "", "", "SELECT a, b FROM r", nil)
+	if err != nil {
+		t.Fatalf("query with one transient dispatch fault: %v", err)
+	}
+	if res.Rel == nil {
+		t.Fatal("no rows returned")
+	}
+	if cl.coord.client.retried.Load() == 0 {
+		t.Fatal("talignd_fragment_retries_total did not advance")
+	}
+	if got := cl.coord.client.unreachable.Load(); got != 0 {
+		t.Fatalf("unreachable = %d after a recovered retry, want 0", got)
+	}
+}
+
+// TestChaosWorkerKilledMidStream is the chaos satellite (run with
+// -race): a worker killed while its shard stream is in flight must
+// surface as a structured "unavailable" error naming the worker, leak no
+// goroutines, and leave the coordinator's admission gate drained.
+func TestChaosWorkerKilledMidStream(t *testing.T) {
+	attrs := []schema.Attr{{Name: "a", Type: value.KindInt}, {Name: "b", Type: value.KindInt}}
+	cfg := randrel.DefaultConfig(attrs...)
+	cfg.MaxTuples = 4000
+	rng := rand.New(rand.NewSource(7))
+	rels := map[string]*relation.Relation{"r": randrel.Generate(rng, cfg)}
+
+	cl := newCluster(t, 2, nil)
+	cl.load(t, rels)
+	cl.coord.client.retries = 0
+
+	// Warm the connection pool, then baseline: the cluster's own listener
+	// and keep-alive goroutines must not count as query leaks.
+	if _, err := cl.csrv.QueryContext(context.Background(), "", "", "SELECT a FROM r WHERE a = 0", nil); err != nil {
+		t.Fatalf("warm-up query: %v", err)
+	}
+	baseline := runtime.NumGoroutine()
+
+	// A worker panic mid-stream aborts its chunked response without a
+	// terminal frame — byte-for-byte what a kill -9 mid-query looks like
+	// to the coordinator. After=3 lets row frames flush first.
+	faultinject.Arm("server.stream.rows", faultinject.Fault{Kind: faultinject.KindPanic, After: 3})
+	t.Cleanup(faultinject.Reset)
+
+	rs, err := cl.csrv.StreamBatch(context.Background(), "", "", "SELECT a, b, Ts, Te FROM r", nil, 8)
+	if err != nil {
+		t.Fatalf("StreamBatch: %v", err)
+	}
+	if _, err := rs.Next(); err != nil {
+		t.Fatalf("first batch: %v", err)
+	}
+	for {
+		b, nerr := rs.Next()
+		if nerr != nil {
+			var se *sqlish.Error
+			if !errors.As(nerr, &se) || se.Code != sqlish.ErrUnavailable {
+				t.Fatalf("mid-stream kill: got %v, want structured %q error", nerr, sqlish.ErrUnavailable)
+			}
+			if !strings.Contains(se.Msg, "worker w") {
+				t.Fatalf("mid-stream kill error does not name a worker: %q", se.Msg)
+			}
+			break
+		}
+		if len(b) == 0 {
+			t.Fatal("stream completed cleanly despite a worker dying mid-query")
+		}
+	}
+	rs.Close()
+
+	waitFor(t, 5*time.Second, "coordinator gate to drain", func() bool {
+		return cl.csrv.GateStats().InUse == 0
+	})
+	waitFor(t, 5*time.Second, "goroutines to return to baseline", func() bool {
+		return runtime.NumGoroutine() <= baseline+4
+	})
+}
+
+// TestWorkerFaultInjection arms the worker-side fragment site: the
+// injected error must cross the wire as a structured error, not a
+// transport failure.
+func TestWorkerFaultInjection(t *testing.T) {
+	rels := testRels(0)
+	cl := newCluster(t, 2, nil)
+	cl.load(t, rels)
+	cl.coord.client.retries = 0
+
+	faultArm(t, "distsql.fragment", 0, true)
+	_, err := cl.csrv.QueryContext(context.Background(), "", "", "SELECT a, b FROM r", nil)
+	if err == nil {
+		t.Fatal("query succeeded with the fragment endpoint faulted")
+	}
+	waitFor(t, 5*time.Second, "coordinator gate to drain", func() bool {
+		return cl.csrv.GateStats().InUse == 0
+	})
+}
+
+// TestRepartitionCleanup proves repartition temps are unstaged from every
+// worker after the query answers.
+func TestRepartitionCleanup(t *testing.T) {
+	rels := testRels(0)
+	cl := newCluster(t, 2, nil)
+	cl.load(t, rels)
+
+	q := "SELECT r.a, s.b FROM r JOIN s ON r.b = s.b"
+	if _, err := cl.csrv.QueryContext(context.Background(), "", "", q, nil); err != nil {
+		t.Fatalf("repartition query: %v", err)
+	}
+	if cl.coord.repartitions.Load() == 0 {
+		t.Fatal("query did not take the repartition path")
+	}
+	waitFor(t, 5*time.Second, "repartition temps to unstage", func() bool {
+		for _, w := range cl.wsrvs {
+			snap := w.Catalog().Snapshot()
+			for _, name := range snap.Names() {
+				if strings.HasPrefix(name, "__rp") {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

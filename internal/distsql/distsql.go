@@ -1,0 +1,138 @@
+// Package distsql turns talignd into a sharded cluster: a coordinator
+// hash-partitions tables by alignment key across N worker talignd
+// nodes, rewrites each statement into per-shard SQL fragments, executes
+// them over the wire-level fragment protocol (POST /fragment, the same
+// NDJSON frames as /query/stream), and merges the worker streams back
+// into the ordinary client protocol — clients cannot tell a coordinator
+// from a single node.
+//
+// The planner picks the cheapest correct strategy per statement:
+//
+//   - scatter: the FROM tree is colocated under the current partitioning
+//     (every join/ALIGN/NORMALIZE boundary is bridged by an
+//     equi-condition on the partition columns), so workers run the
+//     statement verbatim and the coordinator concatenates the streams.
+//   - scatter+final: scatter, then a coordinator-local final stage over
+//     the gathered rows for ORDER BY/LIMIT or a global DISTINCT/ABSORB
+//     pass when dedup groups are not pinned to one shard.
+//   - partial aggregate: workers compute per-shard COUNT/SUM/MIN/MAX
+//     partials, the coordinator re-aggregates (COUNT→SUM and friends)
+//     and reapplies HAVING/ORDER BY/LIMIT.
+//   - repartition: a table whose required alignment key differs from its
+//     current partition column is gathered, re-hashed on the required
+//     key and staged back to the workers under a temporary name
+//     (coordinator-mediated shuffle), then the query scatters.
+//   - gather-all: the universal fallback (WITH, set operations,
+//     subqueries, AVG, non-colocatable joins) — shards are gathered and
+//     the original statement runs on the coordinator.
+//
+// Correctness leans on the paper's key property: temporal alignment
+// group construction only ever combines tuples that agree on the
+// alignment key, so hash partitioning by that key makes shard-local
+// ALIGN/NORMALIZE exact. Every strategy is validated against the
+// single-node engine by the differential tests in this package.
+package distsql
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Worker is one worker node in the static cluster topology.
+type Worker struct {
+	// Name identifies the worker in errors and metrics (w0, w1, ...).
+	Name string `json:"name"`
+	// URL is the worker's base HTTP URL.
+	URL string `json:"url"`
+}
+
+// Topology is the static worker set a coordinator fans out to.
+type Topology struct {
+	// Workers lists the worker nodes; shard i of every table lives on
+	// Workers[i].
+	Workers []Worker
+}
+
+// Version fingerprints the worker set; it participates in the
+// distributed-plan cache key so cached plans die with topology changes
+// (the distributed mirror of the catalog's statsVersion pattern).
+func (t Topology) Version() string {
+	h := fnv.New64a()
+	for _, w := range t.Workers {
+		h.Write([]byte(w.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(w.URL))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%d-%x", len(t.Workers), h.Sum64())
+}
+
+// ParseWorkers builds a topology from the -worker flag's comma-separated
+// host:port list; workers are named w0, w1, ... in list order.
+func ParseWorkers(list string) (Topology, error) {
+	var t Topology
+	for i, hp := range strings.Split(list, ",") {
+		hp = strings.TrimSpace(hp)
+		if hp == "" {
+			continue
+		}
+		url := hp
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		t.Workers = append(t.Workers, Worker{Name: fmt.Sprintf("w%d", i), URL: strings.TrimRight(url, "/")})
+	}
+	if len(t.Workers) == 0 {
+		return t, fmt.Errorf("distsql: no workers in %q", list)
+	}
+	return t, nil
+}
+
+// Manifest is the cluster manifest file: the worker set plus optional
+// per-table partition-column overrides (tables default to their first
+// column).
+type Manifest struct {
+	Workers   []Worker          `json:"workers"`
+	Partition map[string]string `json:"partition,omitempty"`
+}
+
+// LoadManifest reads a JSON cluster manifest.
+func LoadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("distsql: manifest: %v", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("distsql: manifest %s: %v", path, err)
+	}
+	if len(m.Workers) == 0 {
+		return nil, fmt.Errorf("distsql: manifest %s: no workers", path)
+	}
+	for i := range m.Workers {
+		if m.Workers[i].Name == "" {
+			m.Workers[i].Name = fmt.Sprintf("w%d", i)
+		}
+		m.Workers[i].URL = strings.TrimRight(m.Workers[i].URL, "/")
+	}
+	part := map[string]string{}
+	for t, c := range m.Partition {
+		part[strings.ToLower(t)] = strings.ToLower(c)
+	}
+	m.Partition = part
+	return &m, nil
+}
+
+// sortedKeys returns a map's keys in deterministic order.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,27 @@
+package distsql
+
+import "talign/internal/server"
+
+// DistMetrics implements server.Distributor's metrics hook: the
+// coordinator's counters render into the server's /metrics endpoint
+// alongside the single-node ones.
+func (c *Coordinator) DistMetrics() []server.DistMetric {
+	return []server.DistMetric{
+		{Name: "talignd_dist_workers", Help: "Workers in the static cluster topology.", Gauge: true, Value: uint64(len(c.topo.Workers))},
+		{Name: "talignd_dist_queries_total", Help: "Statements executed through the distributed planner.", Value: c.queries.Load()},
+		{Name: "talignd_dist_plan_cache_hits_total", Help: "Distributed plan-cache hits.", Value: c.hits.Load()},
+		{Name: "talignd_dist_plan_cache_misses_total", Help: "Distributed plan-cache misses.", Value: c.misses.Load()},
+		{Name: "talignd_fragments_total", Help: "Fragment operations dispatched to workers.", Value: c.client.fragments.Load()},
+		{Name: "talignd_fragment_retries_total", Help: "Fragment dispatches retried after transport failures or 503s.", Value: c.client.retried.Load()},
+		{Name: "talignd_worker_unreachable_total", Help: "Fragment dispatches abandoned after retry exhaustion.", Value: c.client.unreachable.Load()},
+		{Name: "talignd_dist_rows_in_total", Help: "Rows decoded off worker result streams.", Value: c.client.rowsIn.Load()},
+		{Name: "talignd_dist_rows_out_total", Help: "Rows staged out to workers (table loads and repartitioning).", Value: c.client.rowsOut.Load()},
+		{Name: "talignd_dist_bytes_in_total", Help: "Response-body bytes read off worker streams.", Value: c.client.bytesIn.Load()},
+		{Name: "talignd_dist_bytes_out_total", Help: "Request-body bytes shipped to workers.", Value: c.client.bytesOut.Load()},
+		{Name: "talignd_dist_scatter_total", Help: "Queries executed by colocated scatter.", Value: c.scatters.Load()},
+		{Name: "talignd_dist_scatter_final_total", Help: "Queries executed by scatter plus a coordinator final stage.", Value: c.scatterFinals.Load()},
+		{Name: "talignd_dist_partial_agg_total", Help: "Queries executed by the partial/final aggregate split.", Value: c.partialAggs.Load()},
+		{Name: "talignd_dist_repartition_total", Help: "Executions that staged a coordinator-mediated repartition.", Value: c.repartitions.Load()},
+		{Name: "talignd_dist_gather_all_total", Help: "Queries executed by the gather-all fallback.", Value: c.gatherAlls.Load()},
+	}
+}

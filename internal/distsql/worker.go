@@ -1,0 +1,103 @@
+package distsql
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"talign/internal/faultinject"
+	"talign/internal/relation"
+	"talign/internal/server"
+	"talign/internal/sqlish"
+	"talign/internal/value"
+	"talign/internal/wire"
+)
+
+// Handler wraps a worker's server with the fragment endpoint: the full
+// single-node HTTP surface stays mounted (health probes, /metrics,
+// direct debugging queries), and POST /fragment adds the
+// coordinator-facing operations — exec (a streamed shard-local query,
+// answered in the exact NDJSON frames of /query/stream), stage/unstage
+// (shard registration for CREATE and the repartitioning shuffle) and
+// analyze (statistics broadcast).
+func Handler(srv *server.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("POST /fragment", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.FragmentRequest
+		dec := json.NewDecoder(r.Body)
+		dec.UseNumber()
+		if err := dec.Decode(&req); err != nil {
+			server.HTTPError(w, fmt.Errorf("distsql: bad fragment body: %v", err))
+			return
+		}
+		if err := faultinject.Hit("distsql.fragment"); err != nil {
+			server.HTTPError(w, err)
+			return
+		}
+		switch req.Op {
+		case wire.FragmentExec:
+			params := make([]value.Value, len(req.Params))
+			for i, p := range req.Params {
+				v, err := wire.Value(p)
+				if err != nil {
+					server.HTTPError(w, fmt.Errorf("distsql: fragment param $%d: %v", i+1, err))
+					return
+				}
+				params[i] = v
+			}
+			rs, err := srv.StreamBatch(r.Context(), "", "", req.SQL, params, req.Batch)
+			if err != nil {
+				server.HTTPError(w, err)
+				return
+			}
+			defer rs.Close()
+			server.WriteFrameStream(w, rs)
+		case wire.FragmentStage:
+			sch, err := schemaOf(req.Columns, req.Types)
+			if err != nil {
+				server.HTTPError(w, fmt.Errorf("distsql: stage %s: %v", req.Name, err))
+				return
+			}
+			tuples, err := decodeRows(req.Rows, req.Types)
+			if err != nil {
+				server.HTTPError(w, fmt.Errorf("distsql: stage %s: %v", req.Name, err))
+				return
+			}
+			// Built directly rather than via Append: a staged shard may carry
+			// all-ω columns typed KindNull by the coordinator's local plan,
+			// and Append's kind check would reject the non-null originals.
+			srv.Catalog().Register(req.Name, &relation.Relation{Schema: sch, Tuples: tuples})
+			writeAck(w, wire.FragmentAck{OK: true, Rows: int64(len(tuples))})
+		case wire.FragmentUnstage:
+			// Idempotent: unstaging an absent table is a success, so the
+			// coordinator's best-effort cleanup can retry blindly.
+			srv.Catalog().Drop(req.Name)
+			writeAck(w, wire.FragmentAck{OK: true})
+		case wire.FragmentAnalyze:
+			if req.Name == "" {
+				n := srv.AnalyzeAll()
+				writeAck(w, wire.FragmentAck{OK: true, Rows: int64(n)})
+				return
+			}
+			t, err := srv.Analyze(req.Name)
+			if err != nil {
+				server.HTTPError(w, err)
+				return
+			}
+			writeAck(w, wire.FragmentAck{OK: true, Rows: int64(t.Rows)})
+		default:
+			server.HTTPError(w, &sqlish.Error{
+				Code: sqlish.ErrRequest,
+				Msg:  fmt.Sprintf("distsql: unknown fragment op %q", req.Op),
+				Pos:  -1,
+			})
+		}
+	})
+	return mux
+}
+
+func writeAck(w http.ResponseWriter, ack wire.FragmentAck) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(ack)
+}

@@ -102,7 +102,8 @@ func TestExportedDocs(t *testing.T) {
 		"internal/sqlish", "internal/plan", "internal/exec",
 		"internal/server", "internal/expr", "internal/stats",
 		"internal/opt", "internal/wire", "internal/colbatch",
-		"internal/storage", ".", "sqldriver",
+		"internal/storage", "internal/distsql", "internal/backoff",
+		".", "sqldriver",
 	} {
 		dir := filepath.Join(root, pkg)
 		fset, files := parseDir(t, dir)

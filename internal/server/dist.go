@@ -1,0 +1,123 @@
+package server
+
+import (
+	"context"
+	"net/http"
+
+	"talign/internal/schema"
+	"talign/internal/sqlish"
+	"talign/internal/tuple"
+	"talign/internal/value"
+)
+
+// BatchSource is the pull contract a RowStream drains: batches of tuples
+// until an empty batch, then Close. A sqlish.Cursor is the local
+// implementation; the distsql coordinator's merged worker stream is the
+// distributed one.
+type BatchSource interface {
+	// Next returns the next batch; an empty batch signals exhaustion and
+	// errors are terminal.
+	Next() ([]tuple.Tuple, error)
+	// Close tears the source down; it must be idempotent.
+	Close() error
+}
+
+// DistResult is a distributor's answer for one handled statement:
+// either a plan rendering (EXPLAIN-style shapes, catalog mutations) or a
+// row source with its schema.
+type DistResult struct {
+	// Cols and Types are the wire schema (visible attributes then the
+	// valid-time bounds), parallel to SchemaColumns.
+	Cols  []string
+	Types []string
+	// Schema is the visible-attribute schema (for buffered results).
+	Schema schema.Schema
+	// Plan is the plan/acknowledgement text when the statement produces
+	// no rows; Src must be nil then.
+	Plan string
+	// CacheHit reports whether the distributed plan came from the
+	// distributor's plan cache.
+	CacheHit bool
+	// Src streams the merged result batches (nil for Plan results).
+	Src BatchSource
+}
+
+// DistMetric is one distributor counter or gauge surfaced through the
+// server's /metrics endpoint.
+type DistMetric struct {
+	// Name is the full metric name (talignd_... by convention).
+	Name string
+	// Help is the HELP line text.
+	Help string
+	// Gauge selects the gauge type; counters are the default.
+	Gauge bool
+	// Value is the current reading.
+	Value uint64
+}
+
+// Distributor is the seam the distsql coordinator plugs into: when set
+// (SetDistributor), every statement is offered to it after parsing and
+// before local planning. A distributor that declines (handled=false)
+// leaves the statement to the local pipeline — that is how statements
+// touching no sharded table keep working unchanged on a coordinator.
+type Distributor interface {
+	// DistStream plans and launches one statement. The statement arrives
+	// parsed, with its normalized text (the distributed-plan cache key)
+	// and bound parameters. The returned source must honor ctx.
+	DistStream(ctx context.Context, st *sqlish.Statement, norm string, params []value.Value, batch int) (*DistResult, bool, error)
+	// DistExplain renders the distributed plan for EXPLAIN (the GET
+	// /explain path, which never executes).
+	DistExplain(st *sqlish.Statement, norm string) (string, bool, error)
+	// DistMetrics lists the distributor's counters for /metrics.
+	DistMetrics() []DistMetric
+}
+
+// HTTPError renders err as the server's structured JSON error body with
+// the HTTP status its code implies (exported for the distsql worker
+// handler, so fragment errors look exactly like query errors).
+func HTTPError(w http.ResponseWriter, err error) { httpError(w, err) }
+
+// ErrorCode classifies err into a wire error code (exported alongside
+// HTTPError for the distsql frame writers).
+func ErrorCode(err error) string { return errorCode(err) }
+
+// SetDistributor installs the distributed-execution seam (nil uninstalls
+// it). Install before serving traffic; the seam itself is read without
+// synchronization on the hot path.
+func (s *Server) SetDistributor(d Distributor) { s.dist = d }
+
+// Distributor returns the installed seam (nil when single-node).
+func (s *Server) Distributor() Distributor { return s.dist }
+
+// distStream offers one parsed statement to the distributor. It claims
+// one admission-gate unit for the whole distributed execution — the
+// coordinator's own fan-out work — before planning, releasing it on
+// error, on plan-only results, or at stream Close.
+func (s *Server) distStream(ctx context.Context, st *sqlish.Statement, norm string, params []value.Value, batch int) (*RowStream, bool, error) {
+	claimed, gerr := s.gate.AcquireCtx(ctx, 1)
+	if gerr != nil {
+		return nil, true, gerr
+	}
+	res, handled, err := s.dist.DistStream(ctx, st, norm, params, batch)
+	if !handled {
+		s.gate.Release(claimed)
+		return nil, false, nil
+	}
+	if err != nil {
+		s.gate.Release(claimed)
+		return nil, true, err
+	}
+	if res.Src == nil {
+		s.gate.Release(claimed)
+		return &RowStream{s: s, plan: res.Plan, cacheHit: res.CacheHit}, true, nil
+	}
+	return &RowStream{
+		cols:     res.Cols,
+		types:    res.Types,
+		sch:      res.Schema,
+		cacheHit: res.CacheHit,
+		s:        s,
+		src:      res.Src,
+		release:  func() { s.gate.Release(claimed) },
+	}, true, nil
+}

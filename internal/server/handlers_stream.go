@@ -29,7 +29,16 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 	}
 	defer rs.Close()
 	s.streams.Add(1)
+	WriteFrameStream(w, rs)
+}
 
+// WriteFrameStream writes a RowStream as chunked NDJSON frames — schema,
+// one rows frame per batch, a terminal status or error frame — flushing
+// after every frame. It is the one encoder of the row-stream wire shape,
+// shared by the client-facing /query/stream endpoint and the worker-side
+// /fragment executor, so coordinator-to-worker hops speak byte-identical
+// protocol to client-to-server hops. The caller Closes rs.
+func WriteFrameStream(w http.ResponseWriter, rs *RowStream) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // streaming through proxies
 	enc := json.NewEncoder(w)

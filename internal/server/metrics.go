@@ -61,6 +61,16 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("talignd_sessions", "Live sessions.", s.sess.count())
 	gauge("talignd_catalog_tables", "Registered tables.", snap.Len())
 
+	if s.dist != nil {
+		for _, m := range s.dist.DistMetrics() {
+			if m.Gauge {
+				gauge(m.Name, m.Help, int(m.Value))
+			} else {
+				counter(m.Name, m.Help, m.Value)
+			}
+		}
+	}
+
 	draining := 0
 	if s.Draining() {
 		draining = 1

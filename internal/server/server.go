@@ -74,6 +74,7 @@ type Server struct {
 	timeout  time.Duration
 	maxRows  int64
 	maxBytes int64
+	dist     Distributor
 	draining atomic.Bool
 
 	queries        atomic.Uint64
@@ -240,7 +241,7 @@ func (s *Server) QueryBatch(ctx context.Context, sessionID, stmtName, sql string
 	if rs.Plan() != "" {
 		return Result{Plan: rs.Plan(), CacheHit: rs.CacheHit()}, nil
 	}
-	rel := relation.New(rs.cur.Schema())
+	rel := relation.New(rs.sch)
 	for {
 		b, nerr := rs.Next()
 		if nerr != nil {
@@ -271,6 +272,15 @@ func (s *Server) Explain(sessionID, stmtName, sql string) (string, error) {
 		_, norm, err = sqlish.ParseNormalized(sql)
 		if err != nil {
 			return "", err
+		}
+	}
+	if s.dist != nil {
+		st, perr := sqlish.Parse(norm)
+		if perr != nil {
+			return "", perr
+		}
+		if text, handled, derr := s.dist.DistExplain(st, norm); handled {
+			return text, derr
 		}
 	}
 	prep, _, err := s.plan(norm)

@@ -8,6 +8,7 @@ import (
 
 	"talign/internal/exec"
 	"talign/internal/faultinject"
+	"talign/internal/schema"
 	"talign/internal/sqlish"
 	"talign/internal/tuple"
 	"talign/internal/value"
@@ -32,7 +33,8 @@ type RowStream struct {
 	cacheHit bool
 
 	s       *Server
-	cur     *sqlish.Cursor
+	src     BatchSource
+	sch     schema.Schema
 	release func()
 	cancel  func()
 	counted bool
@@ -68,10 +70,10 @@ func (rs *RowStream) Next() (batch []tuple.Tuple, err error) {
 			rs.fail(rerr)
 		}
 	}()
-	if rs.cur == nil || rs.done {
+	if rs.src == nil || rs.done {
 		return nil, nil
 	}
-	b, err := rs.cur.Next()
+	b, err := rs.src.Next()
 	if err != nil {
 		rs.fail(err)
 		return nil, err
@@ -103,8 +105,8 @@ func (rs *RowStream) Close() error {
 	}
 	rs.done = true
 	var err error
-	if rs.cur != nil {
-		err = rs.cur.Close()
+	if rs.src != nil {
+		err = rs.src.Close()
 	}
 	if rs.release != nil {
 		rs.release()
@@ -173,7 +175,7 @@ func (s *Server) StreamBatch(ctx context.Context, sessionID, stmtName, sql strin
 		s.countFailure(err)
 		return nil, err
 	}
-	if rs.cur != nil {
+	if rs.src != nil {
 		// Row-producing streams own the deadline context until Close; the
 		// plan-frame shapes (EXPLAIN, ANALYZE) are already done.
 		rs.cancel = cancel
@@ -206,6 +208,18 @@ func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, pa
 			return nil, lerr
 		}
 		norm = info.norm
+		if s.dist != nil {
+			// Distributed execution re-derives the statement shape from the
+			// normalized text (parse-checked at Prepare time, so this cannot
+			// fail for user reasons).
+			st, perr := sqlish.Parse(norm)
+			if perr != nil {
+				return nil, perr
+			}
+			if rs, handled, derr := s.distStream(ctx, st, norm, params, batch); handled {
+				return rs, derr
+			}
+		}
 	case strings.TrimSpace(sql) != "":
 		// One lex of the ORIGINAL text yields both the parse check (so
 		// syntax errors point at the client's statement, not at the
@@ -213,6 +227,15 @@ func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, pa
 		st, norm0, perr := sqlish.ParseNormalized(sql)
 		if perr != nil {
 			return nil, perr
+		}
+		// The distributed seam sees every statement first — ANALYZE, CREATE
+		// and DROP included, since on a coordinator they must broadcast or
+		// partition rather than act locally. A declined statement (one that
+		// touches no sharded table) falls through to the local pipeline.
+		if s.dist != nil {
+			if rs, handled, derr := s.distStream(ctx, st, norm0, params, batch); handled {
+				return rs, derr
+			}
 		}
 		// ANALYZE mutates catalog statistics instead of planning a query;
 		// it bypasses the plan cache entirely but still pays one unit of
@@ -305,7 +328,8 @@ func (s *Server) stream(ctx context.Context, sessionID, stmtName, sql string, pa
 		types:    types,
 		cacheHit: hit,
 		s:        s,
-		cur:      cur,
+		src:      cur,
+		sch:      cur.Schema(),
 		release:  func() { s.gate.Release(claimed) },
 	}, nil
 }

@@ -1,0 +1,176 @@
+package sqlish
+
+import (
+	"strings"
+	"testing"
+
+	"talign/internal/plan"
+	"talign/internal/relation"
+)
+
+// distCat is the two-table catalog the dist analysis tests resolve
+// unqualified references against.
+func distCat(t *testing.T) MapCatalog {
+	t.Helper()
+	cat := MapCatalog{}
+	for _, name := range []string{"r", "s"} {
+		b := relation.NewBuilder("a int", "b int")
+		b.Row(0, 10, int64(1), int64(2))
+		cat.Register(name, b.MustBuild())
+	}
+	return cat
+}
+
+func distInfo(t *testing.T, sql string) *DistInfo {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st.DistInfo(distCat(t))
+}
+
+func TestDistInfoClassification(t *testing.T) {
+	info := distInfo(t, "SELECT a, b FROM r WHERE a = 1")
+	if info.Kind != DistSelect || len(info.Tables) != 1 || info.Tables[0] != "r" {
+		t.Fatalf("simple select: kind %v tables %v", info.Kind, info.Tables)
+	}
+	if info.Shape == nil || !info.Shape.Colocatable || len(info.Shape.Require) != 0 {
+		t.Fatalf("single-table scan should be unconstrained-colocatable: %+v", info.Shape)
+	}
+	if info.OrderLimit {
+		t.Fatal("OrderLimit set without ORDER BY/LIMIT")
+	}
+
+	info = distInfo(t, "SELECT a FROM r ORDER BY a LIMIT 1")
+	if !info.OrderLimit {
+		t.Fatal("OrderLimit not set for ORDER BY + LIMIT")
+	}
+
+	info = distInfo(t, "SELECT r.a FROM r JOIN s ON r.a = s.b")
+	if info.Shape == nil || !info.Shape.Colocatable {
+		t.Fatalf("equi-join should be colocatable: %+v", info.Shape)
+	}
+	if info.Shape.Require["r"] != "a" || info.Shape.Require["s"] != "b" {
+		t.Fatalf("join key assignment = %v, want r:a s:b", info.Shape.Require)
+	}
+
+	info = distInfo(t, "SELECT r.a FROM r JOIN s ON r.a > s.a")
+	if info.Shape != nil && info.Shape.Colocatable {
+		t.Fatal("non-equi join must not be colocatable")
+	}
+
+	info = distInfo(t, "WITH w AS (SELECT a FROM r) SELECT a FROM w")
+	if info.Shape != nil {
+		t.Fatalf("WITH statement should have no scatter shape, got %+v", info.Shape)
+	}
+	if len(info.Tables) != 1 || info.Tables[0] != "r" {
+		t.Fatalf("WITH base tables = %v, want [r]", info.Tables)
+	}
+
+	info = distInfo(t, "ANALYZE r")
+	if info.Kind != DistAnalyze || info.Target != "r" {
+		t.Fatalf("ANALYZE: kind %v target %q", info.Kind, info.Target)
+	}
+	info = distInfo(t, "DROP TABLE s")
+	if info.Kind != DistDrop || info.Target != "s" {
+		t.Fatalf("DROP: kind %v target %q", info.Kind, info.Target)
+	}
+}
+
+func TestDistInfoAggShape(t *testing.T) {
+	info := distInfo(t, "SELECT b, COUNT(*) c, SUM(a) sa FROM r GROUP BY b")
+	sh := info.Shape
+	if sh == nil || !sh.HasAgg || !sh.HasGroupBy || !sh.PlainGroup || !sh.CanAggSplit {
+		t.Fatalf("grouped count/sum should admit the agg split: %+v", sh)
+	}
+	if len(sh.GroupRefs) != 1 || sh.GroupRefs[0] != (TableCol{Table: "r", Col: "b"}) {
+		t.Fatalf("GroupRefs = %v, want [r.b]", sh.GroupRefs)
+	}
+
+	info = distInfo(t, "SELECT b, AVG(a) av FROM r GROUP BY b")
+	if info.Shape != nil && info.Shape.CanAggSplit {
+		t.Fatal("AVG must not admit the partial/final split")
+	}
+	info = distInfo(t, "SELECT COUNT(*) c FROM r")
+	if info.Shape != nil && info.Shape.CanAggSplit {
+		t.Fatal("a global aggregate must not admit the partial/final split")
+	}
+}
+
+// TestRenderDistBodyParams proves fragment SQL renumbers $N gap-free and
+// reports the original indices, and that substituted tables keep their
+// binding name.
+func TestRenderDistBodyParams(t *testing.T) {
+	st, err := Parse("SELECT a, b FROM r WHERE a >= $2 AND b <= $1 ORDER BY a LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, params, err := st.RenderDistBody(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(body, "ORDER") || strings.Contains(body, "LIMIT") {
+		t.Fatalf("body kept ORDER BY/LIMIT: %s", body)
+	}
+	if !strings.Contains(body, "$1") || !strings.Contains(body, "$2") || strings.Contains(body, "$3") {
+		t.Fatalf("body params not renumbered gap-free: %s", body)
+	}
+	if len(params) != 2 || params[0] != 2 || params[1] != 1 {
+		t.Fatalf("param mapping = %v, want [2 1]", params)
+	}
+
+	body, _, err = st.RenderDistBody(map[string]string{"r": "__rp1_r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body, "__rp1_r AS r") {
+		t.Fatalf("substituted body does not alias the staged table: %s", body)
+	}
+
+	final, fparams, err := st.RenderDistFinal("__g", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(final, "FROM __g") || !strings.Contains(final, "ORDER BY") || !strings.Contains(final, "LIMIT 3") {
+		t.Fatalf("final stage missing FROM/ORDER/LIMIT: %s", final)
+	}
+	if len(fparams) != 0 {
+		t.Fatalf("final stage params = %v, want none", fparams)
+	}
+}
+
+// TestRenderDistAggSplit proves the worker/final pair prepares and
+// reproduces the original statement's output columns.
+func TestRenderDistAggSplit(t *testing.T) {
+	cat := distCat(t)
+	st, err := Parse("SELECT b, COUNT(*) c, SUM(a) sa, MIN(a) mn, MAX(a) mx FROM r WHERE a >= $1 GROUP BY b HAVING b >= 0 ORDER BY b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := st.RenderDistAgg(nil, "__g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flags := plan.DefaultFlags()
+	wprep, err := Prepare(agg.Worker, cat, flags)
+	if err != nil {
+		t.Fatalf("worker fragment does not prepare: %v\n%s", err, agg.Worker)
+	}
+	tmp := MapCatalog{}
+	tmp.Register("__g", relation.New(wprep.Schema()))
+	fprep, err := Prepare(agg.Final, tmp, flags)
+	if err != nil {
+		t.Fatalf("final fragment does not prepare: %v\n%s", err, agg.Final)
+	}
+	want, err := st.Prepare(cat, flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, exp := fprep.Schema().String(), want.Schema().String(); got != exp {
+		t.Fatalf("final schema %s, want %s", got, exp)
+	}
+	if len(agg.WorkerParams) != 1 || agg.WorkerParams[0] != 1 {
+		t.Fatalf("worker params = %v, want [1]", agg.WorkerParams)
+	}
+}

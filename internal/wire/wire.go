@@ -66,6 +66,44 @@ type Frame struct {
 	Error *Error `json:"error,omitempty"`
 }
 
+// Fragment operations (the "op" field of a POST /fragment body). The
+// fragment endpoint is the worker half of distributed execution: the
+// coordinator stages shard data, executes SQL fragments (answered with
+// the same NDJSON frame stream as /query/stream), and tears staged
+// relations down when a distributed query finishes.
+const (
+	// FragmentExec runs a SQL fragment and streams frames back.
+	FragmentExec = "exec"
+	// FragmentStage registers (or replaces) a relation on the worker.
+	FragmentStage = "stage"
+	// FragmentUnstage drops a staged relation (idempotent).
+	FragmentUnstage = "unstage"
+	// FragmentAnalyze refreshes statistics for one staged relation, or
+	// for every relation when Name is empty.
+	FragmentAnalyze = "analyze"
+)
+
+// FragmentRequest is the POST /fragment body. Exec carries SQL with
+// bound params; stage carries a relation — Columns/Types describe the
+// visible attributes and each row appends the valid-time bounds ts, te
+// (the same row shape FrameRows uses).
+type FragmentRequest struct {
+	Op      string   `json:"op"`
+	SQL     string   `json:"sql,omitempty"`
+	Params  []any    `json:"params,omitempty"`
+	Batch   int      `json:"batch,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Columns []string `json:"columns,omitempty"`
+	Types   []string `json:"types,omitempty"`
+	Rows    [][]any  `json:"rows,omitempty"`
+}
+
+// FragmentAck is the JSON response of the non-exec fragment operations.
+type FragmentAck struct {
+	OK   bool  `json:"ok"`
+	Rows int64 `json:"rows,omitempty"`
+}
+
 // Error is the structured wire error {code, message, line, col}: the
 // pipeline stage code and, for parse errors, the 1-based statement
 // position of the offending token.
@@ -124,6 +162,15 @@ func Cell(v value.Value) any {
 // Without the type hint those strings would decode as strings and the
 // remote backend would diverge from the embedded one.
 func ValueAs(x any, typ string) (value.Value, error) {
+	if n, ok := x.(json.Number); ok && typ == "float" {
+		// A whole float (2.0) serializes as the JSON number 2; the type
+		// hint keeps it a float instead of collapsing it to an int.
+		f, err := n.Float64()
+		if err != nil {
+			return value.Null, fmt.Errorf("bad number %q", n.String())
+		}
+		return value.NewFloat(f), nil
+	}
 	if s, ok := x.(string); ok {
 		switch typ {
 		case "float":
@@ -135,7 +182,7 @@ func ValueAs(x any, typ string) (value.Value, error) {
 			case "-Inf":
 				return value.NewFloat(math.Inf(-1)), nil
 			}
-		case "interval":
+		case "interval", "period":
 			var ts, te int64
 			if _, err := fmt.Sscanf(s, "[%d, %d)", &ts, &te); err == nil {
 				return value.NewInterval(interval.New(ts, te)), nil

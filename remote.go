@@ -6,12 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
 
+	"talign/internal/backoff"
 	"talign/internal/faultinject"
 	"talign/internal/relation"
 	"talign/internal/stats"
@@ -30,8 +30,6 @@ const (
 	tlsHandshakeTimeout   = 5 * time.Second
 	responseHeaderTimeout = 60 * time.Second
 	defaultRetries        = 2 // retries beyond the first attempt
-	retryBaseDelay        = 50 * time.Millisecond
-	retryMaxDelay         = 2 * time.Second
 )
 
 // remoteDB speaks talignd's wire protocol: prepared statements through
@@ -119,22 +117,11 @@ func (r *remoteDB) retryDo(ctx context.Context, client *http.Client, mk func() (
 			return nil, lastErr
 		}
 		select {
-		case <-time.After(retryBackoff(attempt)):
+		case <-time.After(backoff.Default(attempt)):
 		case <-ctx.Done():
 			return nil, lastErr
 		}
 	}
-}
-
-// retryBackoff is exponential (50ms, 100ms, 200ms, ... capped at 2s)
-// plus up to half again of random jitter, so a fleet of clients retrying
-// a drained server does not stampede it in lockstep.
-func retryBackoff(attempt int) time.Duration {
-	d := retryBaseDelay << uint(attempt)
-	if d > retryMaxDelay || d <= 0 {
-		d = retryMaxDelay
-	}
-	return d + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // wireRequest is the /query, /query/stream and /prepare body.
